@@ -1,0 +1,34 @@
+//! Criterion benches for whole-GPU simulation throughput: small
+//! instances of the paper's workloads under SBRP and Epoch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::SystemDesign;
+use sbrp_harness::{run_workload, RunSpec};
+use sbrp_workloads::WorkloadKind;
+
+fn bench_small_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for kind in [WorkloadKind::Gpkvs, WorkloadKind::Reduction, WorkloadKind::Scan] {
+        for model in [ModelKind::Epoch, ModelKind::Sbrp] {
+            let id = BenchmarkId::new(format!("{kind}"), format!("{model}"));
+            g.bench_with_input(id, &(kind, model), |b, &(kind, model)| {
+                b.iter(|| {
+                    run_workload(&RunSpec {
+                        workload: kind,
+                        model,
+                        system: SystemDesign::PmNear,
+                        scale: 512,
+                        ..RunSpec::default()
+                    })
+                    .cycles
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_small_kernels);
+criterion_main!(benches);

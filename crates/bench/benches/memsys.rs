@@ -1,0 +1,77 @@
+//! Criterion benches for the memory subsystem: cache lookups and the
+//! latency/bandwidth channel under load.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::{GpuConfig, SystemDesign, PM_BASE};
+use sbrp_gpu_sim::mem::{Cache, Channel, MemSubsystem, PersistDest, ReqTag};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memsys/cache");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("lookup_install_stream", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(64 * 1024, 4, 128);
+            for i in 0..4096u64 {
+                let addr = (i * 128) % (256 * 1024);
+                if cache.lookup(addr).is_none() {
+                    let (way, _) = cache.choose_victim(addr);
+                    cache.install(way, addr, i % 3 == 0, false);
+                }
+            }
+            cache.stats()
+        });
+    });
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memsys/channel");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("bandwidth_queueing", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(30.0, 400);
+            let mut last = 0;
+            for i in 0..10_000u64 {
+                let (_, done) = ch.access(i * 2, 128);
+                last = done;
+            }
+            last
+        });
+    });
+    g.finish();
+}
+
+fn bench_subsystem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memsys/subsystem");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("persist_flush_pipeline", |b| {
+        let cfg = GpuConfig::table1(ModelKind::Sbrp, SystemDesign::PmNear);
+        b.iter(|| {
+            let mut ms = MemSubsystem::new(&cfg);
+            for i in 0..1024u64 {
+                ms.submit_persist_flush(
+                    i,
+                    PM_BASE + i * 128,
+                    vec![(PM_BASE + i * 128, vec![0u8; 128])],
+                    PersistDest::Detached,
+                    vec![],
+                );
+            }
+            let mut acks = 0u32;
+            while let Some(at) = ms.next_event() {
+                for cpl in ms.poll(at) {
+                    if let ReqTag::PersistAck { ack_id } = cpl.tag {
+                        let _ = ms.take_persist_dest(ack_id);
+                        acks += 1;
+                    }
+                }
+            }
+            acks
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_channel, bench_subsystem);
+criterion_main!(benches);

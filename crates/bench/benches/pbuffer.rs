@@ -1,0 +1,86 @@
+//! Criterion benches for the SBRP persist-buffer engine: store
+//! acceptance, coalescing, drain, and acknowledgement throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sbrp_core::pbuffer::{DrainAction, DrainPolicy, LineIdx, PbConfig, PersistUnit};
+use sbrp_core::scope::{Scope, WarpSlot};
+
+fn drain_and_ack(unit: &mut PersistUnit) {
+    loop {
+        let actions = unit.tick(64);
+        if actions.is_empty() && unit.outstanding() == 0 {
+            break;
+        }
+        for a in actions {
+            let DrainAction::Flush { line, .. } = a;
+            unit.ack_persist(line);
+        }
+    }
+}
+
+fn bench_store_coalesce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pbuffer/store");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("coalescing_1024_stores_64_lines", |b| {
+        b.iter(|| {
+            let mut unit = PersistUnit::new(PbConfig::default());
+            for i in 0..1024u32 {
+                let _ = unit.persist_store(WarpSlot::new((i % 32) as usize), LineIdx(i % 64));
+            }
+            unit.set_drain_all(true);
+            drain_and_ack(&mut unit);
+            unit
+        });
+    });
+    g.finish();
+}
+
+fn bench_fence_heavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pbuffer/fences");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("ofence_per_store", |b| {
+        b.iter(|| {
+            let mut unit = PersistUnit::new(PbConfig {
+                capacity: 512,
+                policy: DrainPolicy::Eager,
+                ..PbConfig::default()
+            });
+            for i in 0..256u32 {
+                let w = WarpSlot::new((i % 32) as usize);
+                let _ = unit.persist_store(w, LineIdx(i));
+                let _ = unit.ofence(w);
+                for a in unit.tick(64) {
+                    let DrainAction::Flush { line, .. } = a;
+                    unit.ack_persist(line);
+                }
+                let _ = unit.take_resumable();
+            }
+            drain_and_ack(&mut unit);
+            unit
+        });
+    });
+    g.bench_function("release_acquire_chain", |b| {
+        b.iter(|| {
+            let mut unit = PersistUnit::new(PbConfig::default());
+            for i in 0..128u32 {
+                let rel = WarpSlot::new((i % 16) as usize);
+                let acq = WarpSlot::new(16 + (i % 16) as usize);
+                let _ = unit.persist_store(rel, LineIdx(i));
+                let _ = unit.prel(rel, Scope::Block);
+                let _ = unit.pacq(acq, Scope::Block);
+                let _ = unit.persist_store(acq, LineIdx(256 + i));
+                for a in unit.tick(64) {
+                    let DrainAction::Flush { line, .. } = a;
+                    unit.ack_persist(line);
+                }
+                let _ = unit.take_resumable();
+            }
+            drain_and_ack(&mut unit);
+            unit
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_store_coalesce, bench_fence_heavy);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benches for the formal PMO model: trace construction and
+//! the crash-cut checker on synthetic release/acquire chains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbrp_core::formal::TraceBuilder;
+use sbrp_core::ops::PersistOpKind;
+use sbrp_core::scope::{Scope, ThreadPos};
+use std::collections::HashSet;
+
+fn build_chain(threads: u32, per_thread: u32) -> sbrp_core::formal::PmoGraph {
+    let mut tb = TraceBuilder::new();
+    let mut last_rel = None;
+    for t in 0..threads {
+        let th = ThreadPos::new(0u32, t);
+        let acq = tb.op(th, PersistOpKind::PAcq(Scope::Block), Some(0x80));
+        if let Some(rel) = last_rel {
+            tb.observe(acq, rel);
+        }
+        for i in 0..per_thread {
+            tb.persist(th, 0x1000 + u64::from(t) * 0x100 + u64::from(i) * 8);
+            if i % 4 == 3 {
+                tb.op(th, PersistOpKind::OFence, None);
+            }
+        }
+        last_rel = Some(tb.op(th, PersistOpKind::PRel(Scope::Block), Some(0x80)));
+    }
+    tb.finish()
+}
+
+fn bench_pmo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pmo");
+    for &threads in &[8u32, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("build_chain", threads), &threads, |b, &t| {
+            b.iter(|| build_chain(t, 16));
+        });
+        let graph = build_chain(threads, 16);
+        let durable: HashSet<_> = graph.persists().take(threads as usize * 8).collect();
+        g.bench_with_input(BenchmarkId::new("crash_cut", threads), &threads, |b, _| {
+            b.iter(|| graph.check_crash_cut(&durable).is_ok());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pmo);
+criterion_main!(benches);

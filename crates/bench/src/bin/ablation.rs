@@ -1,0 +1,75 @@
+//! Ablation of the persist-buffer design choices (DESIGN.md,
+//! "Microarchitectural refinements" + §6.2's drain policies): SBRP-near
+//! and SBRP-far speedups over the epoch baseline with each mechanism
+//! individually disabled.
+
+use sbrp_bench::Cli;
+use sbrp_core::pbuffer::DrainPolicy;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::SystemDesign;
+use sbrp_harness::report::Table;
+use sbrp_harness::{geomean, run_workload, RunSpec};
+use sbrp_workloads::WorkloadKind;
+
+fn main() {
+    let cli = Cli::parse();
+    let variants: [(&str, fn(&mut RunSpec)); 7] = [
+        ("full", |_| {}),
+        ("-ooo-drain", |s| s.no_ooo_drain = true),
+        ("-early-flush", |s| s.no_early_flush = true),
+        ("-perwarp-fsm", |s| s.no_per_warp_fsm = true),
+        ("eager", |s| s.policy = Some(DrainPolicy::Eager)),
+        ("lazy", |s| s.policy = Some(DrainPolicy::Lazy)),
+        ("paper-min", |s| {
+            // All refinements off at once: the most literal reading.
+            s.no_ooo_drain = true;
+            s.no_early_flush = true;
+            s.no_per_warp_fsm = true;
+        }),
+    ];
+    for system in [SystemDesign::PmNear, SystemDesign::PmFar] {
+        let headers: Vec<&str> =
+            std::iter::once("app").chain(variants.iter().map(|v| v.0)).collect();
+        let mut table = Table::new(
+            format!("Ablation: SBRP-{system} speedup over epoch-{system}"),
+            &headers,
+        );
+        let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+        for kind in WorkloadKind::ALL {
+            let scale = cli.scale_for(kind);
+            let base = RunSpec {
+                workload: kind,
+                system,
+                scale,
+                small_gpu: cli.small,
+                ..RunSpec::default()
+            };
+            let epoch = run_workload(&RunSpec {
+                model: ModelKind::Epoch,
+                ..base.clone()
+            })
+            .cycles as f64;
+            let speedups: Vec<f64> = variants
+                .iter()
+                .map(|(_, tweak)| {
+                    let mut spec = RunSpec {
+                        model: ModelKind::Sbrp,
+                        ..base.clone()
+                    };
+                    tweak(&mut spec);
+                    let out = run_workload(&spec);
+                    assert!(out.verified, "{kind} ablation failed verification");
+                    epoch / out.cycles as f64
+                })
+                .collect();
+            for (i, s) in speedups.iter().enumerate() {
+                per_variant[i].push(*s);
+            }
+            table.row_f64(kind.label(), &speedups);
+        }
+        let means: Vec<f64> = per_variant.iter().map(|v| geomean(v)).collect();
+        table.row_f64("GMean", &means);
+        cli.emit(&table);
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 10(a): SBRP-near speedup over epoch-near while varying the
+//! persist buffer's coverage of the L1 (12.5 % / 25 % / 50 % / 100 %).
+
+use sbrp_bench::Cli;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::SystemDesign;
+use sbrp_harness::report::Table;
+use sbrp_harness::{geomean, run_workload, RunSpec};
+use sbrp_workloads::WorkloadKind;
+
+fn main() {
+    let cli = Cli::parse();
+    let coverages = [0.125, 0.25, 0.5, 1.0];
+    let mut table = Table::new(
+        "Figure 10(a): SBRP-near speedup over epoch-near, varying PB coverage of L1",
+        &["app", "12.50%", "25%", "50%", "100%"],
+    );
+    let mut per_cov: Vec<Vec<f64>> = vec![Vec::new(); coverages.len()];
+    for kind in WorkloadKind::ALL {
+        let scale = cli.scale_for(kind);
+        let base = RunSpec {
+            workload: kind,
+            system: SystemDesign::PmNear,
+            scale,
+            small_gpu: cli.small,
+            ..RunSpec::default()
+        };
+        let epoch = run_workload(&RunSpec {
+            model: ModelKind::Epoch,
+            ..base.clone()
+        })
+        .cycles as f64;
+        let speedups: Vec<f64> = coverages
+            .iter()
+            .map(|&f| {
+                let sbrp = run_workload(&RunSpec {
+                    model: ModelKind::Sbrp,
+                    pb_coverage: Some(f),
+                    ..base.clone()
+                })
+                .cycles as f64;
+                epoch / sbrp
+            })
+            .collect();
+        for (i, s) in speedups.iter().enumerate() {
+            per_cov[i].push(*s);
+        }
+        table.row_f64(kind.label(), &speedups);
+    }
+    let means: Vec<f64> = per_cov.iter().map(|v| geomean(v)).collect();
+    table.row_f64("GMean", &means);
+    cli.emit(&table);
+}

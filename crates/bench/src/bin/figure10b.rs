@@ -1,0 +1,53 @@
+//! Figure 10(b): SBRP-near speedup over epoch-near while scaling the
+//! NVM read/write bandwidth to 50 % / 100 % / 200 % of Table 1.
+
+use sbrp_bench::Cli;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::SystemDesign;
+use sbrp_harness::report::Table;
+use sbrp_harness::{geomean, run_workload, RunSpec};
+use sbrp_workloads::WorkloadKind;
+
+fn main() {
+    let cli = Cli::parse();
+    let scales = [0.5, 1.0, 2.0];
+    let mut table = Table::new(
+        "Figure 10(b): SBRP-near speedup over epoch-near, varying NVM bandwidth",
+        &["app", "50%", "100%", "200%"],
+    );
+    let mut per_bw: Vec<Vec<f64>> = vec![Vec::new(); scales.len()];
+    for kind in WorkloadKind::ALL {
+        let scale = cli.scale_for(kind);
+        let speedups: Vec<f64> = scales
+            .iter()
+            .map(|&bw| {
+                let base = RunSpec {
+                    workload: kind,
+                    system: SystemDesign::PmNear,
+                    nvm_bw_scale: bw,
+                    scale,
+                    small_gpu: cli.small,
+                    ..RunSpec::default()
+                };
+                let epoch = run_workload(&RunSpec {
+                    model: ModelKind::Epoch,
+                    ..base.clone()
+                })
+                .cycles as f64;
+                let sbrp = run_workload(&RunSpec {
+                    model: ModelKind::Sbrp,
+                    ..base.clone()
+                })
+                .cycles as f64;
+                epoch / sbrp
+            })
+            .collect();
+        for (i, s) in speedups.iter().enumerate() {
+            per_bw[i].push(*s);
+        }
+        table.row_f64(kind.label(), &speedups);
+    }
+    let means: Vec<f64> = per_bw.iter().map(|v| geomean(v)).collect();
+    table.row_f64("GMean", &means);
+    cli.emit(&table);
+}

@@ -1,0 +1,53 @@
+//! Figure 10(c): SBRP-near speedup over epoch-near while varying the
+//! drain-window size (outstanding persists per SM): 2 / 4 / 6 / 8 / 10.
+
+use sbrp_bench::Cli;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::SystemDesign;
+use sbrp_harness::report::Table;
+use sbrp_harness::{geomean, run_workload, RunSpec};
+use sbrp_workloads::WorkloadKind;
+
+fn main() {
+    let cli = Cli::parse();
+    let windows = [2u32, 4, 6, 8, 10];
+    let mut table = Table::new(
+        "Figure 10(c): SBRP-near speedup over epoch-near, varying window size",
+        &["app", "2", "4", "6", "8", "10"],
+    );
+    let mut per_w: Vec<Vec<f64>> = vec![Vec::new(); windows.len()];
+    for kind in WorkloadKind::ALL {
+        let scale = cli.scale_for(kind);
+        let base = RunSpec {
+            workload: kind,
+            system: SystemDesign::PmNear,
+            scale,
+            small_gpu: cli.small,
+            ..RunSpec::default()
+        };
+        let epoch = run_workload(&RunSpec {
+            model: ModelKind::Epoch,
+            ..base.clone()
+        })
+        .cycles as f64;
+        let speedups: Vec<f64> = windows
+            .iter()
+            .map(|&w| {
+                let sbrp = run_workload(&RunSpec {
+                    model: ModelKind::Sbrp,
+                    window: Some(w),
+                    ..base.clone()
+                })
+                .cycles as f64;
+                epoch / sbrp
+            })
+            .collect();
+        for (i, s) in speedups.iter().enumerate() {
+            per_w[i].push(*s);
+        }
+        table.row_f64(kind.label(), &speedups);
+    }
+    let means: Vec<f64> = per_w.iter().map(|v| geomean(v)).collect();
+    table.row_f64("GMean", &means);
+    cli.emit(&table);
+}

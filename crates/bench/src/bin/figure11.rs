@@ -1,0 +1,63 @@
+//! Figure 11: runtime of the recovery pass under epoch-near vs
+//! SBRP-near, normalized to epoch-near (lower is better). The crash is
+//! injected near the end of the run — the worst case, e.g. gpKVS just
+//! before its transaction completes, maximizing the log replayed.
+
+use sbrp_bench::Cli;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::SystemDesign;
+use sbrp_harness::report::Table;
+use sbrp_harness::{geomean, run_recovery, RunSpec};
+use sbrp_workloads::WorkloadKind;
+
+fn main() {
+    let cli = Cli::parse();
+    let mut table = Table::new(
+        "Figure 11: recovery runtime normalized to epoch-near",
+        &["app", "Epoch", "SBRP", "recovery/runtime (SBRP)"],
+    );
+    let mut ratios = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let scale = cli.scale_for(kind);
+        let base = RunSpec {
+            workload: kind,
+            system: SystemDesign::PmNear,
+            scale,
+            small_gpu: cli.small,
+            ..RunSpec::default()
+        };
+        let epoch = run_recovery(
+            &RunSpec {
+                model: ModelKind::Epoch,
+                ..base.clone()
+            },
+            0.9,
+        );
+        let sbrp = run_recovery(
+            &RunSpec {
+                model: ModelKind::Sbrp,
+                ..base.clone()
+            },
+            0.9,
+        );
+        assert!(epoch.verified && sbrp.verified, "{kind}: recovery failed");
+        let norm = sbrp.recovery_cycles as f64 / epoch.recovery_cycles.max(1) as f64;
+        ratios.push(norm);
+        table.row(vec![
+            kind.label().into(),
+            "1.000".into(),
+            format!("{norm:.3}"),
+            format!(
+                "{:.1}%",
+                100.0 * sbrp.recovery_cycles as f64 / sbrp.crash_free_cycles.max(1) as f64
+            ),
+        ]);
+    }
+    table.row(vec![
+        "GMean".into(),
+        "1.000".into(),
+        format!("{:.3}", geomean(&ratios)),
+        "-".into(),
+    ]);
+    cli.emit(&table);
+}

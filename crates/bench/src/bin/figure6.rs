@@ -1,0 +1,45 @@
+//! Figure 6: speedup over epoch-far of GPM, epoch-far, SBRP-far,
+//! epoch-near, and SBRP-near, per application plus the geometric mean.
+
+use sbrp_bench::Cli;
+use sbrp_harness::report::Table;
+use sbrp_harness::{geomean, run_workload, Fig6Bar, RunSpec};
+use sbrp_workloads::WorkloadKind;
+
+fn main() {
+    let cli = Cli::parse();
+    let headers: Vec<&str> = std::iter::once("app")
+        .chain(Fig6Bar::ALL.iter().map(|b| b.label()))
+        .collect();
+    let mut table = Table::new("Figure 6: speedup over epoch-far", &headers);
+
+    let mut per_bar: Vec<Vec<f64>> = vec![Vec::new(); Fig6Bar::ALL.len()];
+    for kind in WorkloadKind::ALL {
+        let scale = cli.scale_for(kind);
+        let cycles: Vec<u64> = Fig6Bar::ALL
+            .iter()
+            .map(|bar| {
+                let (model, system) = bar.model_system();
+                let out = run_workload(&RunSpec {
+                    workload: kind,
+                    model,
+                    system,
+                    scale,
+                    small_gpu: cli.small,
+                    ..RunSpec::default()
+                });
+                assert!(out.verified, "{kind}/{} failed verification", bar.label());
+                out.cycles
+            })
+            .collect();
+        let baseline = cycles[1] as f64; // epoch-far
+        let speedups: Vec<f64> = cycles.iter().map(|&c| baseline / c as f64).collect();
+        for (i, s) in speedups.iter().enumerate() {
+            per_bar[i].push(*s);
+        }
+        table.row_f64(kind.label(), &speedups);
+    }
+    let means: Vec<f64> = per_bar.iter().map(|v| geomean(v)).collect();
+    table.row_f64("Mean", &means);
+    cli.emit(&table);
+}

@@ -1,0 +1,61 @@
+//! Figure 7: relative contribution of buffers vs. scopes to SBRP's
+//! speedup, for the inter-thread-PMO applications (Red, MQ, Scan) on
+//! both system designs. Scope contribution is measured by demoting all
+//! block-scoped operations to device scope (§7.2, "Importance of
+//! scopes"); what remains of the speedup is the buffers' share.
+
+use sbrp_bench::Cli;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::SystemDesign;
+use sbrp_harness::report::Table;
+use sbrp_harness::{run_workload, RunSpec};
+use sbrp_workloads::WorkloadKind;
+
+fn main() {
+    let cli = Cli::parse();
+    let mut table = Table::new(
+        "Figure 7: SBRP speedup breakdown (% buffers vs % scopes)",
+        &["app", "system", "buffers%", "scopes%"],
+    );
+    for kind in [WorkloadKind::Reduction, WorkloadKind::Multiqueue, WorkloadKind::Scan] {
+        let scale = cli.scale_for(kind);
+        for system in [SystemDesign::PmFar, SystemDesign::PmNear] {
+            let base = RunSpec {
+                workload: kind,
+                system,
+                scale,
+                small_gpu: cli.small,
+                ..RunSpec::default()
+            };
+            let epoch = run_workload(&RunSpec {
+                model: ModelKind::Epoch,
+                ..base.clone()
+            })
+            .cycles as f64;
+            let sbrp = run_workload(&RunSpec {
+                model: ModelKind::Sbrp,
+                ..base.clone()
+            })
+            .cycles as f64;
+            let demoted = run_workload(&RunSpec {
+                model: ModelKind::Sbrp,
+                demote_scopes: true,
+                ..base.clone()
+            })
+            .cycles as f64;
+            // Speedups over epoch: full SBRP vs buffers-only (demoted).
+            let full = epoch / sbrp;
+            let buffers_only = epoch / demoted;
+            let gain = (full - 1.0).max(1e-9);
+            let buf_share = ((buffers_only - 1.0) / gain).clamp(0.0, 1.0) * 100.0;
+            let scope_share = 100.0 - buf_share;
+            table.row(vec![
+                kind.label().into(),
+                format!("SBRP-{system}"),
+                format!("{buf_share:.1}"),
+                format!("{scope_share:.1}"),
+            ]);
+        }
+    }
+    cli.emit(&table);
+}

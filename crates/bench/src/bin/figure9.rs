@@ -1,0 +1,45 @@
+//! Figure 9: SBRP-far speedup over epoch-far with eADR enabled — the
+//! durability point moves to the host LLC, but PCIe bandwidth remains
+//! the bottleneck, so scopes/buffers keep their value.
+
+use sbrp_bench::Cli;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::SystemDesign;
+use sbrp_harness::report::Table;
+use sbrp_harness::{geomean, run_workload, RunSpec};
+use sbrp_workloads::WorkloadKind;
+
+fn main() {
+    let cli = Cli::parse();
+    let mut table = Table::new(
+        "Figure 9: SBRP-far speedup over epoch-far under eADR",
+        &["app", "Epoch-far", "SBRP-far"],
+    );
+    let mut speedups = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let scale = cli.scale_for(kind);
+        let base = RunSpec {
+            workload: kind,
+            system: SystemDesign::PmFar,
+            eadr: true,
+            scale,
+            small_gpu: cli.small,
+            ..RunSpec::default()
+        };
+        let epoch = run_workload(&RunSpec {
+            model: ModelKind::Epoch,
+            ..base.clone()
+        })
+        .cycles as f64;
+        let sbrp = run_workload(&RunSpec {
+            model: ModelKind::Sbrp,
+            ..base.clone()
+        })
+        .cycles as f64;
+        let s = epoch / sbrp;
+        speedups.push(s);
+        table.row_f64(kind.label(), &[1.0, s]);
+    }
+    table.row_f64("GMean", &[1.0, geomean(&speedups)]);
+    cli.emit(&table);
+}

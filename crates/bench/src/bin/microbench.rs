@@ -1,0 +1,43 @@
+//! Microbenchmarks: per-mechanism model comparison (cycles; lower is
+//! better) — isolates the persist-path behaviours the applications mix.
+
+use sbrp_bench::Cli;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::{GpuConfig, SystemDesign};
+use sbrp_gpu_sim::Gpu;
+use sbrp_harness::report::Table;
+use sbrp_workloads::{BuildOpts, Micro};
+
+fn main() {
+    let cli = Cli::parse();
+    let iters = cli.scale.unwrap_or(16);
+    for system in [SystemDesign::PmNear, SystemDesign::PmFar] {
+        let mut table = Table::new(
+            format!("Microbenchmarks on PM-{system} (cycles; epoch=1.0)"),
+            &["kernel", "Epoch", "SBRP", "speedup"],
+        );
+        for micro in Micro::ALL {
+            let mut cycles = Vec::new();
+            for model in [ModelKind::Epoch, ModelKind::Sbrp] {
+                let cfg = if cli.small {
+                    GpuConfig::small(model, system)
+                } else {
+                    GpuConfig::table1(model, system)
+                };
+                let l = micro.kernel(BuildOpts::for_model(model), iters);
+                let mut gpu = Gpu::new(&cfg);
+                gpu.launch(&l.kernel, l.launch);
+                gpu.run(10_000_000_000).expect("completes");
+                cycles.push(gpu.cycle());
+            }
+            table.row(vec![
+                micro.label().into(),
+                cycles[0].to_string(),
+                cycles[1].to_string(),
+                format!("{:.2}x", cycles[0] as f64 / cycles[1] as f64),
+            ]);
+        }
+        cli.emit(&table);
+        println!();
+    }
+}

@@ -1,0 +1,34 @@
+//! Table 1: the simulated hardware configuration.
+
+use sbrp_bench::Cli;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::{GpuConfig, SystemDesign};
+use sbrp_harness::report::Table;
+
+fn main() {
+    let cli = Cli::parse();
+    let c = GpuConfig::table1(ModelKind::Sbrp, SystemDesign::PmNear);
+    let mut t = Table::new("Table 1: simulated hardware configuration", &["parameter", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("# of SMs", c.num_sms.to_string()),
+        ("Clock speed", format!("{} MHz", c.clock_mhz)),
+        ("L1 cache", format!("{} KB/SM", c.l1_kb)),
+        ("L2 cache", format!("{} MB", c.l2_kb / 1024)),
+        ("Window size", format!("{:?}", c.pb.policy)),
+        ("Threads/block", "1024 (max)".into()),
+        ("GDDR BW", format!("{} GBPS", c.gddr_bw_gbps)),
+        ("GDDR latency", format!("{} ns", c.gddr_latency_ns)),
+        (
+            "NVM BW",
+            format!("{} GBPS read, {} GBPS write", c.nvm_read_bw_gbps, c.nvm_write_bw_gbps),
+        ),
+        ("NVM latency", format!("{} ns", c.nvm_latency_ns)),
+        ("PCIe BW", format!("{} GBPS", c.pcie_bw_gbps)),
+        ("PCIe latency", format!("{} ns", c.pcie_latency_ns)),
+        ("PB entries", format!("{} (50% of L1 lines)", c.pb.capacity)),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.into(), v]);
+    }
+    cli.emit(&t);
+}

@@ -1,0 +1,31 @@
+//! Table 2: the applications used in the evaluation.
+
+use sbrp_bench::Cli;
+use sbrp_harness::report::Table;
+use sbrp_workloads::{BuildOpts, WorkloadKind};
+
+fn main() {
+    let cli = Cli::parse();
+    let mut t = Table::new(
+        "Table 2: applications used in evaluation",
+        &["app", "default params", "scoped PMO", "recovery"],
+    );
+    let meta = [
+        ("~8K pairs", "Intrathread", "Logging"),
+        ("~8K entries", "Intrathread", "Logging"),
+        ("128 sq. matrix", "Intrathread", "Native"),
+        ("~128K ints", "Blk/dev-interthread", "Native"),
+        ("~16K entries", "Intra/blk-interthread", "Logging"),
+        ("~16K ints", "Blk-interthread", "Native"),
+    ];
+    for (kind, (params, pmo, recovery)) in WorkloadKind::ALL.iter().zip(meta) {
+        // Sanity: the recovery column matches the implementation.
+        let w = kind.instantiate(256, 0);
+        let has_kernel = w
+            .recovery(BuildOpts::for_model(sbrp_core::ModelKind::Sbrp))
+            .is_some();
+        assert_eq!(has_kernel, recovery == "Logging", "{kind}");
+        t.row(vec![kind.label().into(), params.into(), pmo.into(), recovery.into()]);
+    }
+    cli.emit(&t);
+}

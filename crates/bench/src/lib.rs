@@ -1,0 +1,92 @@
+//! # sbrp-bench
+//!
+//! The paper-evaluation harness: one binary per table/figure of §7
+//! (`table1`, `table2`, `figure6` … `figure11`), plus Criterion
+//! micro-benchmarks (`cargo bench`) over the persist buffer, the PMO
+//! checker, the memory system, and small end-to-end kernels.
+//!
+//! Every figure binary accepts:
+//!
+//! * `--scale N` — override the per-workload default size;
+//! * `--small` — simulate a scaled-down 4-SM GPU instead of the paper's
+//!   30-SM Table 1 machine (faster, same qualitative shapes);
+//! * `--csv` — emit CSV instead of an aligned text table.
+//!
+//! Run one with e.g. `cargo run -p sbrp-bench --release --bin figure6`.
+
+use sbrp_harness::report::Table;
+
+/// Options shared by all figure binaries.
+#[derive(Clone, Debug, Default)]
+pub struct Cli {
+    /// Override the per-workload default scale.
+    pub scale: Option<u64>,
+    /// Use the scaled-down 4-SM GPU instead of the default Table 1
+    /// machine (faster, less faithful).
+    pub small: bool,
+    /// Emit CSV instead of text.
+    pub csv: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    /// Panics (with usage help) on unknown flags or a malformed
+    /// `--scale`.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut cli = Cli::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = args.next().expect("--scale needs a value");
+                    cli.scale = Some(v.parse().expect("--scale must be an integer"));
+                }
+                "--small" => cli.small = true,
+                "--csv" => cli.csv = true,
+                "--help" | "-h" => {
+                    println!("usage: <figure-bin> [--scale N] [--small] [--csv]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        cli
+    }
+
+    /// The scale to use for a workload.
+    #[must_use]
+    pub fn scale_for(&self, kind: sbrp_workloads::WorkloadKind) -> u64 {
+        self.scale.unwrap_or_else(|| sbrp_harness::default_scale(kind))
+    }
+
+    /// Prints a finished table in the selected format.
+    pub fn emit(&self, table: &Table) {
+        if self.csv {
+            print!("{}", table.to_csv());
+        } else {
+            print!("{}", table.to_text());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cli_uses_workload_scales() {
+        let cli = Cli::default();
+        assert_eq!(
+            cli.scale_for(sbrp_workloads::WorkloadKind::Gpkvs),
+            sbrp_harness::default_scale(sbrp_workloads::WorkloadKind::Gpkvs)
+        );
+        let cli2 = Cli {
+            scale: Some(64),
+            ..Cli::default()
+        };
+        assert_eq!(cli2.scale_for(sbrp_workloads::WorkloadKind::Scan), 64);
+    }
+}

@@ -1,0 +1,220 @@
+//! Unbuffered epoch-persistency engines for the GPM and Epoch baselines.
+//!
+//! GPM (§4, "GPM's persistency model") implicitly follows a
+//! scope-agnostic, *unbuffered* epoch persistency model: a system-scoped
+//! fence acts as an epoch barrier that flushes the SM's dirty lines and
+//! stalls the issuing thread until the writes are durable. Under GPM the
+//! barrier affects **both** volatile and PM writes (it is an ordinary
+//! `__threadfence_system`); the enhanced Epoch baseline of §7 flushes PM
+//! writes only.
+//!
+//! [`EpochEngine`] tracks barrier rounds for one SM. The timing simulator
+//! owns the cache, so the protocol is:
+//!
+//! 1. a warp executes a barrier → [`EpochEngine::barrier`]; if it returns
+//!    `true`, the simulator snapshots the L1's dirty lines (PM-only or
+//!    all, per [`FlushScope`]), issues the writebacks + invalidations,
+//!    and reports the count via [`EpochEngine::begin_round`];
+//! 2. each writeback completion/durability ack →
+//!    [`EpochEngine::ack`]; when the round's count reaches zero the
+//!    engine releases the waiting warps and, if more warps queued a
+//!    barrier meanwhile, asks for the next round.
+
+use crate::pbuffer::WarpMask;
+use crate::scope::WarpSlot;
+
+/// Which dirty lines an epoch barrier flushes from the L1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushScope {
+    /// Only lines holding PM data (the Epoch baseline).
+    PmOnly,
+    /// All dirty lines, volatile and PM (the GPM baseline).
+    All,
+}
+
+/// Result of an acknowledgement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochAck {
+    /// Warps released by this ack (the round completed).
+    pub released: WarpMask,
+    /// `true` if queued barriers need a new flush round: the simulator
+    /// must snapshot dirty lines again and call
+    /// [`EpochEngine::begin_round`].
+    pub start_next: bool,
+}
+
+/// Epoch-barrier bookkeeping for one SM.
+#[derive(Debug)]
+pub struct EpochEngine {
+    flush_scope: FlushScope,
+    round_active: bool,
+    outstanding: u32,
+    waiting: WarpMask,
+    pending: WarpMask,
+    /// Total barrier rounds executed (stats).
+    rounds: u64,
+}
+
+impl EpochEngine {
+    /// Creates an engine flushing the given classes of dirty lines.
+    #[must_use]
+    pub fn new(flush_scope: FlushScope) -> Self {
+        EpochEngine {
+            flush_scope,
+            round_active: false,
+            outstanding: 0,
+            waiting: WarpMask::EMPTY,
+            pending: WarpMask::EMPTY,
+            rounds: 0,
+        }
+    }
+
+    /// What this engine's barriers flush.
+    #[must_use]
+    pub fn flush_scope(&self) -> FlushScope {
+        self.flush_scope
+    }
+
+    /// Barrier rounds completed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Whether a flush round is in progress.
+    #[must_use]
+    pub fn round_active(&self) -> bool {
+        self.round_active
+    }
+
+    /// Whether `warp` is stalled at a barrier.
+    #[must_use]
+    pub fn is_waiting(&self, warp: WarpSlot) -> bool {
+        self.waiting.contains(warp) || self.pending.contains(warp)
+    }
+
+    /// A warp executed an epoch barrier. Returns `true` if the simulator
+    /// should snapshot dirty lines and call
+    /// [`EpochEngine::begin_round`]; `false` means a round is already in
+    /// flight and the warp queued for the next one.
+    pub fn barrier(&mut self, warp: WarpSlot) -> bool {
+        if self.round_active {
+            self.pending.set(warp);
+            false
+        } else {
+            self.round_active = true;
+            self.waiting.set(warp);
+            true
+        }
+    }
+
+    /// Begins a round of `flushes` writebacks. With zero flushes the
+    /// round completes immediately and the returned ack carries the
+    /// released warps.
+    pub fn begin_round(&mut self, flushes: u32) -> EpochAck {
+        assert!(self.round_active, "begin_round without an active round");
+        self.outstanding = flushes;
+        if flushes == 0 {
+            self.finish_round()
+        } else {
+            EpochAck::default()
+        }
+    }
+
+    /// One of the round's writebacks became durable (PM) or completed
+    /// (volatile, GPM only).
+    ///
+    /// # Panics
+    /// Panics if no writeback is outstanding.
+    pub fn ack(&mut self) -> EpochAck {
+        assert!(self.outstanding > 0, "epoch ack underflow");
+        self.outstanding -= 1;
+        if self.outstanding == 0 {
+            self.finish_round()
+        } else {
+            EpochAck::default()
+        }
+    }
+
+    fn finish_round(&mut self) -> EpochAck {
+        self.rounds += 1;
+        let released = std::mem::take(&mut self.waiting);
+        if self.pending.is_empty() {
+            self.round_active = false;
+            EpochAck {
+                released,
+                start_next: false,
+            }
+        } else {
+            self.waiting = std::mem::take(&mut self.pending);
+            EpochAck {
+                released,
+                start_next: true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: usize) -> WarpSlot {
+        WarpSlot::new(i)
+    }
+
+    #[test]
+    fn single_warp_round_trip() {
+        let mut e = EpochEngine::new(FlushScope::PmOnly);
+        assert!(e.barrier(w(0)));
+        assert!(e.is_waiting(w(0)));
+        assert_eq!(e.begin_round(2), EpochAck::default());
+        assert_eq!(e.ack(), EpochAck::default());
+        let done = e.ack();
+        assert!(done.released.contains(w(0)));
+        assert!(!done.start_next);
+        assert!(!e.round_active());
+        assert_eq!(e.rounds(), 1);
+    }
+
+    #[test]
+    fn empty_round_releases_immediately() {
+        let mut e = EpochEngine::new(FlushScope::PmOnly);
+        assert!(e.barrier(w(1)));
+        let done = e.begin_round(0);
+        assert!(done.released.contains(w(1)));
+    }
+
+    #[test]
+    fn concurrent_barriers_share_a_round() {
+        let mut e = EpochEngine::new(FlushScope::All);
+        assert!(e.barrier(w(0)));
+        // w1 arrives before the snapshot: it queues for the next round.
+        assert!(!e.barrier(w(1)));
+        assert_eq!(e.begin_round(1), EpochAck::default());
+        let done = e.ack();
+        assert!(done.released.contains(w(0)));
+        assert!(!done.released.contains(w(1)));
+        assert!(done.start_next, "w1 needs its own round");
+        let done2 = e.begin_round(0);
+        assert!(done2.released.contains(w(1)));
+        assert!(!done2.start_next);
+        assert_eq!(e.rounds(), 2);
+    }
+
+    #[test]
+    fn flush_scope_distinguishes_gpm_from_epoch() {
+        assert_eq!(EpochEngine::new(FlushScope::All).flush_scope(), FlushScope::All);
+        assert_eq!(
+            EpochEngine::new(FlushScope::PmOnly).flush_scope(),
+            FlushScope::PmOnly
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn ack_without_round_panics() {
+        let mut e = EpochEngine::new(FlushScope::PmOnly);
+        let _ = e.ack();
+    }
+}

@@ -1,0 +1,285 @@
+//! Litmus tests for the SBRP formal model.
+//!
+//! Each litmus is a tiny execution shape from the paper, together with the
+//! PMO outcomes the model requires. They document the model's behaviour
+//! and guard the [`super::TraceBuilder`] rules against
+//! regressions; the simulator's persist engines are separately validated
+//! against the same shapes in `sbrp-gpu-sim`'s tests.
+
+use super::graph::{PmoGraph, TraceBuilder};
+use super::EventId;
+use crate::ops::PersistOpKind;
+use crate::scope::{Scope, ThreadPos};
+
+/// An expected PMO outcome between two persists of a litmus trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Expectation {
+    /// The PMO-earlier persist (candidate).
+    pub before: EventId,
+    /// The PMO-later persist (candidate).
+    pub after: EventId,
+    /// Whether `before →pmo after` must hold.
+    pub ordered: bool,
+}
+
+/// A named litmus test: a trace plus its required outcomes.
+pub struct Litmus {
+    /// Short name, e.g. `"MP+block"`.
+    pub name: &'static str,
+    /// One-line description of what the shape exercises.
+    pub description: &'static str,
+    /// The trace's PMO graph.
+    pub graph: PmoGraph,
+    /// Required outcomes.
+    pub expectations: Vec<Expectation>,
+}
+
+impl std::fmt::Debug for Litmus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Litmus")
+            .field("name", &self.name)
+            .field("expectations", &self.expectations.len())
+            .finish()
+    }
+}
+
+impl Litmus {
+    /// Verifies every expectation against the graph.
+    ///
+    /// # Errors
+    /// Returns a description of the first expectation that fails.
+    pub fn check(&self) -> Result<(), String> {
+        for e in &self.expectations {
+            let got = self.graph.pmo_holds(e.before, e.after);
+            if got != e.ordered {
+                return Err(format!(
+                    "{}: expected pmo({}, {}) == {}, got {}",
+                    self.name, e.before, e.after, e.ordered, got
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn th(block: u32, tid: u32) -> ThreadPos {
+    ThreadPos::new(block, tid)
+}
+
+/// `W(x); oFence; W(y)` — the gpKVS logging idiom (Fig. 4): the log entry
+/// must persist before the pair it guards.
+#[must_use]
+pub fn intra_thread_ofence() -> Litmus {
+    let t0 = th(0, 0);
+    let mut tb = TraceBuilder::new();
+    let log = tb.persist(t0, 0x1000);
+    tb.op(t0, PersistOpKind::OFence, None);
+    let pair = tb.persist(t0, 0x2000);
+    Litmus {
+        name: "oFence",
+        description: "oFence orders a thread's earlier persists before its later ones",
+        graph: tb.finish(),
+        expectations: vec![
+            Expectation { before: log, after: pair, ordered: true },
+            Expectation { before: pair, after: log, ordered: false },
+        ],
+    }
+}
+
+/// Two persists with no intervening fence are unordered — epochs may
+/// reorder freely within themselves.
+#[must_use]
+pub fn unfenced_persists() -> Litmus {
+    let t0 = th(0, 0);
+    let mut tb = TraceBuilder::new();
+    let a = tb.persist(t0, 0x1000);
+    let b = tb.persist(t0, 0x2000);
+    Litmus {
+        name: "no-fence",
+        description: "persists without an intervening fence are unordered",
+        graph: tb.finish(),
+        expectations: vec![
+            Expectation { before: a, after: b, ordered: false },
+            Expectation { before: b, after: a, ordered: false },
+        ],
+    }
+}
+
+/// Message passing with block-scoped `pRel`/`pAcq` inside one threadblock
+/// — the reduction idiom of Fig. 3 lines 12/18.
+#[must_use]
+pub fn message_passing_block() -> Litmus {
+    let (t0, t32) = (th(0, 0), th(0, 32));
+    let mut tb = TraceBuilder::new();
+    let w1 = tb.persist(t0, 0x1000);
+    let rel = tb.op(t0, PersistOpKind::PRel(Scope::Block), Some(0x80));
+    let acq = tb.op(t32, PersistOpKind::PAcq(Scope::Block), Some(0x80));
+    let w2 = tb.persist(t32, 0x2000);
+    tb.observe(acq, rel);
+    Litmus {
+        name: "MP+block",
+        description: "block-scoped release/acquire orders persists within a threadblock",
+        graph: tb.finish(),
+        expectations: vec![
+            Expectation { before: w1, after: w2, ordered: true },
+            Expectation { before: w2, after: w1, ordered: false },
+        ],
+    }
+}
+
+/// The scoped persistency bug of §5.3: block-scoped operations used
+/// *across* threadblocks create no inter-thread PMO.
+#[must_use]
+pub fn scoped_bug_block_across_blocks() -> Litmus {
+    let (a, b) = (th(0, 0), th(1, 0));
+    let mut tb = TraceBuilder::new();
+    let w1 = tb.persist(a, 0x1000);
+    let rel = tb.op(a, PersistOpKind::PRel(Scope::Block), Some(0x80));
+    let acq = tb.op(b, PersistOpKind::PAcq(Scope::Block), Some(0x80));
+    let w2 = tb.persist(b, 0x2000);
+    tb.observe(acq, rel);
+    Litmus {
+        name: "MP+block-across-blocks (bug)",
+        description: "narrower-than-needed scope yields no PMO — the §5.3 persistency bug",
+        graph: tb.finish(),
+        expectations: vec![Expectation { before: w1, after: w2, ordered: false }],
+    }
+}
+
+/// Message passing with device scope across threadblocks — the corrected
+/// version of Fig. 3 line 24.
+#[must_use]
+pub fn message_passing_device() -> Litmus {
+    let (a, b) = (th(0, 0), th(1, 0));
+    let mut tb = TraceBuilder::new();
+    let w1 = tb.persist(a, 0x1000);
+    let rel = tb.op(a, PersistOpKind::PRel(Scope::Device), Some(0x80));
+    let acq = tb.op(b, PersistOpKind::PAcq(Scope::Device), Some(0x80));
+    let w2 = tb.persist(b, 0x2000);
+    tb.observe(acq, rel);
+    Litmus {
+        name: "MP+device",
+        description: "device-scoped release/acquire orders persists across threadblocks",
+        graph: tb.finish(),
+        expectations: vec![Expectation { before: w1, after: w2, ordered: true }],
+    }
+}
+
+/// Three-thread transitive chain (`W1 → rel/acq → W2 → rel/acq → W3`).
+#[must_use]
+pub fn transitive_chain() -> Litmus {
+    let (a, b, c) = (th(0, 0), th(0, 32), th(0, 64));
+    let mut tb = TraceBuilder::new();
+    let w1 = tb.persist(a, 0x1000);
+    let r1 = tb.op(a, PersistOpKind::PRel(Scope::Block), Some(0x80));
+    let a1 = tb.op(b, PersistOpKind::PAcq(Scope::Block), Some(0x80));
+    let _w2 = tb.persist(b, 0x2000);
+    let r2 = tb.op(b, PersistOpKind::PRel(Scope::Block), Some(0x88));
+    let a2 = tb.op(c, PersistOpKind::PAcq(Scope::Block), Some(0x88));
+    let w3 = tb.persist(c, 0x3000);
+    tb.observe(a1, r1);
+    tb.observe(a2, r2);
+    Litmus {
+        name: "ISA2-like chain",
+        description: "PMO is transitive across release/acquire chains",
+        graph: tb.finish(),
+        expectations: vec![
+            Expectation { before: w1, after: w3, ordered: true },
+            Expectation { before: w3, after: w1, ordered: false },
+        ],
+    }
+}
+
+/// dFence behaves at least as an ordering fence.
+#[must_use]
+pub fn dfence_orders() -> Litmus {
+    let t0 = th(0, 0);
+    let mut tb = TraceBuilder::new();
+    let w1 = tb.persist(t0, 0x1000);
+    tb.op(t0, PersistOpKind::DFence, None);
+    let w2 = tb.persist(t0, 0x2000);
+    Litmus {
+        name: "dFence",
+        description: "dFence provides the ordering guarantees of oFence",
+        graph: tb.finish(),
+        expectations: vec![Expectation { before: w1, after: w2, ordered: true }],
+    }
+}
+
+/// The baselines' epoch barrier orders a thread's earlier persists
+/// before its later ones (epochs may reorder only within themselves).
+#[must_use]
+pub fn epoch_barrier_orders() -> Litmus {
+    let t0 = th(0, 0);
+    let mut tb = TraceBuilder::new();
+    let w1 = tb.persist(t0, 0x1000);
+    tb.op(t0, PersistOpKind::EpochBarrier, None);
+    let w2 = tb.persist(t0, 0x2000);
+    tb.op(t0, PersistOpKind::EpochBarrier, None);
+    let w3 = tb.persist(t0, 0x3000);
+    Litmus {
+        name: "epoch",
+        description: "epoch barriers order persists across epochs, not within them",
+        graph: tb.finish(),
+        expectations: vec![
+            Expectation { before: w1, after: w2, ordered: true },
+            Expectation { before: w2, after: w3, ordered: true },
+            Expectation { before: w1, after: w3, ordered: true },
+            Expectation { before: w3, after: w1, ordered: false },
+        ],
+    }
+}
+
+/// Acquire without a matching release observation creates no edge.
+#[must_use]
+pub fn acquire_of_initial_value() -> Litmus {
+    let (a, b) = (th(0, 0), th(0, 32));
+    let mut tb = TraceBuilder::new();
+    let w1 = tb.persist(a, 0x1000);
+    let _rel = tb.op(a, PersistOpKind::PRel(Scope::Block), Some(0x80));
+    let _acq = tb.op(b, PersistOpKind::PAcq(Scope::Block), Some(0x80));
+    let w2 = tb.persist(b, 0x2000);
+    // No observe(): the acquire read the flag's initial value.
+    Litmus {
+        name: "MP+unobserved",
+        description: "an acquire that did not read the release's value orders nothing",
+        graph: tb.finish(),
+        expectations: vec![Expectation { before: w1, after: w2, ordered: false }],
+    }
+}
+
+/// All litmus tests.
+#[must_use]
+pub fn all() -> Vec<Litmus> {
+    vec![
+        intra_thread_ofence(),
+        unfenced_persists(),
+        message_passing_block(),
+        scoped_bug_block_across_blocks(),
+        message_passing_device(),
+        transitive_chain(),
+        dfence_orders(),
+        epoch_barrier_orders(),
+        acquire_of_initial_value(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_litmus_passes() {
+        for litmus in all() {
+            litmus.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn litmus_set_is_nontrivial() {
+        let set = all();
+        assert!(set.len() >= 9);
+        assert!(set.iter().any(|l| l.expectations.iter().any(|e| e.ordered)));
+        assert!(set.iter().any(|l| l.expectations.iter().any(|e| !e.ordered)));
+    }
+}

@@ -1,0 +1,145 @@
+//! Persistency operations and model identifiers.
+
+use crate::scope::Scope;
+use std::fmt;
+
+/// Which persistency model an execution runs under.
+///
+/// - [`ModelKind::Gpm`] — the implicit model of the GPM paper: a
+///   system-scoped fence acting as an *epoch barrier* that flushes **both**
+///   volatile and persistent writes (§4, "GPM's persistency model").
+/// - [`ModelKind::Epoch`] — the enhanced baseline of §7: the same
+///   unbuffered epoch persistency, but the barrier only affects writes to
+///   PM.
+/// - [`ModelKind::Sbrp`] — the paper's contribution: scoped, buffered
+///   release persistency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ModelKind {
+    /// GPM's scope-agnostic, unbuffered epoch model (barrier flushes
+    /// volatile + PM writes).
+    Gpm,
+    /// Epoch persistency whose barrier flushes PM writes only.
+    Epoch,
+    /// Scoped Buffered Release Persistency.
+    Sbrp,
+}
+
+impl ModelKind {
+    /// All models, in the order the paper's figures present them.
+    pub const ALL: [ModelKind; 3] = [ModelKind::Gpm, ModelKind::Epoch, ModelKind::Sbrp];
+
+    /// Whether persists are buffered (held in volatile buffers and drained
+    /// later following PMO) under this model.
+    #[must_use]
+    pub fn is_buffered(self) -> bool {
+        matches!(self, ModelKind::Sbrp)
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ModelKind::Gpm => "GPM",
+            ModelKind::Epoch => "epoch",
+            ModelKind::Sbrp => "SBRP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The kinds of persistency operations a thread can issue (§5).
+///
+/// All of these affect **only writes to PM**; volatile memory order is
+/// untouched (§5.2). `EpochBarrier` is the baseline models' combined
+/// fence; under GPM it additionally flushes volatile writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PersistOpKind {
+    /// `oFence`: intra-thread PMO — persists before the fence become
+    /// durable before later persists from the issuing thread.
+    OFence,
+    /// `dFence`: all prior persists from the issuing thread are durable
+    /// when the fence completes.
+    DFence,
+    /// `pAcq_scope(var)`: scoped persist acquire — reads `var` from the
+    /// given scope; persists after it are ordered after the persists that
+    /// preceded the matching release.
+    PAcq(Scope),
+    /// `pRel_scope(var, value)`: scoped persist release — publishes
+    /// `value` to `var` in the given scope after all prior persists from
+    /// the issuing thread are made durable.
+    PRel(Scope),
+    /// Epoch barrier (`__threadfence_system` in GPM): divides execution
+    /// into epochs; persists in earlier epochs are durable before persists
+    /// in later ones.
+    EpochBarrier,
+}
+
+impl PersistOpKind {
+    /// Whether this operation carries a scope qualifier.
+    #[must_use]
+    pub fn scope(self) -> Option<Scope> {
+        match self {
+            PersistOpKind::PAcq(s) | PersistOpKind::PRel(s) => Some(s),
+            PersistOpKind::EpochBarrier => Some(Scope::System),
+            PersistOpKind::OFence | PersistOpKind::DFence => None,
+        }
+    }
+
+    /// Whether the operation acts as an intra-thread persist fence (orders
+    /// the issuing thread's earlier persists before its later ones).
+    #[must_use]
+    pub fn is_intra_thread_fence(self) -> bool {
+        matches!(
+            self,
+            PersistOpKind::OFence | PersistOpKind::DFence | PersistOpKind::EpochBarrier
+        )
+    }
+}
+
+impl fmt::Display for PersistOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistOpKind::OFence => f.write_str("oFence"),
+            PersistOpKind::DFence => f.write_str("dFence"),
+            PersistOpKind::PAcq(s) => write!(f, "pAcq_{s}"),
+            PersistOpKind::PRel(s) => write!(f, "pRel_{s}"),
+            PersistOpKind::EpochBarrier => f.write_str("epochBarrier"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_sbrp_buffers() {
+        assert!(ModelKind::Sbrp.is_buffered());
+        assert!(!ModelKind::Epoch.is_buffered());
+        assert!(!ModelKind::Gpm.is_buffered());
+    }
+
+    #[test]
+    fn op_scopes() {
+        assert_eq!(PersistOpKind::PAcq(Scope::Block).scope(), Some(Scope::Block));
+        assert_eq!(PersistOpKind::PRel(Scope::Device).scope(), Some(Scope::Device));
+        assert_eq!(PersistOpKind::EpochBarrier.scope(), Some(Scope::System));
+        assert_eq!(PersistOpKind::OFence.scope(), None);
+    }
+
+    #[test]
+    fn intra_thread_fences() {
+        assert!(PersistOpKind::OFence.is_intra_thread_fence());
+        assert!(PersistOpKind::DFence.is_intra_thread_fence());
+        assert!(PersistOpKind::EpochBarrier.is_intra_thread_fence());
+        assert!(!PersistOpKind::PAcq(Scope::Block).is_intra_thread_fence());
+        assert!(!PersistOpKind::PRel(Scope::Block).is_intra_thread_fence());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PersistOpKind::PAcq(Scope::Block).to_string(), "pAcq_block");
+        assert_eq!(PersistOpKind::PRel(Scope::Device).to_string(), "pRel_device");
+        assert_eq!(ModelKind::Sbrp.to_string(), "SBRP");
+    }
+}

@@ -1,0 +1,57 @@
+//! Drain policies (§6.2, "Hardware Optimization").
+
+use std::fmt;
+
+/// When the persist buffer flushes dirty PM cache lines.
+///
+/// §6.2 compares three options; Figure 10(c) sweeps the window size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrainPolicy {
+    /// Flush as soon as ordering constraints allow. Utilizes NVM
+    /// bandwidth well but forfeits coalescing in the cache.
+    Eager,
+    /// Flush only at ordering operations (or under capacity pressure).
+    /// Maximizes coalescing but creates idle-then-burst NVM traffic.
+    Lazy,
+    /// Keep a fixed number of persists outstanding — the paper's default
+    /// (window size 6): a steady stream of persists with coalescing
+    /// opportunity in between.
+    Window(u32),
+}
+
+impl DrainPolicy {
+    /// The paper's default policy.
+    pub const DEFAULT_WINDOW: u32 = 6;
+}
+
+impl Default for DrainPolicy {
+    fn default() -> Self {
+        DrainPolicy::Window(Self::DEFAULT_WINDOW)
+    }
+}
+
+impl fmt::Display for DrainPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrainPolicy::Eager => f.write_str("eager"),
+            DrainPolicy::Lazy => f.write_str("lazy"),
+            DrainPolicy::Window(n) => write!(f, "window({n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_1() {
+        assert_eq!(DrainPolicy::default(), DrainPolicy::Window(6));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DrainPolicy::Eager.to_string(), "eager");
+        assert_eq!(DrainPolicy::Window(4).to_string(), "window(4)");
+    }
+}

@@ -1,0 +1,258 @@
+//! GPU execution hierarchy and synchronization scopes.
+//!
+//! CUDA arranges threads in a hierarchy — 32-thread *warps* inside
+//! *threadblocks* inside a *grid* — and provides three synchronization
+//! scopes (§2 of the paper). SBRP reuses those scopes for its persist
+//! acquire/release operations: the scope names the subset of threads that
+//! must observe a given inter-thread persist memory order.
+
+use std::fmt;
+
+/// Number of lanes (threads) in a warp.
+pub const WARP_SIZE: usize = 32;
+
+/// Maximum resident warps per SM assumed by the hardware masks (§6:
+/// "The number of bits in each mask is equal to the maximum resident
+/// warps in an SM (here, 32)").
+pub const MAX_WARPS_PER_SM: usize = 32;
+
+/// Synchronization / persistency scope (§2, §5).
+///
+/// The effect of a scoped operation is guaranteed only for the threads in
+/// its scope. `Block` covers the issuing thread's threadblock, `Device`
+/// covers all threads on the GPU, and `System` additionally covers the CPU
+/// and other GPUs (the GPM baseline's `__threadfence_system`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scope {
+    /// All threads in the issuing thread's threadblock (CTA).
+    Block,
+    /// All threads on the device (GPU).
+    Device,
+    /// All threads in the system (GPU + CPU + peer devices).
+    System,
+}
+
+impl Scope {
+    /// Returns `true` if `self` is at least as wide as `other`.
+    ///
+    /// ```
+    /// use sbrp_core::scope::Scope;
+    /// assert!(Scope::Device.includes(Scope::Block));
+    /// assert!(!Scope::Block.includes(Scope::Device));
+    /// ```
+    #[must_use]
+    pub fn includes(self, other: Scope) -> bool {
+        self >= other
+    }
+
+    /// The narrowest scope that contains both operands.
+    ///
+    /// §2: "The scope of an acquire/release pattern is the narrowest scope
+    /// of its constituent instructions" — conversely, for two *threads*,
+    /// the scope that covers both is the widest of their positions'
+    /// requirements; this helper joins two scope qualifiers.
+    #[must_use]
+    pub fn join(self, other: Scope) -> Scope {
+        self.max(other)
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scope::Block => "block",
+            Scope::Device => "device",
+            Scope::System => "system",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of a threadblock (CTA) within a grid launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockId(pub u32);
+
+impl From<u32> for BlockId {
+    fn from(v: u32) -> Self {
+        BlockId(v)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk{}", self.0)
+    }
+}
+
+/// Lane (thread index within a warp), `0..WARP_SIZE`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LaneId(pub u8);
+
+impl LaneId {
+    /// Creates a lane id.
+    ///
+    /// # Panics
+    /// Panics if `lane >= WARP_SIZE`.
+    #[must_use]
+    pub fn new(lane: usize) -> Self {
+        assert!(lane < WARP_SIZE, "lane {lane} out of range");
+        LaneId(lane as u8)
+    }
+
+    /// The lane index as `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A warp's slot within its SM, `0..MAX_WARPS_PER_SM`.
+///
+/// The persist buffer tracks persists at warp granularity (§6); the
+/// 32-bit `Warp BM` bitmask indexes warps by this slot number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WarpSlot(pub u8);
+
+impl WarpSlot {
+    /// Creates a warp slot id.
+    ///
+    /// # Panics
+    /// Panics if `slot >= MAX_WARPS_PER_SM`.
+    #[must_use]
+    pub fn new(slot: usize) -> Self {
+        assert!(slot < MAX_WARPS_PER_SM, "warp slot {slot} out of range");
+        WarpSlot(slot as u8)
+    }
+
+    /// The slot index as `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// This warp's bit in a 32-bit warp bitmask.
+    #[must_use]
+    pub fn bit(self) -> u32 {
+        1u32 << self.0
+    }
+}
+
+impl fmt::Display for WarpSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// The global position of a thread within a kernel launch.
+///
+/// Identifies the thread for the formal model's per-thread program order
+/// and for scope-inclusion tests. All launches in this reproduction are
+/// one-dimensional, matching the paper's workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadPos {
+    /// Threadblock the thread belongs to.
+    pub block: BlockId,
+    /// Thread index within the block, `0..threads_per_block`.
+    pub tid_in_block: u32,
+}
+
+impl ThreadPos {
+    /// Creates a thread position.
+    #[must_use]
+    pub fn new(block: impl Into<BlockId>, tid_in_block: u32) -> Self {
+        ThreadPos {
+            block: block.into(),
+            tid_in_block,
+        }
+    }
+
+    /// The warp index within the block this thread belongs to.
+    #[must_use]
+    pub fn warp_in_block(self) -> u32 {
+        self.tid_in_block / WARP_SIZE as u32
+    }
+
+    /// The lane within the warp.
+    #[must_use]
+    pub fn lane(self) -> LaneId {
+        LaneId((self.tid_in_block % WARP_SIZE as u32) as u8)
+    }
+
+    /// Whether `self` and `other` are both contained in a common instance
+    /// of `scope` — e.g. two threads share `Scope::Block` iff they are in
+    /// the same threadblock. A single-GPU system is assumed, so `Device`
+    /// and `System` always include both threads.
+    #[must_use]
+    pub fn shares_scope(self, other: ThreadPos, scope: Scope) -> bool {
+        match scope {
+            Scope::Block => self.block == other.block,
+            Scope::Device | Scope::System => true,
+        }
+    }
+}
+
+impl fmt::Display for ThreadPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:t{}", self.block, self.tid_in_block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_inclusion_is_a_total_order() {
+        assert!(Scope::System.includes(Scope::Device));
+        assert!(Scope::System.includes(Scope::Block));
+        assert!(Scope::Device.includes(Scope::Block));
+        assert!(Scope::Block.includes(Scope::Block));
+        assert!(!Scope::Block.includes(Scope::Device));
+        assert!(!Scope::Device.includes(Scope::System));
+    }
+
+    #[test]
+    fn scope_join_picks_the_wider() {
+        assert_eq!(Scope::Block.join(Scope::Device), Scope::Device);
+        assert_eq!(Scope::System.join(Scope::Block), Scope::System);
+        assert_eq!(Scope::Block.join(Scope::Block), Scope::Block);
+    }
+
+    #[test]
+    fn warp_slot_bit_positions() {
+        assert_eq!(WarpSlot::new(0).bit(), 1);
+        assert_eq!(WarpSlot::new(5).bit(), 32);
+        assert_eq!(WarpSlot::new(31).bit(), 1 << 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn warp_slot_rejects_out_of_range() {
+        let _ = WarpSlot::new(32);
+    }
+
+    #[test]
+    fn thread_pos_warp_and_lane() {
+        let t = ThreadPos::new(3u32, 70);
+        assert_eq!(t.warp_in_block(), 2);
+        assert_eq!(t.lane(), LaneId::new(6));
+    }
+
+    #[test]
+    fn threads_share_block_scope_only_within_a_block() {
+        let a = ThreadPos::new(0u32, 0);
+        let b = ThreadPos::new(0u32, 999);
+        let c = ThreadPos::new(1u32, 0);
+        assert!(a.shares_scope(b, Scope::Block));
+        assert!(!a.shares_scope(c, Scope::Block));
+        assert!(a.shares_scope(c, Scope::Device));
+        assert!(a.shares_scope(c, Scope::System));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Scope::Block.to_string(), "block");
+        assert_eq!(ThreadPos::new(2u32, 5).to_string(), "blk2:t5");
+        assert_eq!(WarpSlot::new(4).to_string(), "w4");
+    }
+}

@@ -1,0 +1,332 @@
+//! # sbrp-harness
+//!
+//! Experiment orchestration for the paper's evaluation (§7): run any
+//! (workload × model × system design) combination, compute speedups
+//! against the paper's baselines, inject crashes and time recovery, and
+//! render figure tables. The per-figure binaries in `sbrp-bench` are
+//! thin wrappers over this crate.
+
+#![warn(missing_docs)]
+
+pub mod report;
+
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::{GpuConfig, SystemDesign};
+use sbrp_gpu_sim::stats::SimStats;
+use sbrp_gpu_sim::{Gpu, RunOutcome};
+use sbrp_workloads::{BuildOpts, WorkloadKind};
+
+/// Cycle budget for any single simulated kernel.
+pub const CYCLE_LIMIT: u64 = 20_000_000_000;
+
+/// Everything needed to run one experiment cell.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Which application.
+    pub workload: WorkloadKind,
+    /// Which persistency model.
+    pub model: ModelKind,
+    /// PM-far or PM-near.
+    pub system: SystemDesign,
+    /// Workload size (elements / pairs / pixels).
+    pub scale: u64,
+    /// Input randomization seed.
+    pub seed: u64,
+    /// Demote block scopes to device scope (Fig. 7).
+    pub demote_scopes: bool,
+    /// Enable eADR (Fig. 9; PM-far only).
+    pub eadr: bool,
+    /// Persist-buffer coverage as a fraction of L1 lines (Fig. 10a);
+    /// `None` keeps the default 50 %.
+    pub pb_coverage: Option<f64>,
+    /// NVM bandwidth multiplier (Fig. 10b).
+    pub nvm_bw_scale: f64,
+    /// Drain window size (Fig. 10c); `None` keeps the default 6.
+    pub window: Option<u32>,
+    /// Override the full drain policy (ablation of §6.2's choices);
+    /// takes precedence over `window`.
+    pub policy: Option<sbrp_core::pbuffer::DrainPolicy>,
+    /// Disable the out-of-order drain refinement (ablation).
+    pub no_ooo_drain: bool,
+    /// Disable the early-flush-on-stall refinement (ablation).
+    pub no_early_flush: bool,
+    /// Disable per-warp oFence tracking (ablation: the paper's 1-bit
+    /// FSM semantics).
+    pub no_per_warp_fsm: bool,
+    /// Use the scaled-down 4-SM GPU (for fast tests) instead of the
+    /// default Table 1 machine with 30 SMs.
+    pub small_gpu: bool,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            workload: WorkloadKind::Reduction,
+            model: ModelKind::Sbrp,
+            system: SystemDesign::PmNear,
+            scale: 4096,
+            seed: 42,
+            demote_scopes: false,
+            eadr: false,
+            pb_coverage: None,
+            nvm_bw_scale: 1.0,
+            window: None,
+            policy: None,
+            no_ooo_drain: false,
+            no_early_flush: false,
+            no_per_warp_fsm: false,
+            small_gpu: false,
+        }
+    }
+}
+
+impl RunSpec {
+    /// The simulator configuration this spec describes.
+    #[must_use]
+    pub fn config(&self) -> GpuConfig {
+        let mut cfg = if self.small_gpu {
+            GpuConfig::small(self.model, self.system)
+        } else {
+            GpuConfig::table1(self.model, self.system)
+        };
+        cfg.eadr = self.eadr;
+        cfg.nvm_bw_scale = self.nvm_bw_scale;
+        if let Some(f) = self.pb_coverage {
+            cfg.set_pb_coverage(f);
+        }
+        if let Some(w) = self.window {
+            cfg.pb.policy = sbrp_core::pbuffer::DrainPolicy::Window(w);
+        }
+        if let Some(p) = self.policy {
+            cfg.pb.policy = p;
+        }
+        cfg.pb.ooo_drain = !self.no_ooo_drain;
+        cfg.pb.early_flush = !self.no_early_flush;
+        cfg.pb.per_warp_fsm = !self.no_per_warp_fsm;
+        cfg
+    }
+
+    fn build_opts(&self) -> BuildOpts {
+        BuildOpts {
+            model: self.model,
+            demote_scopes: self.demote_scopes,
+        }
+    }
+}
+
+/// Result of one experiment cell.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Crash-free kernel runtime in cycles (including the final drain).
+    pub cycles: u64,
+    /// Full simulator statistics.
+    pub stats: SimStats,
+    /// Whether the workload's verifier accepted the final state.
+    pub verified: bool,
+}
+
+/// Runs one cell to completion.
+///
+/// # Panics
+/// Panics if the simulation deadlocks or exceeds [`CYCLE_LIMIT`] — both
+/// indicate a harness bug, not a measurement.
+#[must_use]
+pub fn run_workload(spec: &RunSpec) -> RunOutput {
+    let cfg = spec.config();
+    let w = spec.workload.instantiate(spec.scale, spec.seed);
+    let l = w.kernel(spec.build_opts());
+    let mut gpu = Gpu::new(&cfg);
+    w.init(&mut gpu);
+    gpu.launch(&l.kernel, l.launch);
+    let report = gpu
+        .run(CYCLE_LIMIT)
+        .unwrap_or_else(|e| panic!("{} {:?}/{}: {e}", spec.workload, spec.model, spec.system));
+    RunOutput {
+        cycles: report.cycles,
+        stats: gpu.stats(),
+        verified: w.verify_complete(&gpu).is_ok(),
+    }
+}
+
+/// Result of a crash + recovery measurement (Fig. 11).
+#[derive(Clone, Debug)]
+pub struct RecoveryOutput {
+    /// Cycle the crash was injected at.
+    pub crash_cycle: u64,
+    /// Cycles the recovery pass took (recovery kernel where the workload
+    /// has one, plus the resumed main kernel).
+    pub recovery_cycles: u64,
+    /// Crash-free runtime, for the recovery/runtime ratio.
+    pub crash_free_cycles: u64,
+    /// Whether the recovered state verified.
+    pub verified: bool,
+}
+
+/// Crashes the workload at `fraction` of its crash-free runtime and
+/// measures the recovery pass (§7.3, "Recovery time": the paper crashes
+/// each application at its worst-case point, e.g. gpKVS just before the
+/// transaction completes).
+///
+/// # Panics
+/// Panics on simulator deadlock or timeout.
+#[must_use]
+pub fn run_recovery(spec: &RunSpec, fraction: f64) -> RecoveryOutput {
+    let cfg = spec.config();
+    let opts = spec.build_opts();
+    let crash_free = run_workload(spec).cycles;
+    let crash_cycle = ((crash_free as f64) * fraction) as u64;
+
+    let w = spec.workload.instantiate(spec.scale, spec.seed);
+    let l = w.kernel(opts);
+    let mut gpu = Gpu::new(&cfg);
+    w.init(&mut gpu);
+    gpu.launch(&l.kernel, l.launch);
+    let report = gpu.run_until(crash_cycle).expect("no deadlock");
+    assert_eq!(report.outcome, RunOutcome::Crashed, "crash point inside the run");
+    let image = gpu.durable_image();
+
+    let mut rgpu = Gpu::from_image(&cfg, &image);
+    w.init_volatile(&mut rgpu);
+    let start = rgpu.cycle();
+    if let Some(r) = w.recovery(opts) {
+        rgpu.launch(&r.kernel, r.launch);
+        rgpu.run(CYCLE_LIMIT).expect("recovery kernel completes");
+    }
+    let l2 = w.kernel(opts);
+    rgpu.launch(&l2.kernel, l2.launch);
+    rgpu.run(CYCLE_LIMIT).expect("resumed kernel completes");
+    RecoveryOutput {
+        crash_cycle,
+        recovery_cycles: rgpu.cycle() - start,
+        crash_free_cycles: crash_free,
+        verified: w.verify_complete(&rgpu).is_ok(),
+    }
+}
+
+/// The five bars of Figure 6, in paper order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fig6Bar {
+    /// GPM on PM-far (its only realizable system).
+    Gpm,
+    /// Epoch on PM-far — the normalization baseline.
+    EpochFar,
+    /// SBRP on PM-far.
+    SbrpFar,
+    /// Epoch on PM-near.
+    EpochNear,
+    /// SBRP on PM-near.
+    SbrpNear,
+}
+
+impl Fig6Bar {
+    /// All bars in figure order.
+    pub const ALL: [Fig6Bar; 5] = [
+        Fig6Bar::Gpm,
+        Fig6Bar::EpochFar,
+        Fig6Bar::SbrpFar,
+        Fig6Bar::EpochNear,
+        Fig6Bar::SbrpNear,
+    ];
+
+    /// The (model, system) pair of the bar.
+    #[must_use]
+    pub fn model_system(self) -> (ModelKind, SystemDesign) {
+        match self {
+            Fig6Bar::Gpm => (ModelKind::Gpm, SystemDesign::PmFar),
+            Fig6Bar::EpochFar => (ModelKind::Epoch, SystemDesign::PmFar),
+            Fig6Bar::SbrpFar => (ModelKind::Sbrp, SystemDesign::PmFar),
+            Fig6Bar::EpochNear => (ModelKind::Epoch, SystemDesign::PmNear),
+            Fig6Bar::SbrpNear => (ModelKind::Sbrp, SystemDesign::PmNear),
+        }
+    }
+
+    /// The label used in the paper's legend.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig6Bar::Gpm => "GPM",
+            Fig6Bar::EpochFar => "Epoch-far",
+            Fig6Bar::SbrpFar => "SBRP-far",
+            Fig6Bar::EpochNear => "Epoch-near",
+            Fig6Bar::SbrpNear => "SBRP-near",
+        }
+    }
+}
+
+/// Geometric mean (the paper's summary statistic).
+///
+/// # Panics
+/// Panics on an empty slice.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Default per-workload scales for the figure harness — chosen so the
+/// full matrix runs in minutes at laptop scale while keeping every
+/// workload's character (the paper's sizes, e.g. 4M-int reduction, need
+/// the author's 20-hour budget; see EXPERIMENTS.md).
+#[must_use]
+pub fn default_scale(kind: WorkloadKind) -> u64 {
+    match kind {
+        WorkloadKind::Gpkvs => 8 * 1024,
+        WorkloadKind::Hashmap => 8 * 1024,
+        WorkloadKind::Srad => 16 * 1024,
+        WorkloadKind::Reduction => 128 * 1024,
+        WorkloadKind::Multiqueue => 16 * 1024,
+        WorkloadKind::Scan => 16 * 1024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig6_bars_cover_the_legend() {
+        let labels: Vec<_> = Fig6Bar::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["GPM", "Epoch-far", "SBRP-far", "Epoch-near", "SBRP-near"]
+        );
+    }
+
+    #[test]
+    fn spec_config_applies_knobs() {
+        let spec = RunSpec {
+            eadr: true,
+            pb_coverage: Some(0.25),
+            nvm_bw_scale: 2.0,
+            window: Some(10),
+            system: SystemDesign::PmFar,
+            ..RunSpec::default()
+        };
+        let cfg = spec.config();
+        assert!(cfg.eadr);
+        assert_eq!(cfg.pb.capacity as u32, cfg.l1_lines() / 4);
+        assert!((cfg.nvm_bw_scale - 2.0).abs() < 1e-12);
+        assert_eq!(
+            cfg.pb.policy,
+            sbrp_core::pbuffer::DrainPolicy::Window(10)
+        );
+    }
+
+    #[test]
+    fn tiny_end_to_end_run() {
+        let out = run_workload(&RunSpec {
+            workload: WorkloadKind::Gpkvs,
+            scale: 128,
+            ..RunSpec::default()
+        });
+        assert!(out.verified);
+        assert!(out.cycles > 0);
+    }
+}

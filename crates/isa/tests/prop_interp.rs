@@ -1,0 +1,259 @@
+//! Property tests for the warp interpreter: random ALU programs agree
+//! with a scalar reference evaluation per lane, and structured
+//! divergence reconverges correctly.
+
+use proptest::prelude::*;
+use sbrp_isa::{BinOp, KernelBuilder, LaunchConfig, MemWidth, Reg, StepResult, WarpInterp};
+
+/// Ops safe for random operands (no divide-by-zero panics).
+const SAFE_OPS: [BinOp; 12] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Min,
+    BinOp::Max,
+    BinOp::SetLt,
+    BinOp::SetLe,
+    BinOp::SetEq,
+    BinOp::SetNe,
+];
+
+#[derive(Clone, Debug)]
+enum AluOp {
+    MovI(u64),
+    /// dst = op(regs[a % live], regs[b % live])
+    Bin(usize, usize, usize),
+    /// dst = op(regs[a % live], imm)
+    BinI(usize, usize, u64),
+    /// dst = cond ? a : b (all indices mod live)
+    Select(usize, usize, usize),
+}
+
+fn alu_strategy() -> impl Strategy<Value = Vec<AluOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u64>().prop_map(AluOp::MovI),
+            (0..SAFE_OPS.len(), any::<usize>(), any::<usize>())
+                .prop_map(|(o, a, b)| AluOp::Bin(o, a, b)),
+            (0..SAFE_OPS.len(), any::<usize>(), any::<u64>())
+                .prop_map(|(o, a, i)| AluOp::BinI(o, a, i)),
+            (any::<usize>(), any::<usize>(), any::<usize>())
+                .prop_map(|(c, a, b)| AluOp::Select(c, a, b)),
+        ],
+        1..40,
+    )
+}
+
+/// Runs a warp to completion with a trivial zero-memory model.
+fn run_warp(interp: &mut WarpInterp) {
+    let mut steps = 0;
+    loop {
+        steps += 1;
+        assert!(steps < 1_000_000, "runaway warp");
+        match interp.step() {
+            StepResult::Done => return,
+            StepResult::Alu | StepResult::Sleep(_) => {}
+            StepResult::Mem(acc) => match acc.kind {
+                sbrp_isa::AccessKind::Store => interp.complete(),
+                _ => {
+                    let zeros = vec![0u64; acc.lanes.len()];
+                    interp.complete_load(&zeros);
+                }
+            },
+            StepResult::Fence(f) => match f {
+                sbrp_isa::FenceAccess::PAcq { lanes, .. } => {
+                    let zeros = vec![0u64; lanes.len()];
+                    interp.complete_load(&zeros);
+                }
+                _ => interp.complete(),
+            },
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random straight-line ALU programs: the lockstep interpreter agrees
+    /// with a per-lane scalar reference.
+    #[test]
+    fn alu_matches_scalar_reference(ops in alu_strategy()) {
+        let mut b = KernelBuilder::new();
+        // Seed register: lane id, so lanes differ.
+        let lane = b.special(sbrp_isa::Special::Lane);
+        let mut regs = vec![lane];
+        for op in &ops {
+            let live = regs.len();
+            let r = match op {
+                AluOp::MovI(v) => b.movi(*v),
+                AluOp::Bin(o, a, c) => {
+                    let (ra, rc) = (regs[a % live], regs[c % live]);
+                    let d = b.reg();
+                    b.mov_to(d, ra);
+                    b.bin_to(SAFE_OPS[o % SAFE_OPS.len()], d, rc);
+                    d
+                }
+                AluOp::BinI(o, a, i) => {
+                    // Express as bin over a materialized immediate so the
+                    // reference stays uniform.
+                    let imm = b.movi(*i);
+                    let ra = regs[a % live];
+                    let d = b.reg();
+                    b.mov_to(d, ra);
+                    b.bin_to(SAFE_OPS[o % SAFE_OPS.len()], d, imm);
+                    regs.push(imm);
+                    d
+                }
+                AluOp::Select(c, x, y) => {
+                    let (rc, rx, ry) = (regs[c % live], regs[x % live], regs[y % live]);
+                    b.select(rc, rx, ry)
+                }
+            };
+            regs.push(r);
+        }
+        let out: Vec<Reg> = regs.clone();
+        let kernel = b.build("prop_alu");
+
+        // Scalar reference per lane.
+        let mut expected: Vec<Vec<u64>> = Vec::new();
+        for lane_idx in 0..32u64 {
+            let mut vals = vec![lane_idx];
+            for op in &ops {
+                let live_before_imm = vals.len();
+                let v = match op {
+                    AluOp::MovI(v) => *v,
+                    AluOp::Bin(o, a, c) => SAFE_OPS[o % SAFE_OPS.len()]
+                        .apply(vals[a % live_before_imm], vals[c % live_before_imm]),
+                    AluOp::BinI(o, a, i) => {
+                        let r = SAFE_OPS[o % SAFE_OPS.len()].apply(vals[a % live_before_imm], *i);
+                        vals.push(*i); // the materialized immediate
+                        r
+                    }
+                    AluOp::Select(c, x, y) => {
+                        if vals[c % live_before_imm] != 0 {
+                            vals[x % live_before_imm]
+                        } else {
+                            vals[y % live_before_imm]
+                        }
+                    }
+                };
+                vals.push(v);
+            }
+            expected.push(vals);
+        }
+
+        let mut interp = WarpInterp::new(&kernel, LaunchConfig::new(1, 32), 0, 0);
+        run_warp(&mut interp);
+        for (ri, reg) in out.iter().enumerate() {
+            for lane_idx in 0..32 {
+                prop_assert_eq!(
+                    interp.reg(*reg, lane_idx),
+                    expected[lane_idx][ri],
+                    "reg {} lane {}", ri, lane_idx
+                );
+            }
+        }
+    }
+
+    /// Divergent if/else with random thresholds: every lane takes exactly
+    /// its own path and all lanes reconverge.
+    #[test]
+    fn divergence_reconverges(t1 in 0u64..33, t2 in 0u64..33, after in any::<u64>()) {
+        let mut b = KernelBuilder::new();
+        let lane = b.special(sbrp_isa::Special::Lane);
+        let c1 = b.lti(lane, t1);
+        let c2 = b.lti(lane, t2);
+        let r = b.movi(0);
+        b.if_then_else(
+            c1,
+            |b| {
+                b.if_then_else(c2, |b| b.movi_to(r, 1), |b| b.movi_to(r, 2));
+            },
+            |b| {
+                b.if_then_else(c2, |b| b.movi_to(r, 3), |b| b.movi_to(r, 4));
+            },
+        );
+        let s = b.movi(after);
+        let kernel = b.build("prop_div");
+        let mut interp = WarpInterp::new(&kernel, LaunchConfig::new(1, 32), 0, 0);
+        run_warp(&mut interp);
+        for lane_idx in 0..32u64 {
+            let expect = match (lane_idx < t1, lane_idx < t2) {
+                (true, true) => 1,
+                (true, false) => 2,
+                (false, true) => 3,
+                (false, false) => 4,
+            };
+            prop_assert_eq!(interp.reg(r, lane_idx as usize), expect);
+            prop_assert_eq!(interp.reg(s, lane_idx as usize), after, "reconvergence");
+        }
+    }
+
+    /// `while` loops with per-lane trip counts terminate with each lane
+    /// having iterated exactly its own count.
+    #[test]
+    fn while_trip_counts_are_per_lane(cap in 0u64..50) {
+        let mut b = KernelBuilder::new();
+        let lane = b.special(sbrp_isa::Special::Lane);
+        let limit = b.movi(cap);
+        let bound = b.bin_to_new_min(lane, limit);
+        let n = b.movi(0);
+        b.while_loop(
+            |b| b.lt(n, bound),
+            |b| {
+                let one = b.movi(1);
+                b.bin_to(BinOp::Add, n, one);
+            },
+        );
+        let kernel = b.build("prop_while");
+        let mut interp = WarpInterp::new(&kernel, LaunchConfig::new(1, 32), 0, 0);
+        run_warp(&mut interp);
+        for lane_idx in 0..32u64 {
+            prop_assert_eq!(interp.reg(n, lane_idx as usize), lane_idx.min(cap));
+        }
+    }
+}
+
+/// Helper extension used by the tests (kept here to avoid widening the
+/// public builder API for a test-only need).
+trait MinExt {
+    fn bin_to_new_min(&mut self, a: Reg, b: Reg) -> Reg;
+}
+
+impl MinExt for KernelBuilder {
+    fn bin_to_new_min(&mut self, a: Reg, b: Reg) -> Reg {
+        let d = self.reg();
+        self.mov_to(d, a);
+        self.bin_to(BinOp::Min, d, b);
+        d
+    }
+}
+
+#[test]
+fn memory_round_trip_widths() {
+    // W4 stores truncate and W4 loads zero-extend (via the memory model).
+    let mut b = KernelBuilder::new();
+    let addr = b.movi(0x1000);
+    let v = b.movi(0xdead_beef_cafe_f00d);
+    b.st(addr, 0, v, MemWidth::W4);
+    let k = b.build("w4");
+    let mut interp = WarpInterp::new(&k, LaunchConfig::new(1, 32), 0, 0);
+    let mut stored = None;
+    loop {
+        match interp.step() {
+            StepResult::Mem(acc) => {
+                assert_eq!(acc.width.bytes(), 4);
+                stored = Some(acc.lanes[0].value);
+                interp.complete();
+            }
+            StepResult::Done => break,
+            _ => {}
+        }
+    }
+    // The interpreter hands the full value; the memory model truncates by
+    // width (verified in the sim crate); the access advertises W4.
+    assert_eq!(stored, Some(0xdead_beef_cafe_f00d));
+}

@@ -1,0 +1,87 @@
+//! Crash injection and recovery orchestration.
+//!
+//! The failure model matches the paper's (§2, ADR): on a power failure,
+//! everything volatile — caches, persist buffers, registers, in-flight
+//! requests — is lost; the WPQ's accepted writes and the NVM contents
+//! survive. The simulator maintains that durable image continuously, so
+//! a crash is simply "stop and take the image".
+
+use crate::config::GpuConfig;
+use crate::gpu::{Gpu, RunOutcome, SimError};
+use crate::mem::Backing;
+use sbrp_isa::{Kernel, LaunchConfig};
+
+/// The persistent state surviving a crash.
+#[derive(Clone, Debug)]
+pub struct CrashImage {
+    /// Durable NVM contents.
+    pub nvm: Backing,
+    /// Cycle at which the crash occurred.
+    pub cycle: u64,
+}
+
+/// Outcome of [`run_with_crash`].
+#[derive(Debug)]
+pub enum CrashRun {
+    /// The kernel finished before the crash point; no crash happened.
+    Completed {
+        /// The GPU, for stats/inspection.
+        gpu: Box<Gpu>,
+    },
+    /// Power failed at the crash point.
+    Crashed {
+        /// What survived.
+        image: CrashImage,
+        /// The crashed GPU (volatile state is *not* meaningful for
+        /// recovery; exposed for stats/trace extraction only).
+        gpu: Box<Gpu>,
+    },
+}
+
+/// Launches `kernel` on a fresh GPU configured by `cfg`, with initial
+/// NVM/GDDR images, and crashes it at `crash_cycle`.
+///
+/// # Errors
+/// Propagates simulator deadlocks.
+pub fn run_with_crash(
+    cfg: &GpuConfig,
+    init: impl FnOnce(&mut Gpu),
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    crash_cycle: u64,
+) -> Result<CrashRun, SimError> {
+    let mut gpu = Gpu::new(cfg);
+    init(&mut gpu);
+    gpu.launch(kernel, launch);
+    let report = gpu.run_until(crash_cycle)?;
+    Ok(match report.outcome {
+        RunOutcome::Completed => CrashRun::Completed { gpu: Box::new(gpu) },
+        RunOutcome::Crashed => CrashRun::Crashed {
+            image: CrashImage {
+                nvm: gpu.durable_image(),
+                cycle: report.cycles,
+            },
+            gpu: Box::new(gpu),
+        },
+    })
+}
+
+/// Boots a recovery GPU from a crash image and runs `recovery` to
+/// completion, returning the recovered GPU.
+///
+/// # Errors
+/// Propagates simulator deadlocks/timeouts from the recovery kernel.
+pub fn recover(
+    cfg: &GpuConfig,
+    image: &CrashImage,
+    init_volatile: impl FnOnce(&mut Gpu),
+    recovery: &Kernel,
+    launch: LaunchConfig,
+    max_cycles: u64,
+) -> Result<Gpu, SimError> {
+    let mut gpu = Gpu::from_image(cfg, &image.nvm);
+    init_volatile(&mut gpu);
+    gpu.launch(recovery, launch);
+    gpu.run(max_cycles)?;
+    Ok(gpu)
+}

@@ -1,0 +1,388 @@
+//! The whole-GPU simulation loop: block dispatch, cycle stepping,
+//! completion routing, and run control.
+
+use crate::config::GpuConfig;
+use crate::mem::{Backing, MemSubsystem, PersistDest, ReqTag};
+use crate::sm::Sm;
+use crate::stats::SimStats;
+use crate::trace::TraceCapture;
+use sbrp_isa::{Kernel, LaunchConfig};
+
+/// Why a run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The kernel finished and every persist drained to durability.
+    Completed,
+    /// The run was stopped at the requested crash cycle.
+    Crashed,
+}
+
+/// Result of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Cycles elapsed since the GPU was created.
+    pub cycles: u64,
+}
+
+/// Errors a run can produce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// No warp could make progress and no memory event was pending.
+    Deadlock {
+        /// Cycle at which the simulation wedged.
+        cycle: u64,
+    },
+    /// The cycle limit was reached before completion.
+    Timeout {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { cycle } => write!(f, "simulation deadlocked at cycle {cycle}"),
+            SimError::Timeout { limit } => write!(f, "simulation exceeded {limit} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+struct ActiveLaunch {
+    kernel: Kernel,
+    launch: LaunchConfig,
+    next_block: u32,
+    /// `completed_blocks` sum across SMs that marks launch completion.
+    target_completed: u64,
+    draining: bool,
+}
+
+/// The simulated GPU.
+pub struct Gpu {
+    cfg: GpuConfig,
+    sms: Vec<Sm>,
+    ms: MemSubsystem,
+    tracer: Option<TraceCapture>,
+    cycle: u64,
+    active: Option<ActiveLaunch>,
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("cycle", &self.cycle)
+            .field("sms", &self.sms.len())
+            .field("active", &self.active.is_some())
+            .finish()
+    }
+}
+
+impl Gpu {
+    /// Builds a GPU from a configuration.
+    #[must_use]
+    pub fn new(cfg: &GpuConfig) -> Self {
+        Gpu {
+            cfg: cfg.clone(),
+            sms: (0..cfg.num_sms).map(|i| Sm::new(i, cfg)).collect(),
+            ms: MemSubsystem::new(cfg),
+            tracer: cfg.trace.then(TraceCapture::new),
+            cycle: 0,
+            active: None,
+        }
+    }
+
+    /// Builds a GPU whose NVM starts from a durable image (recovery boot).
+    #[must_use]
+    pub fn from_image(cfg: &GpuConfig, image: &Backing) -> Self {
+        let mut gpu = Self::new(cfg);
+        gpu.ms.nvm_mem = image.clone();
+        gpu.ms.nvm_durable = image.clone();
+        gpu
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    // ------------------------------------------------------------------
+    // Memory setup / inspection
+    // ------------------------------------------------------------------
+
+    /// Writes initial volatile (GDDR) contents.
+    pub fn load_gddr(&mut self, addr: u64, bytes: &[u8]) {
+        self.ms.gddr_mem.write_bytes(addr, bytes);
+    }
+
+    /// Writes initial NVM contents, marked already-durable.
+    pub fn load_nvm(&mut self, addr: u64, bytes: &[u8]) {
+        self.ms.init_nvm(addr, bytes);
+    }
+
+    /// Reads a `u64` from functional memory (either space).
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.ms.read_mem(addr, 8)
+    }
+
+    /// Reads a `u64` from the functional NVM image.
+    #[must_use]
+    pub fn read_nvm_u64(&self, addr: u64) -> u64 {
+        self.ms.nvm_mem.read_u64(addr)
+    }
+
+    /// Reads a `u64` from the *durable* NVM image (what a crash keeps).
+    #[must_use]
+    pub fn read_durable_u64(&self, addr: u64) -> u64 {
+        self.ms.nvm_durable.read_u64(addr)
+    }
+
+    /// Clones the durable NVM image (crash extraction).
+    #[must_use]
+    pub fn durable_image(&self) -> Backing {
+        self.ms.nvm_durable.clone()
+    }
+
+    /// Takes the persist trace (if tracing was enabled).
+    pub fn take_trace(&mut self) -> Option<TraceCapture> {
+        self.tracer.take()
+    }
+
+    // ------------------------------------------------------------------
+    // Launch & run
+    // ------------------------------------------------------------------
+
+    /// Launches a kernel. Only one launch may be active at a time;
+    /// sequential launches on the same GPU keep cache/channel state.
+    ///
+    /// # Panics
+    /// Panics if a launch is already active or the block size exceeds
+    /// the SM's warp slots.
+    pub fn launch(&mut self, kernel: &Kernel, launch: LaunchConfig) {
+        assert!(self.active.is_none(), "a launch is already active");
+        assert!(
+            launch.warps_per_block() <= self.cfg.max_warps_per_sm,
+            "block does not fit in an SM"
+        );
+        let completed_now: u64 = self.sms.iter().map(|s| s.completed_blocks).sum();
+        self.active = Some(ActiveLaunch {
+            kernel: kernel.clone(),
+            launch,
+            next_block: 0,
+            target_completed: completed_now + u64::from(launch.blocks),
+            draining: false,
+        });
+        self.dispatch();
+    }
+
+    fn dispatch(&mut self) {
+        let Some(active) = self.active.as_mut() else { return };
+        'outer: while active.next_block < active.launch.blocks {
+            for sm in &mut self.sms {
+                if sm.try_place_block(&active.kernel, active.launch, active.next_block) {
+                    active.next_block += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+    }
+
+    fn route_completions(&mut self) {
+        for c in self.ms.poll(self.cycle) {
+            match c.tag {
+                ReqTag::LoadFill { sm, token } | ReqTag::Atomic { sm, token } => {
+                    self.sms[sm as usize].on_fill(token as usize, &mut self.tracer, &self.ms);
+                }
+                ReqTag::PersistAck { ack_id } => {
+                    let (dest, tokens) = self.ms.take_persist_dest(ack_id);
+                    if let Some(tc) = self.tracer.as_mut() {
+                        tc.durable(&tokens, c.at);
+                    }
+                    match dest {
+                        PersistDest::Sbrp { sm, line } => {
+                            self.sms[sm as usize].on_persist_ack(line);
+                        }
+                        PersistDest::Epoch { sm } => {
+                            self.sms[sm as usize].on_epoch_ack(
+                                &mut self.ms,
+                                &mut self.tracer,
+                                c.at,
+                            );
+                        }
+                        PersistDest::Detached => {}
+                    }
+                }
+                ReqTag::PersistAccept { sm } => {
+                    self.sms[sm as usize].on_flush_accepted();
+                }
+                ReqTag::EpochVol { sm } => {
+                    self.sms[sm as usize].on_epoch_ack(&mut self.ms, &mut self.tracer, c.at);
+                }
+                ReqTag::None => {}
+            }
+        }
+    }
+
+    /// Whether the active launch (if any) has fully completed and
+    /// drained.
+    fn launch_finished(&mut self) -> bool {
+        let Some(active) = self.active.as_mut() else {
+            return true;
+        };
+        let completed: u64 = self.sms.iter().map(|s| s.completed_blocks).sum();
+        let blocks_done =
+            active.next_block >= active.launch.blocks && completed >= active.target_completed;
+        if !blocks_done {
+            return false;
+        }
+        if !active.draining {
+            active.draining = true;
+            if std::env::var_os("SBRP_DEBUG_DRAIN").is_some() {
+                eprintln!("[debug] blocks done at cycle {}", self.cycle);
+            }
+            for sm in &mut self.sms {
+                sm.begin_final_drain(&mut self.ms, self.cycle);
+            }
+        }
+        let quiescent = self.sms.iter().all(Sm::engine_quiescent);
+        if quiescent && self.ms.next_event().is_none() {
+            for sm in &mut self.sms {
+                sm.end_final_drain();
+            }
+            self.active = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Advances one scheduling step. Returns `Ok(true)` when the active
+    /// launch completed.
+    fn step(&mut self) -> Result<bool, SimError> {
+        if std::env::var_os("SBRP_DEBUG_DRAIN").is_some() {
+            thread_local! {
+                static LAST: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+            }
+            let bucket = self.cycle / 2048;
+            if LAST.with(|l| {
+                let prev = l.get();
+                l.set(bucket);
+                bucket != prev
+            }) {
+                let flushes: u64 = self.sms.iter().map(|s| s.counters().persist_flushes).sum();
+                let buffered: usize = self.sms.iter().map(Sm::debug_buffered).sum();
+                eprintln!("[debug] cyc={} flushes={} buffered={}", self.cycle, flushes, buffered);
+            }
+        }
+        self.route_completions();
+        let mut progress = false;
+        for sm in &mut self.sms {
+            progress |= sm.tick(self.cycle, &mut self.ms, &mut self.tracer);
+        }
+        self.dispatch();
+        if self.launch_finished() {
+            return Ok(true);
+        }
+        if progress || self.sms.iter().any(Sm::has_ready_warp) {
+            self.cycle += 1;
+            return Ok(false);
+        }
+        // Nothing can issue: fast-forward to the next wakeup/event.
+        let next = self
+            .sms
+            .iter()
+            .filter_map(Sm::next_wake)
+            .chain(self.ms.next_event())
+            .min();
+        match next {
+            Some(t) => {
+                self.cycle = t.max(self.cycle + 1);
+                Ok(false)
+            }
+            None => Err(SimError::Deadlock { cycle: self.cycle }),
+        }
+    }
+
+    /// Runs until the active launch completes (including the final
+    /// durability drain).
+    ///
+    /// # Errors
+    /// [`SimError::Timeout`] if `max_cycles` elapse first, or
+    /// [`SimError::Deadlock`] if nothing can ever make progress (a
+    /// kernel bug, e.g. a spin on a flag nobody releases).
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, SimError> {
+        let limit = self.cycle.saturating_add(max_cycles);
+        while self.cycle < limit {
+            if self.step()? {
+                return Ok(RunReport {
+                    outcome: RunOutcome::Completed,
+                    cycles: self.cycle,
+                });
+            }
+        }
+        Err(SimError::Timeout { limit })
+    }
+
+    /// Runs until `crash_cycle` (simulated power failure) or completion,
+    /// whichever comes first. On a crash, volatile state (caches, persist
+    /// buffers, registers) is conceptually lost; use
+    /// [`Gpu::durable_image`] for what survives.
+    ///
+    /// # Errors
+    /// [`SimError::Deadlock`] if the simulation wedges before either.
+    pub fn run_until(&mut self, crash_cycle: u64) -> Result<RunReport, SimError> {
+        while self.cycle < crash_cycle {
+            if self.step()? {
+                return Ok(RunReport {
+                    outcome: RunOutcome::Completed,
+                    cycles: self.cycle,
+                });
+            }
+        }
+        Ok(RunReport {
+            outcome: RunOutcome::Crashed,
+            cycles: self.cycle,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Stats
+    // ------------------------------------------------------------------
+
+    /// Aggregates statistics across SMs and the memory system.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        let mut s = SimStats {
+            cycles: self.cycle,
+            pcie_bytes: self.ms.pcie_bytes(),
+            nvm_write_bytes: self.ms.nvm_write_bytes(),
+            nvm_read_bytes: self.ms.nvm_read_bytes(),
+            ..SimStats::default()
+        };
+        for sm in &self.sms {
+            let c = sm.counters();
+            s.instructions += c.instructions;
+            s.l1_pm_reads += c.pm_reads;
+            s.l1_pm_read_misses += c.pm_read_misses;
+            s.persist_flushes += c.persist_flushes;
+            s.volatile_writebacks += c.volatile_writebacks;
+            s.l1_hits += c.reads - c.read_misses;
+            s.l1_misses += c.read_misses;
+            s.epoch_rounds += sm.epoch_rounds();
+            s.merge_pb(sm.pb_stats());
+        }
+        s
+    }
+}

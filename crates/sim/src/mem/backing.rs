@@ -1,0 +1,167 @@
+//! Sparse byte-addressable backing store.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A sparse, byte-addressable memory image. Used for the functional GDDR
+/// and NVM contents and for the durable NVM image that crash recovery
+/// boots from.
+#[derive(Clone, Default)]
+pub struct Backing {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl std::fmt::Debug for Backing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backing")
+            .field("pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl Backing {
+    /// Creates an empty (all-zero) image.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of materialized 4 KiB pages.
+    #[must_use]
+    pub fn pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(AsRef::as_ref)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.page(addr)
+            .map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        self.page_mut(addr)[off] = v;
+    }
+
+    /// Reads `len` bytes into a vector (little-endian order in memory).
+    #[must_use]
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|i| self.read_u8(addr + i)).collect()
+    }
+
+    /// Writes a byte slice.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Reads a little-endian value of `width` bytes (≤ 8), zero-extended.
+    #[must_use]
+    pub fn read_uint(&self, addr: u64, width: u64) -> u64 {
+        debug_assert!(width <= 8);
+        let mut v = 0u64;
+        for i in (0..width).rev() {
+            v = (v << 8) | u64::from(self.read_u8(addr + i));
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes of `v` little-endian.
+    pub fn write_uint(&mut self, addr: u64, v: u64, width: u64) {
+        debug_assert!(width <= 8);
+        for i in 0..width {
+            self.write_u8(addr + i, (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a `u64`.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_uint(addr, 8)
+    }
+
+    /// Writes a `u64`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write_uint(addr, v, 8);
+    }
+
+    /// Reads a `u32`.
+    #[must_use]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_uint(addr, 4) as u32
+    }
+
+    /// Writes a `u32`.
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        self.write_uint(addr, u64::from(v), 4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let b = Backing::new();
+        assert_eq!(b.read_u64(0xdead_beef), 0);
+        assert_eq!(b.pages(), 0);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut b = Backing::new();
+        b.write_u64(0x1234, 0xdead_beef_cafe_f00d);
+        assert_eq!(b.read_u64(0x1234), 0xdead_beef_cafe_f00d);
+        assert_eq!(b.read_u32(0x1234), 0xcafe_f00d);
+    }
+
+    #[test]
+    fn cross_page_writes() {
+        let mut b = Backing::new();
+        let addr = PAGE_SIZE as u64 - 3;
+        b.write_u64(addr, u64::MAX);
+        assert_eq!(b.read_u64(addr), u64::MAX);
+        assert_eq!(b.pages(), 2);
+    }
+
+    #[test]
+    fn partial_width_round_trip() {
+        let mut b = Backing::new();
+        b.write_uint(0x10, 0xaabb_ccdd_eeff, 4);
+        assert_eq!(b.read_uint(0x10, 4), 0xccdd_eeff);
+        assert_eq!(b.read_u8(0x14), 0, "width-4 write does not spill");
+    }
+
+    #[test]
+    fn byte_slices() {
+        let mut b = Backing::new();
+        b.write_bytes(0x100, &[1, 2, 3, 4]);
+        assert_eq!(b.read_bytes(0x0ff, 6), vec![0, 1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn clone_is_a_snapshot() {
+        let mut b = Backing::new();
+        b.write_u64(0, 7);
+        let snap = b.clone();
+        b.write_u64(0, 9);
+        assert_eq!(snap.read_u64(0), 7);
+        assert_eq!(b.read_u64(0), 9);
+    }
+}

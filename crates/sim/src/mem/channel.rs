@@ -1,0 +1,103 @@
+//! Latency + bandwidth channel model.
+
+/// A memory device or link modelled as a serialization queue (bandwidth)
+/// followed by a fixed latency pipe.
+///
+/// `access(now, bytes)` returns the cycle at which the transfer is
+/// *accepted* (has fully passed the bandwidth bottleneck — the ADR
+/// durability point for a memory controller's WPQ) and the cycle at
+/// which it *completes* (data available — what loads wait for).
+#[derive(Clone, Debug)]
+pub struct Channel {
+    bytes_per_cycle: f64,
+    latency: u64,
+    next_free: f64,
+    /// Total bytes transferred (stats).
+    bytes: u64,
+}
+
+impl Channel {
+    /// Creates a channel.
+    ///
+    /// # Panics
+    /// Panics if `bytes_per_cycle` is not positive.
+    #[must_use]
+    pub fn new(bytes_per_cycle: f64, latency: u64) -> Self {
+        assert!(bytes_per_cycle > 0.0, "channel bandwidth must be positive");
+        Channel {
+            bytes_per_cycle,
+            latency,
+            next_free: 0.0,
+            bytes: 0,
+        }
+    }
+
+    /// Schedules a transfer of `bytes` starting no earlier than `now`.
+    /// Returns `(accept_cycle, complete_cycle)`.
+    pub fn access(&mut self, now: u64, bytes: u64) -> (u64, u64) {
+        let start = self.next_free.max(now as f64);
+        self.next_free = start + bytes as f64 / self.bytes_per_cycle;
+        self.bytes += bytes;
+        let accept = self.next_free.ceil() as u64;
+        (accept, accept + self.latency)
+    }
+
+    /// The earliest cycle a new transfer could start.
+    #[must_use]
+    pub fn next_free(&self) -> u64 {
+        self.next_free.ceil() as u64
+    }
+
+    /// Total bytes moved through the channel.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The fixed latency component in cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_access_costs_serialization_plus_latency() {
+        let mut ch = Channel::new(32.0, 100);
+        let (accept, complete) = ch.access(0, 128);
+        assert_eq!(accept, 4); // 128 B at 32 B/cycle
+        assert_eq!(complete, 104);
+    }
+
+    #[test]
+    fn back_to_back_accesses_queue() {
+        let mut ch = Channel::new(32.0, 100);
+        let (a1, _) = ch.access(0, 128);
+        let (a2, c2) = ch.access(0, 128);
+        assert_eq!(a1, 4);
+        assert_eq!(a2, 8, "second transfer waits for the first");
+        assert_eq!(c2, 108);
+    }
+
+    #[test]
+    fn idle_channel_starts_at_now() {
+        let mut ch = Channel::new(32.0, 10);
+        ch.access(0, 32);
+        let (accept, _) = ch.access(1000, 32);
+        assert_eq!(accept, 1001);
+    }
+
+    #[test]
+    fn fractional_bandwidth_accumulates() {
+        let mut ch = Channel::new(0.5, 0);
+        let (a1, _) = ch.access(0, 1); // 2 cycles/byte
+        let (a2, _) = ch.access(0, 1);
+        assert_eq!(a1, 2);
+        assert_eq!(a2, 4);
+        assert_eq!(ch.total_bytes(), 2);
+    }
+}

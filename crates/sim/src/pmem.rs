@@ -1,0 +1,273 @@
+//! Persistent namespace table — the PM-near software model of §3.
+//!
+//! "In PM-near … we maintain a (persistent) namespace table, mapping the
+//! names (address) of allocated contiguous memory regions to respective
+//! physical addresses. The table tracks the sizes of allocated regions
+//! along with the names. A name is used to access persistently stored
+//! data after a crash. Upon recovery, previously allocated data
+//! structures are re-mapped using an open routine that takes a name as a
+//! parameter. The GPU driver manages this metadata."
+//!
+//! [`Namespace`] implements that driver-side metadata on top of the
+//! simulator's NVM: regions are created before a launch, and after a
+//! crash the recovery path re-opens them *by name from the durable
+//! image* — addresses are stable because the table itself is persistent.
+//! Table updates follow a commit protocol (payload first, then the valid
+//! mark, then the count) so a host crash mid-`create` never corrupts it.
+
+use crate::config::PM_BASE;
+use crate::mem::Backing;
+use crate::Gpu;
+use std::fmt;
+
+const MAGIC: u64 = 0x5342_5250_5f50_4d31; // "SBRP_PM1"
+const MAX_ENTRIES: u64 = 64;
+const NAME_BYTES: usize = 32;
+/// Entry: name[32], addr u64, size u64, valid u64.
+const ENTRY_BYTES: u64 = NAME_BYTES as u64 + 24;
+const HEADER_BYTES: u64 = 16; // magic, count
+/// First byte of the allocatable region space.
+const HEAP_BASE: u64 = PM_BASE + 4096;
+
+/// A named persistent region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Region name.
+    pub name: String,
+    /// Byte address in the NVM range.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// Errors from namespace operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PmemError {
+    /// The table's magic number is missing (unformatted NVM).
+    Unformatted,
+    /// A region with this name already exists.
+    Exists,
+    /// The table is full.
+    TableFull,
+    /// The name exceeds the fixed name field.
+    NameTooLong,
+}
+
+impl fmt::Display for PmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmemError::Unformatted => f.write_str("namespace table is not formatted"),
+            PmemError::Exists => f.write_str("region name already exists"),
+            PmemError::TableFull => f.write_str("namespace table is full"),
+            PmemError::NameTooLong => f.write_str("region name exceeds 32 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for PmemError {}
+
+/// Driver-side view of the persistent namespace table.
+///
+/// All operations are host-side (between kernel launches) and act on
+/// the GPU's NVM; [`Namespace::open_in`] additionally works directly on
+/// a crash image, which is how recovery finds its data.
+#[derive(Debug)]
+pub struct Namespace;
+
+impl Namespace {
+    /// Formats an empty namespace table (destroys existing entries).
+    pub fn format(gpu: &mut Gpu) {
+        let mut bytes = Vec::with_capacity(16);
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        gpu.load_nvm(PM_BASE, &bytes);
+    }
+
+    fn entry_addr(i: u64) -> u64 {
+        PM_BASE + HEADER_BYTES + i * ENTRY_BYTES
+    }
+
+    fn read_entry(img: &Backing, i: u64) -> Option<Region> {
+        let base = Self::entry_addr(i);
+        let valid = img.read_u64(base + NAME_BYTES as u64 + 16);
+        if valid != 1 {
+            return None;
+        }
+        let raw = img.read_bytes(base, NAME_BYTES);
+        let len = raw.iter().position(|&b| b == 0).unwrap_or(NAME_BYTES);
+        Some(Region {
+            name: String::from_utf8_lossy(&raw[..len]).into_owned(),
+            addr: img.read_u64(base + NAME_BYTES as u64),
+            size: img.read_u64(base + NAME_BYTES as u64 + 8),
+        })
+    }
+
+    /// Creates (allocates and registers) a region.
+    ///
+    /// # Errors
+    /// [`PmemError`] on duplicate names, a full table, over-long names,
+    /// or an unformatted device.
+    pub fn create(gpu: &mut Gpu, name: &str, size: u64) -> Result<u64, PmemError> {
+        if name.len() > NAME_BYTES {
+            return Err(PmemError::NameTooLong);
+        }
+        let img = gpu.durable_image();
+        if img.read_u64(PM_BASE) != MAGIC {
+            return Err(PmemError::Unformatted);
+        }
+        let count = img.read_u64(PM_BASE + 8);
+        if count >= MAX_ENTRIES {
+            return Err(PmemError::TableFull);
+        }
+        // Next free address: after the highest existing region.
+        let mut next = HEAP_BASE;
+        for i in 0..count {
+            if let Some(r) = Self::read_entry(&img, i) {
+                if r.name == name {
+                    return Err(PmemError::Exists);
+                }
+                next = next.max((r.addr + r.size + 127) & !127);
+            }
+        }
+        // Commit protocol: payload, then valid mark, then count — a
+        // crash between steps leaves either no entry or a complete one.
+        let base = Self::entry_addr(count);
+        let mut name_field = [0u8; NAME_BYTES];
+        name_field[..name.len()].copy_from_slice(name.as_bytes());
+        gpu.load_nvm(base, &name_field);
+        gpu.load_nvm(base + NAME_BYTES as u64, &next.to_le_bytes());
+        gpu.load_nvm(base + NAME_BYTES as u64 + 8, &size.to_le_bytes());
+        gpu.load_nvm(base + NAME_BYTES as u64 + 16, &1u64.to_le_bytes());
+        gpu.load_nvm(PM_BASE + 8, &(count + 1).to_le_bytes());
+        Ok(next)
+    }
+
+    /// Opens a region by name on a live GPU.
+    #[must_use]
+    pub fn open(gpu: &Gpu, name: &str) -> Option<Region> {
+        Self::open_in(&gpu.durable_image(), name)
+    }
+
+    /// Opens a region by name directly in a durable image — the recovery
+    /// path ("a name is used to access persistently stored data after a
+    /// crash").
+    #[must_use]
+    pub fn open_in(image: &Backing, name: &str) -> Option<Region> {
+        if image.read_u64(PM_BASE) != MAGIC {
+            return None;
+        }
+        let count = image.read_u64(PM_BASE + 8).min(MAX_ENTRIES);
+        (0..count)
+            .filter_map(|i| Self::read_entry(image, i))
+            .find(|r| r.name == name)
+    }
+
+    /// Lists all regions in an image.
+    #[must_use]
+    pub fn list(image: &Backing) -> Vec<Region> {
+        if image.read_u64(PM_BASE) != MAGIC {
+            return Vec::new();
+        }
+        let count = image.read_u64(PM_BASE + 8).min(MAX_ENTRIES);
+        (0..count).filter_map(|i| Self::read_entry(image, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GpuConfig, SystemDesign};
+    use sbrp_core::ModelKind;
+
+    fn gpu() -> Gpu {
+        Gpu::new(&GpuConfig::small(ModelKind::Sbrp, SystemDesign::PmNear))
+    }
+
+    #[test]
+    fn create_then_open() {
+        let mut g = gpu();
+        Namespace::format(&mut g);
+        let a = Namespace::create(&mut g, "kvs-table", 4096).unwrap();
+        let b = Namespace::create(&mut g, "kvs-log", 8192).unwrap();
+        assert!(b >= a + 4096, "regions do not overlap");
+        let r = Namespace::open(&g, "kvs-log").unwrap();
+        assert_eq!(r.addr, b);
+        assert_eq!(r.size, 8192);
+        assert_eq!(Namespace::list(&g.durable_image()).len(), 2);
+    }
+
+    #[test]
+    fn open_missing_returns_none() {
+        let mut g = gpu();
+        Namespace::format(&mut g);
+        assert_eq!(Namespace::open(&g, "nope"), None);
+    }
+
+    #[test]
+    fn unformatted_device_is_rejected() {
+        let mut g = gpu();
+        assert_eq!(
+            Namespace::create(&mut g, "x", 64),
+            Err(PmemError::Unformatted)
+        );
+        assert_eq!(Namespace::open(&g, "x"), None);
+        assert!(Namespace::list(&g.durable_image()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = gpu();
+        Namespace::format(&mut g);
+        Namespace::create(&mut g, "a", 64).unwrap();
+        assert_eq!(Namespace::create(&mut g, "a", 64), Err(PmemError::Exists));
+    }
+
+    #[test]
+    fn name_length_enforced() {
+        let mut g = gpu();
+        Namespace::format(&mut g);
+        let long = "x".repeat(33);
+        assert_eq!(
+            Namespace::create(&mut g, &long, 64),
+            Err(PmemError::NameTooLong)
+        );
+        let exact = "y".repeat(32);
+        assert!(Namespace::create(&mut g, &exact, 64).is_ok());
+        assert!(Namespace::open(&g, &exact).is_some());
+    }
+
+    #[test]
+    fn table_fills_up() {
+        let mut g = gpu();
+        Namespace::format(&mut g);
+        for i in 0..64 {
+            Namespace::create(&mut g, &format!("r{i}"), 128).unwrap();
+        }
+        assert_eq!(
+            Namespace::create(&mut g, "overflow", 128),
+            Err(PmemError::TableFull)
+        );
+    }
+
+    #[test]
+    fn regions_survive_crash_images() {
+        let mut g = gpu();
+        Namespace::format(&mut g);
+        let addr = Namespace::create(&mut g, "survivor", 256).unwrap();
+        // The table is durable immediately (host-side writes go through
+        // the init path): any crash image contains it.
+        let image = g.durable_image();
+        let r = Namespace::open_in(&image, "survivor").unwrap();
+        assert_eq!(r.addr, addr);
+    }
+
+    #[test]
+    fn addresses_are_region_aligned() {
+        let mut g = gpu();
+        Namespace::format(&mut g);
+        let a = Namespace::create(&mut g, "a", 100).unwrap();
+        let b = Namespace::create(&mut g, "b", 100).unwrap();
+        assert_eq!(a % 128, 0);
+        assert_eq!(b % 128, 0);
+    }
+}

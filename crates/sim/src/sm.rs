@@ -1,0 +1,1247 @@
+//! The streaming multiprocessor: warp scheduling, the L1, and the
+//! persistency engine (SBRP persist unit or epoch engine).
+
+use crate::config::{is_pm, GpuConfig};
+use crate::mem::{MemSubsystem, PersistDest, ReqTag};
+use crate::trace::TraceCapture;
+use sbrp_core::epoch::{EpochAck, EpochEngine, FlushScope};
+use sbrp_core::formal::EventId;
+use sbrp_core::ops::PersistOpKind;
+use sbrp_core::pbuffer::{
+    BlockReason, DrainAction, EvictOutcome, LineIdx, OpOutcome, PersistUnit, StoreOutcome,
+};
+use sbrp_core::scope::{Scope, ThreadPos, WarpSlot};
+use sbrp_core::ModelKind;
+use sbrp_isa::{
+    AccessKind, FenceAccess, Kernel, LaneAccess, LaunchConfig, MemWidth, StepResult, WarpInterp,
+};
+use std::collections::HashMap;
+
+/// The per-SM persistency hardware.
+enum Engine {
+    Sbrp(PersistUnit),
+    Epoch(EpochEngine),
+}
+
+/// One pending release's flag writes (applied when the release takes
+/// effect per the model's rules).
+struct RelBatch {
+    lanes: Vec<(u64, u64, Option<EventId>)>,
+}
+
+/// A coalesced group of lanes touching one cache line.
+struct Group {
+    addr: u64,
+    lane_idx: Vec<usize>,
+    /// Pre-allocated trace tokens for PM store groups.
+    tokens: Vec<u64>,
+}
+
+enum OpKind {
+    Load { pacq: Option<Scope> },
+    /// L1-bypassing load (flag spins; goes straight to the L2).
+    LoadBypass,
+    Store,
+    Atomic { olds: Vec<u64> },
+}
+
+/// An in-flight memory instruction, processed one group per issue slot.
+struct MemOp {
+    kind: OpKind,
+    width: MemWidth,
+    lanes: Vec<LaneAccess>,
+    groups: Vec<Group>,
+    next: usize,
+    outstanding: u32,
+}
+
+enum WaitingOp {
+    Mem(MemOp),
+    /// Device-scope release awaiting `OpDone`; flags applied then.
+    RelFlags(RelBatch),
+    /// dFence / other engine-stalled fence awaiting `OpDone`.
+    Fence,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Blocked {
+    /// Waiting for outstanding fills/atomics.
+    Mem,
+    /// Waiting for the persist engine (resume via `take_resumable`).
+    Engine,
+    /// Waiting for an epoch barrier round.
+    EpochWait,
+    /// Waiting at a `__syncthreads`.
+    Barrier,
+    /// Asleep until the given cycle (compute or L1-hit latency).
+    Sleep(u64),
+}
+
+struct WarpCtx {
+    interp: WarpInterp,
+    block_slot: usize,
+    blocked: Option<Blocked>,
+    op: Option<WaitingOp>,
+    done: bool,
+}
+
+struct ResidentBlock {
+    slots: Vec<usize>,
+    live: u32,
+    arrived: Vec<usize>,
+}
+
+/// Per-SM counters that are not part of the cache or engine stats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SmCounters {
+    /// Warp instructions issued.
+    pub instructions: u64,
+    /// L1 read accesses (loads), all spaces.
+    pub reads: u64,
+    /// L1 read misses (loads), all spaces.
+    pub read_misses: u64,
+    /// L1 read accesses to PM data.
+    pub pm_reads: u64,
+    /// L1 read misses for PM data (Fig. 8).
+    pub pm_read_misses: u64,
+    /// Lines flushed into the persistence domain from this SM.
+    pub persist_flushes: u64,
+    /// Volatile writebacks (evictions + GPM barrier flushes).
+    pub volatile_writebacks: u64,
+}
+
+/// A streaming multiprocessor.
+pub struct Sm {
+    id: u32,
+    l1: crate::mem::Cache,
+    engine: Engine,
+    warps: Vec<Option<WarpCtx>>,
+    blocks: Vec<Option<ResidentBlock>>,
+    /// Trace tokens of dirty PM lines (epoch engines only).
+    line_tokens: HashMap<u32, Vec<u64>>,
+    /// Per dirty PM line: which bytes *this SM* wrote (bit i = byte i of
+    /// the line). Flushes commit only these bytes to the durable image,
+    /// so falsely-shared lines cannot leak other SMs' unflushed writes.
+    line_written: HashMap<u32, u128>,
+    rr: usize,
+    issue_width: u32,
+    l1_hit_latency: u64,
+    line_bytes: u32,
+    /// Blocks completed on this SM.
+    pub completed_blocks: u64,
+    counters: SmCounters,
+}
+
+impl Sm {
+    /// Creates an SM per the configuration.
+    #[must_use]
+    pub fn new(id: u32, cfg: &GpuConfig) -> Self {
+        let engine = match cfg.model {
+            ModelKind::Sbrp => Engine::Sbrp(PersistUnit::new(cfg.pb)),
+            ModelKind::Epoch => Engine::Epoch(EpochEngine::new(FlushScope::PmOnly)),
+            ModelKind::Gpm => Engine::Epoch(EpochEngine::new(FlushScope::All)),
+        };
+        let slots = cfg.max_warps_per_sm as usize;
+        Sm {
+            id,
+            l1: crate::mem::Cache::new(cfg.l1_kb * 1024, 4, cfg.line_bytes),
+            engine,
+            warps: (0..slots).map(|_| None).collect(),
+            blocks: Vec::new(),
+            line_tokens: HashMap::new(),
+            line_written: HashMap::new(),
+            rr: 0,
+            issue_width: cfg.issue_width,
+            l1_hit_latency: u64::from(cfg.l1_hit_latency),
+            line_bytes: cfg.line_bytes,
+            completed_blocks: 0,
+            counters: SmCounters::default(),
+        }
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn counters(&self) -> SmCounters {
+        self.counters
+    }
+
+    /// Persist-buffer stats (zero for epoch engines).
+    #[must_use]
+    pub fn pb_stats(&self) -> sbrp_core::pbuffer::PbStats {
+        match &self.engine {
+            Engine::Sbrp(u) => u.stats(),
+            Engine::Epoch(_) => sbrp_core::pbuffer::PbStats::default(),
+        }
+    }
+
+    /// Epoch barrier rounds executed (zero for SBRP).
+    #[must_use]
+    pub fn epoch_rounds(&self) -> u64 {
+        match &self.engine {
+            Engine::Sbrp(_) => 0,
+            Engine::Epoch(e) => e.rounds(),
+        }
+    }
+
+    /// Buffered PB entries (debug).
+    #[must_use]
+    pub fn debug_buffered(&self) -> usize {
+        match &self.engine {
+            Engine::Sbrp(u) => u.buffered(),
+            Engine::Epoch(_) => 0,
+        }
+    }
+
+    /// Whether the persist engine has no buffered or in-flight persists.
+    #[must_use]
+    pub fn engine_quiescent(&self) -> bool {
+        match &self.engine {
+            Engine::Sbrp(u) => u.is_quiescent(),
+            Engine::Epoch(e) => !e.round_active(),
+        }
+    }
+
+    /// Begins the end-of-kernel drain: SBRP units ignore the window;
+    /// epoch SMs flush their remaining dirty PM lines.
+    pub fn begin_final_drain(&mut self, ms: &mut MemSubsystem, now: u64) {
+        match &mut self.engine {
+            Engine::Sbrp(u) => u.set_drain_all(true),
+            Engine::Epoch(_) => {
+                for line in self.l1.dirty_lines(true) {
+                    let addr = self.l1.addr_of(line);
+                    let segments = self.take_line_segments(line, ms);
+                    let tokens = self.line_tokens.remove(&line).unwrap_or_default();
+                    ms.submit_persist_flush(now, addr, segments, PersistDest::Detached, tokens);
+                    self.counters.persist_flushes += 1;
+                    self.l1.invalidate(line);
+                }
+            }
+        }
+    }
+
+    /// Ends the drain mode after a launch completes.
+    pub fn end_final_drain(&mut self) {
+        if let Engine::Sbrp(u) = &mut self.engine {
+            u.set_drain_all(false);
+        }
+    }
+
+    /// Places a block on this SM if enough warp slots are free.
+    pub fn try_place_block(
+        &mut self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        block_id: u32,
+    ) -> bool {
+        let need = launch.warps_per_block() as usize;
+        let free: Vec<usize> = (0..self.warps.len())
+            .filter(|&i| self.warps[i].is_none())
+            .take(need)
+            .collect();
+        if free.len() < need {
+            return false;
+        }
+        let block_slot = match self.blocks.iter().position(Option::is_none) {
+            Some(i) => i,
+            None => {
+                self.blocks.push(None);
+                self.blocks.len() - 1
+            }
+        };
+        for (w, &slot) in free.iter().enumerate() {
+            self.warps[slot] = Some(WarpCtx {
+                interp: WarpInterp::new(kernel, launch, block_id, w as u32),
+                block_slot,
+                blocked: None,
+                op: None,
+                done: false,
+            });
+        }
+        self.blocks[block_slot] = Some(ResidentBlock {
+            slots: free,
+            live: need as u32,
+            arrived: Vec::new(),
+        });
+        true
+    }
+
+    /// Extracts the (address, bytes) runs this SM wrote in `line`,
+    /// snapshotting current functional NVM contents.
+    fn take_line_segments(&mut self, line: u32, ms: &MemSubsystem) -> Vec<(u64, Vec<u8>)> {
+        let base = self.l1.addr_of(line);
+        let mask = self.line_written.remove(&line).unwrap_or(0);
+        let mut segments = Vec::new();
+        let mut i = 0u32;
+        while i < self.line_bytes {
+            if mask >> i & 1 == 1 {
+                let start = i;
+                while i < self.line_bytes && mask >> i & 1 == 1 {
+                    i += 1;
+                }
+                let addr = base + u64::from(start);
+                segments.push((addr, ms.nvm_mem.read_bytes(addr, (i - start) as usize)));
+            } else {
+                i += 1;
+            }
+        }
+        segments
+    }
+
+    /// Marks bytes `[addr, addr+width)` of `line` as written by this SM.
+    fn mark_line_written(&mut self, line: u32, addr: u64, width: u64) {
+        let off = (addr & u64::from(self.line_bytes - 1)) as u32;
+        debug_assert!(off as u64 + width <= u64::from(self.line_bytes));
+        let bits = ((1u128 << width) - 1) << off;
+        *self.line_written.entry(line).or_insert(0) |= bits;
+    }
+
+    fn thread_pos(&self, slot: usize, lane: u8) -> ThreadPos {
+        let ctx = self.warps[slot].as_ref().expect("warp present");
+        ThreadPos::new(
+            ctx.interp.block_id(),
+            ctx.interp.warp_in_block() * 32 + u32::from(lane),
+        )
+    }
+
+    fn coalesce(&self, lanes: &[LaneAccess]) -> Vec<Group> {
+        let mut groups: Vec<Group> = Vec::new();
+        let mut index: HashMap<u64, usize> = HashMap::new();
+        for (i, la) in lanes.iter().enumerate() {
+            let line = la.addr & !u64::from(self.line_bytes - 1);
+            match index.get(&line) {
+                Some(&g) => groups[g].lane_idx.push(i),
+                None => {
+                    index.insert(line, groups.len());
+                    groups.push(Group {
+                        addr: line,
+                        lane_idx: vec![i],
+                        tokens: Vec::new(),
+                    });
+                }
+            }
+        }
+        groups
+    }
+
+    /// Makes `addr`'s line resident, handling the victim. `Err(())`
+    /// means the issuing warp was stalled by the persist engine.
+    fn ensure_line(
+        &mut self,
+        slot: usize,
+        addr: u64,
+        ms: &mut MemSubsystem,
+        now: u64,
+    ) -> Result<u32, ()> {
+        if let Some(i) = self.l1.peek(addr) {
+            return Ok(i);
+        }
+        let (way, victim) = self.l1.choose_victim(addr);
+        if let Some(v) = victim {
+            if v.pm && v.dirty {
+                match &mut self.engine {
+                    Engine::Sbrp(unit) => {
+                        match unit.evict_request(WarpSlot::new(slot), LineIdx(v.line)) {
+                            EvictOutcome::Flushed { tokens, .. } => {
+                                let segments = self.take_line_segments(v.line, ms);
+                                ms.submit_persist_flush(
+                                    now,
+                                    v.addr,
+                                    segments,
+                                    PersistDest::Sbrp {
+                                        sm: self.id,
+                                        line: v.line,
+                                    },
+                                    tokens,
+                                );
+                                self.counters.persist_flushes += 1;
+                            }
+                            EvictOutcome::NotBuffered => {
+                                unreachable!("dirty PM line without a PB entry under SBRP");
+                            }
+                            EvictOutcome::Stall => return Err(()),
+                        }
+                    }
+                    Engine::Epoch(_) => {
+                        let segments = self.take_line_segments(v.line, ms);
+                        let tokens = self.line_tokens.remove(&v.line).unwrap_or_default();
+                        ms.submit_persist_flush(
+                            now,
+                            v.addr,
+                            segments,
+                            PersistDest::Detached,
+                            tokens,
+                        );
+                        self.counters.persist_flushes += 1;
+                    }
+                }
+            } else if v.dirty {
+                ms.submit_volatile_wb(now, v.addr, ReqTag::None);
+                self.counters.volatile_writebacks += 1;
+            }
+        }
+        self.l1.install(way, addr, false, is_pm(addr));
+        Ok(way)
+    }
+
+    // ------------------------------------------------------------------
+    // Completion routing (called by the GPU)
+    // ------------------------------------------------------------------
+
+    /// A line fill (or atomic response) for warp `slot` arrived.
+    pub fn on_fill(&mut self, slot: usize, tracer: &mut Option<TraceCapture>, ms: &MemSubsystem) {
+        let finish = {
+            let ctx = self.warps[slot].as_mut().expect("warp present");
+            let Some(WaitingOp::Mem(op)) = ctx.op.as_mut() else {
+                panic!("fill for a warp with no memory op");
+            };
+            op.outstanding -= 1;
+            op.outstanding == 0 && op.next == op.groups.len()
+        };
+        if finish {
+            self.finish_mem(slot, tracer, ms);
+        }
+    }
+
+    /// The L2 accepted one of this SM's persist flushes (window credit).
+    pub fn on_flush_accepted(&mut self) {
+        if let Engine::Sbrp(unit) = &mut self.engine {
+            unit.flush_accepted();
+        }
+    }
+
+    /// A durability ack for an SBRP flush of `line`.
+    pub fn on_persist_ack(&mut self, line: u32) {
+        match &mut self.engine {
+            Engine::Sbrp(unit) => unit.ack_persist(LineIdx(line)),
+            Engine::Epoch(_) => panic!("SBRP ack delivered to an epoch SM"),
+        }
+    }
+
+    /// An epoch barrier writeback (PM or volatile) completed.
+    pub fn on_epoch_ack(
+        &mut self,
+        ms: &mut MemSubsystem,
+        tracer: &mut Option<TraceCapture>,
+        now: u64,
+    ) {
+        let ack = match &mut self.engine {
+            Engine::Epoch(e) => e.ack(),
+            Engine::Sbrp(_) => panic!("epoch ack delivered to an SBRP SM"),
+        };
+        self.handle_epoch_ack(ack, ms, tracer, now);
+    }
+
+    fn handle_epoch_ack(
+        &mut self,
+        ack: EpochAck,
+        ms: &mut MemSubsystem,
+        tracer: &mut Option<TraceCapture>,
+        now: u64,
+    ) {
+        for w in ack.released.iter() {
+            let slot = w.index();
+            if let Some(ctx) = self.warps[slot].as_mut() {
+                debug_assert_eq!(ctx.blocked, Some(Blocked::EpochWait));
+                ctx.blocked = None;
+                ctx.interp.complete();
+            }
+        }
+        if ack.start_next {
+            let count = self.epoch_flush_round(ms, now);
+            let next = match &mut self.engine {
+                Engine::Epoch(e) => e.begin_round(count),
+                Engine::Sbrp(_) => unreachable!(),
+            };
+            self.handle_epoch_ack(next, ms, tracer, now);
+        }
+    }
+
+    /// Snapshots and flushes dirty lines for an epoch barrier round.
+    fn epoch_flush_round(&mut self, ms: &mut MemSubsystem, now: u64) -> u32 {
+        let pm_only = match &self.engine {
+            Engine::Epoch(e) => e.flush_scope() == FlushScope::PmOnly,
+            Engine::Sbrp(_) => unreachable!(),
+        };
+        let mut count = 0u32;
+        for line in self.l1.dirty_lines(false) {
+            let addr = self.l1.addr_of(line);
+            if self.l1.is_pm(line) {
+                let segments = self.take_line_segments(line, ms);
+                let tokens = self.line_tokens.remove(&line).unwrap_or_default();
+                ms.submit_persist_flush(
+                    now,
+                    addr,
+                    segments,
+                    PersistDest::Epoch { sm: self.id },
+                    tokens,
+                );
+                self.counters.persist_flushes += 1;
+                self.l1.invalidate(line);
+                count += 1;
+            } else if !pm_only {
+                ms.submit_volatile_wb(now, addr, ReqTag::EpochVol { sm: self.id });
+                self.counters.volatile_writebacks += 1;
+                self.l1.invalidate(line);
+                count += 1;
+            }
+        }
+        count
+    }
+
+    // ------------------------------------------------------------------
+    // The per-cycle tick
+    // ------------------------------------------------------------------
+
+    /// Runs one cycle: engine drain, wakeups, and warp issue. Returns
+    /// whether any externally visible progress happened.
+    pub fn tick(
+        &mut self,
+        cycle: u64,
+        ms: &mut MemSubsystem,
+        tracer: &mut Option<TraceCapture>,
+    ) -> bool {
+        let mut progress = self.engine_tick(cycle, ms, tracer);
+
+        // Wake sleepers.
+        for slot in 0..self.warps.len() {
+            let wake = matches!(
+                self.warps[slot].as_ref().and_then(|c| c.blocked),
+                Some(Blocked::Sleep(until)) if until <= cycle
+            );
+            if wake {
+                self.warps[slot].as_mut().expect("warp").blocked = None;
+                // An all-hit load that was waiting out its L1 latency.
+                let finished = matches!(
+                    self.warps[slot].as_ref().and_then(|c| c.op.as_ref()),
+                    Some(WaitingOp::Mem(op)) if op.next == op.groups.len() && op.outstanding == 0
+                );
+                if finished {
+                    self.finish_mem(slot, tracer, ms);
+                }
+                progress = true;
+            }
+        }
+
+        // Issue warps round-robin.
+        let n = self.warps.len();
+        let mut issued = 0;
+        for k in 0..n {
+            if issued >= self.issue_width {
+                break;
+            }
+            let slot = (self.rr + k) % n;
+            let ready = matches!(
+                self.warps[slot].as_ref(),
+                Some(ctx) if ctx.blocked.is_none() && !ctx.done
+            );
+            if !ready {
+                continue;
+            }
+            self.issue(slot, cycle, ms, tracer);
+            issued += 1;
+        }
+        self.rr = (self.rr + 1) % n;
+        progress | (issued > 0)
+    }
+
+    fn engine_tick(
+        &mut self,
+        cycle: u64,
+        ms: &mut MemSubsystem,
+        tracer: &mut Option<TraceCapture>,
+    ) -> bool {
+        let (actions, resumable) = match &mut self.engine {
+            Engine::Sbrp(unit) => (unit.tick(1), unit.take_resumable()),
+            Engine::Epoch(_) => return false,
+        };
+        let progress = !actions.is_empty() || !resumable.is_empty();
+        for action in actions {
+            match action {
+                DrainAction::Flush { line, tokens, .. } => {
+                    let addr = self.l1.addr_of(line.0);
+                    let segments = self.take_line_segments(line.0, ms);
+                    ms.submit_persist_flush(
+                        cycle,
+                        addr,
+                        segments,
+                        PersistDest::Sbrp {
+                            sm: self.id,
+                            line: line.0,
+                        },
+                        tokens,
+                    );
+                    self.counters.persist_flushes += 1;
+                    // The drained line stays resident but clean: the data
+                    // is now (about to be) durable, and keeping it cached
+                    // is what lets intra-block consumers keep hitting in
+                    // the L1 (§7.2, "writes under SBRP-near remain in L1
+                    // cache"). A later store re-allocates a PB entry.
+                    self.l1.clean(line.0);
+                }
+            }
+        }
+        for (w, reason) in resumable {
+            let slot = w.index();
+            let ctx = self.warps[slot].as_mut().expect("blocked warp exists");
+            debug_assert_eq!(ctx.blocked, Some(Blocked::Engine));
+            ctx.blocked = None;
+            match reason {
+                BlockReason::RetryStore | BlockReason::RetryFull | BlockReason::RetryEvict => {
+                    if ctx.op.is_none() {
+                        // A fence refused for lack of space: re-issue it.
+                        ctx.interp.retry();
+                    }
+                    // Otherwise the in-flight MemOp resumes where it was.
+                }
+                BlockReason::OpDone => {
+                    match ctx.op.take() {
+                        Some(WaitingOp::RelFlags(batch)) => {
+                            Self::apply_rel_batch(ms, tracer, &batch);
+                        }
+                        Some(WaitingOp::Fence) | None => {}
+                        Some(WaitingOp::Mem(_)) => {
+                            panic!("OpDone delivered to a warp with a memory op")
+                        }
+                    }
+                    ctx.interp.complete();
+                }
+            }
+        }
+        progress
+    }
+
+    fn apply_rel_batch(
+        ms: &mut MemSubsystem,
+        tracer: &mut Option<TraceCapture>,
+        batch: &RelBatch,
+    ) {
+        for &(addr, value, rel) in &batch.lanes {
+            // Release flags are 32-bit, matching pAcq's load width.
+            ms.write_mem(addr, value, 4);
+            if let (Some(tc), Some(rel)) = (tracer.as_mut(), rel) {
+                tc.flag_released(addr, rel);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue path
+    // ------------------------------------------------------------------
+
+    fn issue(
+        &mut self,
+        slot: usize,
+        cycle: u64,
+        ms: &mut MemSubsystem,
+        tracer: &mut Option<TraceCapture>,
+    ) {
+        self.counters.instructions += 1;
+        if matches!(
+            self.warps[slot].as_ref().and_then(|c| c.op.as_ref()),
+            Some(WaitingOp::Mem(_))
+        ) {
+            self.progress_mem(slot, cycle, ms, tracer);
+            return;
+        }
+        let result = self.warps[slot].as_mut().expect("warp").interp.step();
+        match result {
+            StepResult::Alu => {}
+            StepResult::Sleep(n) => {
+                self.warps[slot].as_mut().expect("warp").blocked =
+                    Some(Blocked::Sleep(cycle + u64::from(n)));
+            }
+            StepResult::Done => self.warp_done(slot),
+            StepResult::Mem(access) => {
+                let groups = self.coalesce(&access.lanes);
+                let kind = match access.kind {
+                    AccessKind::Load => OpKind::Load { pacq: None },
+                    AccessKind::LoadVolatile => OpKind::LoadBypass,
+                    AccessKind::Store => OpKind::Store,
+                    AccessKind::AtomAdd => {
+                        // Atomics execute functionally at issue, in lane
+                        // order, capturing old values.
+                        let width = access.width.bytes();
+                        let olds = access
+                            .lanes
+                            .iter()
+                            .map(|la| {
+                                assert!(
+                                    !is_pm(la.addr),
+                                    "atomics on PM are unsupported (workloads use volatile \
+                                     addresses for work distribution)"
+                                );
+                                let old = ms.read_mem(la.addr, width);
+                                ms.write_mem(la.addr, old.wrapping_add(la.value), width);
+                                old
+                            })
+                            .collect();
+                        OpKind::Atomic { olds }
+                    }
+                };
+                let op = MemOp {
+                    kind,
+                    width: access.width,
+                    lanes: access.lanes,
+                    groups,
+                    next: 0,
+                    outstanding: 0,
+                };
+                self.warps[slot].as_mut().expect("warp").op = Some(WaitingOp::Mem(op));
+                self.progress_mem(slot, cycle, ms, tracer);
+            }
+            StepResult::Fence(f) => self.handle_fence(slot, f, cycle, ms, tracer),
+        }
+    }
+
+    fn warp_done(&mut self, slot: usize) {
+        let block_slot = {
+            let ctx = self.warps[slot].as_mut().expect("warp");
+            ctx.done = true;
+            ctx.block_slot
+        };
+        enum After {
+            Nothing,
+            Release(Vec<usize>),
+            BlockComplete,
+        }
+        let after = {
+            let blk = self.blocks[block_slot].as_mut().expect("resident block");
+            blk.live -= 1;
+            if blk.live == 0 {
+                After::BlockComplete
+            } else if !blk.arrived.is_empty() && blk.arrived.len() as u32 == blk.live {
+                After::Release(std::mem::take(&mut blk.arrived))
+            } else {
+                After::Nothing
+            }
+        };
+        match after {
+            After::BlockComplete => {
+                let blk = self.blocks[block_slot].take().expect("block");
+                for s in blk.slots {
+                    self.warps[s] = None;
+                }
+                self.completed_blocks += 1;
+            }
+            After::Release(arrived) => self.release_barrier(arrived),
+            After::Nothing => {}
+        }
+    }
+
+    fn release_barrier(&mut self, arrived: Vec<usize>) {
+        for s in arrived {
+            let ctx = self.warps[s].as_mut().expect("warp at barrier");
+            debug_assert_eq!(ctx.blocked, Some(Blocked::Barrier));
+            ctx.blocked = None;
+            ctx.interp.complete();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory instructions
+    // ------------------------------------------------------------------
+
+    fn with_mem_op<R>(&mut self, slot: usize, f: impl FnOnce(&mut MemOp) -> R) -> R {
+        let ctx = self.warps[slot].as_mut().expect("warp");
+        match ctx.op.as_mut() {
+            Some(WaitingOp::Mem(op)) => f(op),
+            _ => panic!("warp has no memory op"),
+        }
+    }
+
+    /// Processes the next group of the warp's memory op (one per issue
+    /// slot, so scattered accesses cost proportional cycles).
+    fn progress_mem(
+        &mut self,
+        slot: usize,
+        cycle: u64,
+        ms: &mut MemSubsystem,
+        tracer: &mut Option<TraceCapture>,
+    ) {
+        enum Plan {
+            LoadHit { addr: u64, pm: bool },
+            LoadMiss { addr: u64, pm: bool },
+            LoadBypass { addr: u64 },
+            StorePm { addr: u64 },
+            StoreVol { addr: u64 },
+            Atomic { addr: u64 },
+            Finished,
+        }
+        let plan = self.with_mem_op(slot, |op| {
+            if op.next >= op.groups.len() {
+                Plan::Finished
+            } else {
+                let addr = op.groups[op.next].addr;
+                match op.kind {
+                    OpKind::Load { .. } => Plan::LoadMiss {
+                        addr,
+                        pm: is_pm(addr),
+                    },
+                    OpKind::LoadBypass => Plan::LoadBypass { addr },
+                    OpKind::Store if is_pm(addr) => Plan::StorePm { addr },
+                    OpKind::Store => Plan::StoreVol { addr },
+                    OpKind::Atomic { .. } => Plan::Atomic { addr },
+                }
+            }
+        });
+        let plan = match plan {
+            Plan::LoadMiss { addr, pm } if self.l1.peek(addr).is_some() => {
+                Plan::LoadHit { addr, pm }
+            }
+            other => other,
+        };
+
+        match plan {
+            Plan::Finished => {}
+            Plan::LoadHit { addr, pm } => {
+                if pm {
+                    self.counters.pm_reads += 1;
+                }
+                self.counters.reads += 1;
+                let _ = self.l1.lookup(addr); // LRU touch
+                self.with_mem_op(slot, |op| op.next += 1);
+            }
+            Plan::LoadMiss { addr, pm } => {
+                match self.ensure_line(slot, addr, ms, cycle) {
+                    Ok(_) => {
+                        // Count only once the access is accepted, so
+                        // engine-stall retries do not inflate the stats.
+                        self.counters.reads += 1;
+                        self.counters.read_misses += 1;
+                        if pm {
+                            self.counters.pm_reads += 1;
+                            self.counters.pm_read_misses += 1;
+                        }
+                        ms.submit_load(
+                            cycle,
+                            addr,
+                            ReqTag::LoadFill {
+                                sm: self.id,
+                                token: slot as u64,
+                            },
+                        );
+                        self.with_mem_op(slot, |op| {
+                            op.outstanding += 1;
+                            op.next += 1;
+                        });
+                    }
+                    Err(()) => {
+                        self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Engine);
+                        return;
+                    }
+                }
+            }
+            Plan::StorePm { addr } => {
+                let line = match self.ensure_line(slot, addr, ms, cycle) {
+                    Ok(l) => l,
+                    Err(()) => {
+                        self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Engine);
+                        return;
+                    }
+                };
+                // Pre-allocate trace tokens once per group so engine
+                // retries do not duplicate persist events.
+                if tracer.is_some() {
+                    let lane_info: Vec<(u8, u64)> = self.with_mem_op(slot, |op| {
+                        let g = &op.groups[op.next];
+                        if g.tokens.is_empty() {
+                            g.lane_idx
+                                .iter()
+                                .map(|&i| (op.lanes[i].lane, op.lanes[i].addr))
+                                .collect()
+                        } else {
+                            Vec::new()
+                        }
+                    });
+                    if !lane_info.is_empty() {
+                        let tokens: Vec<u64> = lane_info
+                            .iter()
+                            .map(|&(lane, a)| {
+                                let pos = self.thread_pos(slot, lane);
+                                tracer.as_mut().expect("tracer").persist(pos, a)
+                            })
+                            .collect();
+                        self.with_mem_op(slot, |op| {
+                            let next = op.next;
+                            op.groups[next].tokens = tokens;
+                        });
+                    }
+                }
+                let tokens =
+                    self.with_mem_op(slot, |op| op.groups[op.next].tokens.clone());
+                let accepted = match &mut self.engine {
+                    Engine::Sbrp(unit) => matches!(
+                        unit.persist_store_traced(WarpSlot::new(slot), LineIdx(line), &tokens),
+                        StoreOutcome::Coalesced | StoreOutcome::NewEntry
+                    ),
+                    Engine::Epoch(_) => {
+                        self.line_tokens.entry(line).or_default().extend(tokens);
+                        true
+                    }
+                };
+                if !accepted {
+                    // The store stalled on the line's earlier persist:
+                    // flush it out of order right now if legal, so the
+                    // warp resumes after one round-trip instead of a
+                    // whole FIFO drain.
+                    if let Engine::Sbrp(unit) = &mut self.engine {
+                        if let Some((_, tokens)) = unit.try_early_flush(LineIdx(line)) {
+                            let flush_addr = self.l1.addr_of(line);
+                            let segments = self.take_line_segments(line, ms);
+                            ms.submit_persist_flush(
+                                cycle,
+                                flush_addr,
+                                segments,
+                                PersistDest::Sbrp { sm: self.id, line },
+                                tokens,
+                            );
+                            self.counters.persist_flushes += 1;
+                            self.l1.clean(line);
+                        }
+                    }
+                    self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Engine);
+                    return;
+                }
+                self.l1.mark_dirty(line, true);
+                let width = self.with_mem_op(slot, |op| op.width.bytes());
+                let writes = self.with_mem_op(slot, |op| {
+                    op.groups[op.next]
+                        .lane_idx
+                        .iter()
+                        .map(|&i| op.lanes[i].addr)
+                        .collect::<Vec<_>>()
+                });
+                for addr in writes {
+                    self.mark_line_written(line, addr, width);
+                }
+                self.commit_store_group(slot, ms);
+            }
+            Plan::StoreVol { addr } => match self.ensure_line(slot, addr, ms, cycle) {
+                Ok(line) => {
+                    self.l1.mark_dirty(line, false);
+                    self.commit_store_group(slot, ms);
+                }
+                Err(()) => {
+                    self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Engine);
+                    return;
+                }
+            },
+            Plan::LoadBypass { addr } => {
+                // Straight to the L2; no L1 residency or stats.
+                ms.submit_load(
+                    cycle,
+                    addr,
+                    ReqTag::LoadFill {
+                        sm: self.id,
+                        token: slot as u64,
+                    },
+                );
+                self.with_mem_op(slot, |op| {
+                    op.outstanding += 1;
+                    op.next += 1;
+                });
+            }
+            Plan::Atomic { addr } => {
+                // Atomics bypass the L1.
+                ms.submit_atomic(
+                    cycle,
+                    addr,
+                    ReqTag::Atomic {
+                        sm: self.id,
+                        token: slot as u64,
+                    },
+                );
+                self.with_mem_op(slot, |op| {
+                    op.outstanding += 1;
+                    op.next += 1;
+                });
+            }
+        }
+
+        // Completion checks.
+        let (all_issued, outstanding, is_store) = self.with_mem_op(slot, |op| {
+            (
+                op.next >= op.groups.len(),
+                op.outstanding,
+                matches!(op.kind, OpKind::Store),
+            )
+        });
+        if all_issued {
+            if is_store {
+                // Stores complete at L1 acceptance.
+                let ctx = self.warps[slot].as_mut().expect("warp");
+                ctx.op = None;
+                ctx.interp.complete();
+            } else if outstanding > 0 {
+                self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Mem);
+            } else {
+                // All-hit load: wait out the L1 hit latency.
+                self.warps[slot].as_mut().expect("warp").blocked =
+                    Some(Blocked::Sleep(cycle + self.l1_hit_latency));
+            }
+        }
+    }
+
+    /// Applies the functional writes of the store group just accepted.
+    fn commit_store_group(&mut self, slot: usize, ms: &mut MemSubsystem) {
+        let (writes, width) = self.with_mem_op(slot, |op| {
+            let g = &op.groups[op.next];
+            let writes: Vec<(u64, u64)> = g
+                .lane_idx
+                .iter()
+                .map(|&i| (op.lanes[i].addr, op.lanes[i].value))
+                .collect();
+            op.next += 1;
+            (writes, op.width.bytes())
+        });
+        for (addr, value) in writes {
+            ms.write_mem(addr, value, width);
+        }
+    }
+
+    /// Finishes a load/pAcq/atomic: reads values and resumes the warp.
+    fn finish_mem(&mut self, slot: usize, tracer: &mut Option<TraceCapture>, ms: &MemSubsystem) {
+        let ctx = self.warps[slot].as_mut().expect("warp");
+        let Some(WaitingOp::Mem(op)) = ctx.op.take() else {
+            panic!("finish_mem without a memory op")
+        };
+        ctx.blocked = None;
+        match op.kind {
+            OpKind::LoadBypass => {
+                let width = op.width.bytes();
+                let values: Vec<u64> = op
+                    .lanes
+                    .iter()
+                    .map(|la| ms.read_mem(la.addr, width))
+                    .collect();
+                ctx.interp.complete_load(&values);
+            }
+            OpKind::Load { pacq } => {
+                let width = op.width.bytes();
+                let values: Vec<u64> = op
+                    .lanes
+                    .iter()
+                    .map(|la| ms.read_mem(la.addr, width))
+                    .collect();
+                if let (Some(scope), Some(tc)) = (pacq, tracer.as_mut()) {
+                    for la in &op.lanes {
+                        let pos = ThreadPos::new(
+                            ctx.interp.block_id(),
+                            ctx.interp.warp_in_block() * 32 + u32::from(la.lane),
+                        );
+                        tc.pacq(pos, scope, la.addr);
+                    }
+                }
+                ctx.interp.complete_load(&values);
+            }
+            OpKind::Atomic { olds } => ctx.interp.complete_load(&olds),
+            OpKind::Store => panic!("stores have no completion"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fences
+    // ------------------------------------------------------------------
+
+    fn trace_fence_all_lanes(
+        &self,
+        slot: usize,
+        tracer: &mut Option<TraceCapture>,
+        op: PersistOpKind,
+    ) {
+        if let Some(tc) = tracer.as_mut() {
+            for lane in 0..32u8 {
+                let pos = self.thread_pos(slot, lane);
+                tc.fence(pos, op);
+            }
+        }
+    }
+
+    fn handle_fence(
+        &mut self,
+        slot: usize,
+        fence: FenceAccess,
+        cycle: u64,
+        ms: &mut MemSubsystem,
+        tracer: &mut Option<TraceCapture>,
+    ) {
+        match fence {
+            FenceAccess::SyncBlock => self.sync_block(slot),
+            FenceAccess::OFence => match &mut self.engine {
+                Engine::Sbrp(unit) => {
+                    let outcome = unit.ofence(WarpSlot::new(slot));
+                    match outcome {
+                        OpOutcome::Proceed => {
+                            self.trace_fence_all_lanes(slot, tracer, PersistOpKind::OFence);
+                            self.warps[slot].as_mut().expect("warp").interp.complete();
+                        }
+                        OpOutcome::StallRetry | OpOutcome::StallUntilDone => {
+                            self.warps[slot].as_mut().expect("warp").blocked =
+                                Some(Blocked::Engine);
+                        }
+                    }
+                }
+                Engine::Epoch(_) => self.epoch_barrier(slot, ms, tracer, cycle),
+            },
+            FenceAccess::DFence => match &mut self.engine {
+                Engine::Sbrp(unit) => {
+                    match unit.dfence(WarpSlot::new(slot)) {
+                        OpOutcome::Proceed => {
+                            self.trace_fence_all_lanes(slot, tracer, PersistOpKind::DFence);
+                            self.warps[slot].as_mut().expect("warp").interp.complete();
+                        }
+                        OpOutcome::StallUntilDone => {
+                            self.trace_fence_all_lanes(slot, tracer, PersistOpKind::DFence);
+                            let ctx = self.warps[slot].as_mut().expect("warp");
+                            ctx.op = Some(WaitingOp::Fence);
+                            ctx.blocked = Some(Blocked::Engine);
+                        }
+                        OpOutcome::StallRetry => {
+                            self.warps[slot].as_mut().expect("warp").blocked =
+                                Some(Blocked::Engine);
+                        }
+                    }
+                }
+                Engine::Epoch(_) => self.epoch_barrier(slot, ms, tracer, cycle),
+            },
+            FenceAccess::EpochBarrier => match &self.engine {
+                // Under SBRP an epoch barrier degrades to the strongest
+                // primitive, a dFence.
+                Engine::Sbrp(_) => self.handle_fence(slot, FenceAccess::DFence, cycle, ms, tracer),
+                Engine::Epoch(_) => self.epoch_barrier(slot, ms, tracer, cycle),
+            },
+            FenceAccess::PAcq { scope, lanes } => {
+                if let Engine::Sbrp(unit) = &mut self.engine {
+                    match unit.pacq(WarpSlot::new(slot), scope) {
+                        OpOutcome::Proceed => {}
+                        OpOutcome::StallRetry | OpOutcome::StallUntilDone => {
+                            self.warps[slot].as_mut().expect("warp").blocked =
+                                Some(Blocked::Engine);
+                            return;
+                        }
+                    }
+                }
+                if matches!(scope, Scope::Device | Scope::System) {
+                    // Device-scoped acquires must not read stale L1 data.
+                    for la in &lanes {
+                        if let Some(i) = self.l1.peek(la.addr) {
+                            if !(self.l1.is_pm(i) && self.l1.is_dirty(i)) {
+                                self.l1.invalidate(i);
+                            }
+                        }
+                    }
+                }
+                let groups = self.coalesce(&lanes);
+                let op = MemOp {
+                    kind: OpKind::Load { pacq: Some(scope) },
+                    width: MemWidth::W4,
+                    lanes,
+                    groups,
+                    next: 0,
+                    outstanding: 0,
+                };
+                self.warps[slot].as_mut().expect("warp").op = Some(WaitingOp::Mem(op));
+                self.progress_mem(slot, cycle, ms, tracer);
+            }
+            FenceAccess::PRel { scope, lanes } => {
+                let batch = RelBatch {
+                    lanes: lanes
+                        .iter()
+                        .map(|la| {
+                            let rel = tracer.as_mut().map(|tc| {
+                                let pos = self.thread_pos(slot, la.lane);
+                                tc.prel(pos, scope, la.addr)
+                            });
+                            (la.addr, la.value, rel)
+                        })
+                        .collect(),
+                };
+                match &mut self.engine {
+                    Engine::Sbrp(unit) => match unit.prel(WarpSlot::new(slot), scope) {
+                        OpOutcome::Proceed => {
+                            // Block scope: the flag publishes immediately
+                            // (visible in this SM's L1); the PB enforces
+                            // the durability ordering in the background.
+                            Self::apply_rel_batch(ms, tracer, &batch);
+                            self.warps[slot].as_mut().expect("warp").interp.complete();
+                        }
+                        OpOutcome::StallUntilDone => {
+                            let ctx = self.warps[slot].as_mut().expect("warp");
+                            ctx.op = Some(WaitingOp::RelFlags(batch));
+                            ctx.blocked = Some(Blocked::Engine);
+                        }
+                        OpOutcome::StallRetry => {
+                            self.warps[slot].as_mut().expect("warp").blocked =
+                                Some(Blocked::Engine);
+                        }
+                    },
+                    Engine::Epoch(_) => {
+                        // Baselines have no pRel; apply immediately.
+                        Self::apply_rel_batch(ms, tracer, &batch);
+                        self.warps[slot].as_mut().expect("warp").interp.complete();
+                    }
+                }
+            }
+        }
+    }
+
+    fn sync_block(&mut self, slot: usize) {
+        let block_slot = self.warps[slot].as_ref().expect("warp").block_slot;
+        self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Barrier);
+        let release = {
+            let blk = self.blocks[block_slot].as_mut().expect("block");
+            blk.arrived.push(slot);
+            blk.arrived.len() as u32 == blk.live
+        };
+        if release {
+            let arrived =
+                std::mem::take(&mut self.blocks[block_slot].as_mut().expect("block").arrived);
+            self.release_barrier(arrived);
+        }
+    }
+
+    fn epoch_barrier(
+        &mut self,
+        slot: usize,
+        ms: &mut MemSubsystem,
+        tracer: &mut Option<TraceCapture>,
+        cycle: u64,
+    ) {
+        self.trace_fence_all_lanes(slot, tracer, PersistOpKind::EpochBarrier);
+        self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::EpochWait);
+        let starts = match &mut self.engine {
+            Engine::Epoch(e) => e.barrier(WarpSlot::new(slot)),
+            Engine::Sbrp(_) => unreachable!("epoch barrier on an SBRP SM"),
+        };
+        if starts {
+            let count = self.epoch_flush_round(ms, cycle);
+            let ack = match &mut self.engine {
+                Engine::Epoch(e) => e.begin_round(count),
+                Engine::Sbrp(_) => unreachable!(),
+            };
+            self.handle_epoch_ack(ack, ms, tracer, cycle);
+        }
+    }
+
+    /// The earliest cycle a sleeping warp wakes, for fast-forwarding.
+    #[must_use]
+    pub fn next_wake(&self) -> Option<u64> {
+        self.warps
+            .iter()
+            .flatten()
+            .filter_map(|c| match c.blocked {
+                Some(Blocked::Sleep(until)) => Some(until),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Whether any warp can issue right now.
+    #[must_use]
+    pub fn has_ready_warp(&self) -> bool {
+        self.warps
+            .iter()
+            .flatten()
+            .any(|c| c.blocked.is_none() && !c.done)
+    }
+}

@@ -1,0 +1,99 @@
+//! Aggregate simulation statistics.
+
+use sbrp_core::pbuffer::PbStats;
+
+/// Counters collected over a run; the evaluation figures are computed
+/// from these.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Total cycles simulated (runtime — Figs. 6/7/9/10/11).
+    pub cycles: u64,
+    /// Dynamic warp instructions retired.
+    pub instructions: u64,
+    /// L1 hits, all accesses.
+    pub l1_hits: u64,
+    /// L1 misses, all accesses.
+    pub l1_misses: u64,
+    /// L1 *read* accesses to NVM data.
+    pub l1_pm_reads: u64,
+    /// L1 *read misses* for NVM data (Fig. 8).
+    pub l1_pm_read_misses: u64,
+    /// Cache-line writebacks into the persistence domain.
+    pub persist_flushes: u64,
+    /// Volatile L1 writebacks (GPM barrier traffic + evictions).
+    pub volatile_writebacks: u64,
+    /// Epoch barrier rounds executed.
+    pub epoch_rounds: u64,
+    /// Bytes moved over PCIe.
+    pub pcie_bytes: u64,
+    /// Bytes written toward NVM.
+    pub nvm_write_bytes: u64,
+    /// Bytes read from NVM.
+    pub nvm_read_bytes: u64,
+    /// Aggregated persist-buffer statistics (SBRP runs).
+    pub pb: PbStats,
+}
+
+impl SimStats {
+    /// L1 miss ratio over all accesses.
+    #[must_use]
+    pub fn l1_miss_ratio(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / total as f64
+        }
+    }
+
+    /// Adds per-SM persist-buffer stats into the aggregate.
+    pub fn merge_pb(&mut self, other: PbStats) {
+        let a = &mut self.pb;
+        a.stores += other.stores;
+        a.coalesced += other.coalesced;
+        a.entries += other.entries;
+        a.stall_ordered += other.stall_ordered;
+        a.stall_full += other.stall_full;
+        a.stall_evict += other.stall_evict;
+        a.flushes += other.flushes;
+        a.acks += other.acks;
+        a.ofences += other.ofences;
+        a.dfences += other.dfences;
+        a.pacqs += other.pacqs;
+        a.prels += other.prels;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_handles_zero() {
+        assert_eq!(SimStats::default().l1_miss_ratio(), 0.0);
+        let s = SimStats {
+            l1_hits: 3,
+            l1_misses: 1,
+            ..SimStats::default()
+        };
+        assert!((s.l1_miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_pb_accumulates() {
+        let mut s = SimStats::default();
+        s.merge_pb(PbStats {
+            stores: 5,
+            flushes: 2,
+            ..PbStats::default()
+        });
+        s.merge_pb(PbStats {
+            stores: 3,
+            acks: 1,
+            ..PbStats::default()
+        });
+        assert_eq!(s.pb.stores, 8);
+        assert_eq!(s.pb.flushes, 2);
+        assert_eq!(s.pb.acks, 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Persist-event tracing: connects the timing simulator to the formal
+//! PMO checker of `sbrp-core`.
+//!
+//! When [`crate::config::GpuConfig::trace`] is set, the GPU records every
+//! persist, fence, and scoped acquire/release (per lane, i.e. per
+//! *thread*, matching the formal model's granularity), plus the cycle at
+//! which each persist became durable. After the run — or after a crash —
+//! the trace is checked against the model with [`TraceCapture::check`]
+//! (crash-cut downward closure, plus durability-order on complete runs).
+
+use sbrp_core::formal::{EventId, PmoViolation, TraceBuilder};
+use sbrp_core::ops::PersistOpKind;
+use sbrp_core::scope::{Scope, ThreadPos};
+use std::collections::{HashMap, HashSet};
+
+/// Accumulates an execution trace during simulation.
+#[derive(Default)]
+pub struct TraceCapture {
+    tb: TraceBuilder,
+    durable_at: HashMap<EventId, u64>,
+    durable: HashSet<EventId>,
+    /// Flag address → the latest release whose value is visible there.
+    last_flag_rel: HashMap<u64, EventId>,
+    persists: u64,
+}
+
+impl std::fmt::Debug for TraceCapture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCapture")
+            .field("persists", &self.persists)
+            .field("durable", &self.durable.len())
+            .finish()
+    }
+}
+
+impl TraceCapture {
+    /// Creates an empty capture.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of persists recorded.
+    #[must_use]
+    pub fn persist_count(&self) -> u64 {
+        self.persists
+    }
+
+    /// Records a persist by `thread` to `addr`; returns the opaque token
+    /// to hand to the persist engine.
+    pub fn persist(&mut self, thread: ThreadPos, addr: u64) -> u64 {
+        self.persists += 1;
+        self.tb.persist(thread, addr).index() as u64
+    }
+
+    /// Records an `oFence`, `dFence`, or epoch barrier by `thread`.
+    pub fn fence(&mut self, thread: ThreadPos, op: PersistOpKind) {
+        self.tb.op(thread, op, None);
+    }
+
+    /// Records a `pRel` by `thread` on flag `var`; call
+    /// [`TraceCapture::flag_released`] when its flag write is applied.
+    pub fn prel(&mut self, thread: ThreadPos, scope: Scope, var: u64) -> EventId {
+        self.tb.op(thread, PersistOpKind::PRel(scope), Some(var))
+    }
+
+    /// The release `rel`'s flag write to `var` became visible.
+    pub fn flag_released(&mut self, var: u64, rel: EventId) {
+        self.last_flag_rel.insert(var, rel);
+    }
+
+    /// Records a `pAcq` by `thread` on flag `var` *at load completion*,
+    /// linking it to the release whose value it observed (if any).
+    pub fn pacq(&mut self, thread: ThreadPos, scope: Scope, var: u64) {
+        let acq = self.tb.op(thread, PersistOpKind::PAcq(scope), Some(var));
+        if let Some(&rel) = self.last_flag_rel.get(&var) {
+            self.tb.observe(acq, rel);
+        }
+    }
+
+    /// Marks the persists behind `tokens` durable at `cycle`.
+    pub fn durable(&mut self, tokens: &[u64], cycle: u64) {
+        for &t in tokens {
+            let id = EventId::from_index(t as usize);
+            self.durable.insert(id);
+            self.durable_at.entry(id).or_insert(cycle);
+        }
+    }
+
+    /// Consumes the capture, verifying both model checks: durability
+    /// completion order respects PMO, and the durable set is
+    /// PMO-downward-closed (the crash-cut property; it subsumes complete
+    /// runs, where the cut is "everything").
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn check(self) -> Result<(), PmoViolation> {
+        let (graph, durable_at, durable) = self.into_parts();
+        graph.check_crash_cut(&durable)?;
+        // Durability-order can only be checked over the durable subset;
+        // restrict the map accordingly (non-durable persists are legal in
+        // crash states).
+        let complete = graph.persists().all(|p| durable_at.contains_key(&p));
+        if complete {
+            graph.check_durability_order(&durable_at)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the capture, returning the PMO graph plus durability data
+    /// for custom checks.
+    #[must_use]
+    pub fn into_parts(
+        self,
+    ) -> (
+        sbrp_core::formal::PmoGraph,
+        HashMap<EventId, u64>,
+        HashSet<EventId>,
+    ) {
+        (self.tb.finish(), self.durable_at, self.durable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn th(block: u32, tid: u32) -> ThreadPos {
+        ThreadPos::new(block, tid)
+    }
+
+    #[test]
+    fn capture_and_crash_check() {
+        let mut tc = TraceCapture::new();
+        let w1 = tc.persist(th(0, 0), 0x1000);
+        tc.fence(th(0, 0), PersistOpKind::OFence);
+        let _w2 = tc.persist(th(0, 0), 0x2000);
+        tc.durable(&[w1], 100);
+        let (g, _, d) = tc.into_parts();
+        assert!(g.check_crash_cut(&d).is_ok());
+    }
+
+    #[test]
+    fn crash_check_catches_reordered_durability() {
+        let mut tc = TraceCapture::new();
+        let _w1 = tc.persist(th(0, 0), 0x1000);
+        tc.fence(th(0, 0), PersistOpKind::OFence);
+        let w2 = tc.persist(th(0, 0), 0x2000);
+        tc.durable(&[w2], 100); // w2 durable, w1 not: violation
+        let (g, _, d) = tc.into_parts();
+        assert!(g.check_crash_cut(&d).is_err());
+    }
+
+    #[test]
+    fn acquire_links_to_last_release() {
+        let mut tc = TraceCapture::new();
+        let w1 = tc.persist(th(0, 0), 0x1000);
+        let rel = tc.prel(th(0, 0), Scope::Block, 0x80);
+        tc.flag_released(0x80, rel);
+        tc.pacq(th(0, 32), Scope::Block, 0x80);
+        let w2 = tc.persist(th(0, 32), 0x2000);
+        let (g, _, _) = tc.into_parts();
+        let (w1, w2) = (
+            EventId::from_index(w1 as usize),
+            EventId::from_index(w2 as usize),
+        );
+        assert!(g.pmo_holds(w1, w2));
+    }
+
+    #[test]
+    fn acquire_without_visible_release_links_nothing() {
+        let mut tc = TraceCapture::new();
+        let w1 = tc.persist(th(0, 0), 0x1000);
+        let _rel = tc.prel(th(0, 0), Scope::Block, 0x80);
+        // Flag write not yet applied: the acquire reads the initial value.
+        tc.pacq(th(0, 32), Scope::Block, 0x80);
+        let w2 = tc.persist(th(0, 32), 0x2000);
+        let (g, _, _) = tc.into_parts();
+        let (w1, w2) = (
+            EventId::from_index(w1 as usize),
+            EventId::from_index(w2 as usize),
+        );
+        assert!(!g.pmo_holds(w1, w2));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the memory components: channels, caches, and the
+//! backing store.
+
+use proptest::prelude::*;
+use sbrp_gpu_sim::mem::{Backing, Cache, Channel};
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Channel accepts are monotonic in submission order and total time
+    /// is bounded below by bytes/bandwidth.
+    #[test]
+    fn channel_is_monotonic_and_bandwidth_bound(
+        bpc in 1.0f64..256.0,
+        latency in 0u64..1000,
+        xfers in proptest::collection::vec((0u64..5000, 1u64..4096), 1..100),
+    ) {
+        let mut ch = Channel::new(bpc, latency);
+        let mut last_accept = 0;
+        let mut total_bytes = 0u64;
+        let mut first_start = u64::MAX;
+        for &(now, bytes) in &xfers {
+            let (accept, complete) = ch.access(now, bytes);
+            prop_assert!(accept >= last_accept, "accepts must be FIFO-monotonic");
+            prop_assert_eq!(complete, accept + latency);
+            last_accept = accept;
+            total_bytes += bytes;
+            first_start = first_start.min(now);
+        }
+        prop_assert_eq!(ch.total_bytes(), total_bytes);
+        let min_cycles = (total_bytes as f64 / bpc).floor() as u64;
+        prop_assert!(
+            last_accept >= first_start + min_cycles.saturating_sub(1),
+            "bandwidth cannot be exceeded: accept {} < start {} + {}",
+            last_accept, first_start, min_cycles
+        );
+    }
+
+    /// The backing store behaves like a sparse byte map.
+    #[test]
+    fn backing_matches_hashmap_model(
+        writes in proptest::collection::vec((0u64..100_000, any::<u64>(), 1u64..9), 1..200),
+    ) {
+        let mut b = Backing::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for &(addr, val, width) in &writes {
+            b.write_uint(addr, val, width);
+            for i in 0..width {
+                model.insert(addr + i, (val >> (8 * i)) as u8);
+            }
+        }
+        for &(addr, _, width) in &writes {
+            let mut expect = 0u64;
+            for i in (0..width).rev() {
+                expect = (expect << 8) | u64::from(*model.get(&(addr + i)).unwrap_or(&0));
+            }
+            prop_assert_eq!(b.read_uint(addr, width), expect);
+        }
+    }
+
+    /// A line just installed always hits; a set never holds more lines
+    /// than its associativity.
+    #[test]
+    fn cache_install_then_hit(addrs in proptest::collection::vec(0u64..(1 << 20), 1..200)) {
+        let mut c = Cache::new(16 * 1024, 4, 128);
+        for &addr in &addrs {
+            if c.lookup(addr).is_none() {
+                let (way, _) = c.choose_victim(addr);
+                c.install(way, addr, false, false);
+            }
+            prop_assert!(c.peek(addr).is_some(), "freshly installed line must be resident");
+        }
+        // The most recently accessed line is never the victim of the
+        // next fill in the same set.
+        let last = *addrs.last().unwrap();
+        let probe = last ^ (1 << 19); // same set (offset beyond index bits for 32 sets? keep simple: different tag)
+        if c.peek(probe).is_none() {
+            let (_, victim) = c.choose_victim(probe);
+            if let Some(v) = victim {
+                prop_assert_ne!(v.addr, last & !127, "MRU line must not be evicted");
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! gpKVS — GPU-accelerated persistent key-value store (§7.1, Fig. 4).
+//!
+//! A batch of key-value pairs is inserted into a PM-resident store in
+//! parallel, one pair per thread, protected by a per-thread write-ahead
+//! **undo log** on PM. The ordering contract is purely intra-thread
+//! (`oFence`): log fields persist before the log is armed, the armed log
+//! persists before the pair is overwritten, and the new pair persists
+//! before the commit mark. The recovery kernel (bottom of Fig. 4)
+//! restores in-doubt pairs from the log and clears it behind a `dFence`.
+//!
+//! Keys are a permutation of `0..pairs`, so the `key % pairs` hash maps
+//! every thread to a distinct slot — the batch is conflict-free, as a
+//! real gpKVS achieves with cooperative batching.
+//!
+//! The log is laid out append-style in three regions (fields / armed
+//! marks / commit marks) so consecutive fence-separated writes never hit
+//! the same cache line: rewriting a line whose earlier persist is still
+//! buffered stalls the warp until that persist is durable (§6.1), which
+//! PM-aware code avoids by construction.
+
+use crate::layout::Layout;
+use crate::{BuildOpts, Launchable, Workload};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::mem::Backing;
+use sbrp_gpu_sim::Gpu;
+use sbrp_isa::{KernelBuilder, LaunchConfig, MemWidth, Special};
+
+const LOG_EMPTY: u64 = 0;
+const LOG_ARMED: u64 = 1;
+
+/// New value inserted for a key.
+#[must_use]
+pub fn new_value(key: u64) -> u64 {
+    key.wrapping_mul(2_654_435_761).wrapping_add(12_345)
+}
+
+/// Old value initially stored under a key.
+#[must_use]
+pub fn old_value(key: u64) -> u64 {
+    key.wrapping_mul(40_503).wrapping_add(99)
+}
+
+/// The gpKVS workload: `pairs` insertions into a same-sized store.
+#[derive(Debug)]
+pub struct Gpkvs {
+    pairs: u64,
+    tpb: u32,
+    /// Key handled by each thread (a block-partitioned permutation of
+    /// `0..pairs`).
+    keys: Vec<u64>,
+    a_keys: u64,
+    a_table: u64,
+    a_log: u64,
+    a_armed: u64,
+    a_commit: u64,
+}
+
+impl Gpkvs {
+    /// Creates a batch of roughly `scale` pairs.
+    #[must_use]
+    pub fn new(scale: u64, seed: u64) -> Self {
+        let tpb: u32 = if scale >= 256 { 256 } else { 64 };
+        let blocks = (scale.max(u64::from(tpb)) / u64::from(tpb)).max(1);
+        let pairs = blocks * u64::from(tpb);
+        // Hash-partitioned batch, as in Mega-KV-style GPU KV stores: each
+        // threadblock owns a contiguous bucket range and its threads'
+        // keys are shuffled within it. (A fully random batch would have
+        // every block scatter across the whole table, thrashing any
+        // per-SM structure.)
+        let mut keys: Vec<u64> = (0..pairs).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for chunk in keys.chunks_mut(tpb as usize) {
+            chunk.shuffle(&mut rng);
+        }
+        let mut l = Layout::new();
+        let a_keys = l.gddr(pairs * 8);
+        let a_table = l.nvm(pairs * 16); // (key, value) per slot
+        let a_log = l.nvm(pairs * 24); // (slot, old_key, old_val)
+        let a_armed = l.nvm(pairs * 8);
+        let a_commit = l.nvm(pairs * 8);
+        Gpkvs {
+            pairs,
+            tpb,
+            keys,
+            a_keys,
+            a_table,
+            a_log,
+            a_armed,
+            a_commit,
+        }
+    }
+
+    /// Number of pairs in the batch.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.pairs
+    }
+
+    /// Whether the batch is empty (never; at least one block).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs == 0
+    }
+
+    fn blocks(&self) -> u32 {
+        (self.pairs / u64::from(self.tpb)) as u32
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.blocks(), self.tpb)
+    }
+
+    fn emit_fence(b: &mut KernelBuilder, model: ModelKind) {
+        match model {
+            ModelKind::Sbrp => b.ofence(),
+            ModelKind::Epoch | ModelKind::Gpm => b.epoch_barrier(),
+        }
+    }
+}
+
+impl Workload for Gpkvs {
+    fn name(&self) -> &'static str {
+        "gpKVS"
+    }
+
+    fn init(&self, gpu: &mut Gpu) {
+        self.init_volatile(gpu);
+        let mut table = Vec::with_capacity((self.pairs * 16) as usize);
+        for slot in 0..self.pairs {
+            table.extend_from_slice(&slot.to_le_bytes());
+            table.extend_from_slice(&old_value(slot).to_le_bytes());
+        }
+        gpu.load_nvm(self.a_table, &table);
+        gpu.load_nvm(self.a_log, &vec![0u8; (self.pairs * 24) as usize]);
+        gpu.load_nvm(self.a_armed, &vec![0u8; (self.pairs * 8) as usize]);
+        gpu.load_nvm(self.a_commit, &vec![0u8; (self.pairs * 8) as usize]);
+    }
+
+    fn init_volatile(&self, gpu: &mut Gpu) {
+        let bytes: Vec<u8> = self.keys.iter().flat_map(|k| k.to_le_bytes()).collect();
+        gpu.load_gddr(self.a_keys, &bytes);
+    }
+
+    fn kernel(&self, opts: BuildOpts) -> Launchable {
+        let mut b = KernelBuilder::new();
+        b.set_params(vec![
+            self.a_keys,
+            self.a_table,
+            self.a_log,
+            self.a_armed,
+            self.a_commit,
+        ]);
+        let keys = b.param(0);
+        let table = b.param(1);
+        let log = b.param(2);
+        let armed_r = b.param(3);
+        let commit_r = b.param(4);
+
+        let gtid = b.special(Special::GlobalTid);
+        let koff = b.muli(gtid, 8);
+        let kaddr = b.add(keys, koff);
+        let key = b.ld(kaddr, 0, MemWidth::W8);
+        // Keys are a permutation of 0..pairs: hash(key) = key.
+        let slot = key;
+
+        let goff8 = b.muli(gtid, 8);
+        let loff = b.muli(gtid, 24);
+        let laddr = b.add(log, loff);
+        let my_armed = b.add(armed_r, goff8);
+        let my_commit = b.add(commit_r, goff8);
+
+        // Idempotence across recovery re-runs: skip committed inserts.
+        let committed = b.ld(my_commit, 0, MemWidth::W8);
+        let not_committed = b.eqi(committed, 0);
+        b.if_then(not_committed, |b| {
+            let toff = b.muli(slot, 16);
+            let taddr = b.add(table, toff);
+            let old_k = b.ld(taddr, 0, MemWidth::W8);
+            let old_v = b.ld(taddr, 8, MemWidth::W8);
+
+            // insert_into_log(...)
+            b.st(laddr, 0, slot, MemWidth::W8);
+            b.st(laddr, 8, old_k, MemWidth::W8);
+            b.st(laddr, 16, old_v, MemWidth::W8);
+            Self::emit_fence(b, opts.model);
+            let one = b.movi(LOG_ARMED);
+            b.st(my_armed, 0, one, MemWidth::W8);
+            Self::emit_fence(b, opts.model);
+
+            // insert_pair(...)
+            let v = b.muli(key, 2_654_435_761);
+            let nv = b.addi(v, 12_345);
+            b.st(taddr, 0, key, MemWidth::W8);
+            b.st(taddr, 8, nv, MemWidth::W8);
+            Self::emit_fence(b, opts.model);
+
+            // commit_log()
+            let cm = b.movi(1);
+            b.st(my_commit, 0, cm, MemWidth::W8);
+        });
+
+        Launchable {
+            kernel: b.build("gpkvs_insert"),
+            launch: self.launch(),
+        }
+    }
+
+    fn recovery(&self, opts: BuildOpts) -> Option<Launchable> {
+        let mut b = KernelBuilder::new();
+        b.set_params(vec![self.a_table, self.a_log, self.a_armed, self.a_commit]);
+        let table = b.param(0);
+        let log = b.param(1);
+        let armed_r = b.param(2);
+        let commit_r = b.param(3);
+        let gtid = b.special(Special::GlobalTid);
+        let goff8 = b.muli(gtid, 8);
+        let loff = b.muli(gtid, 24);
+        let laddr = b.add(log, loff);
+        let my_armed = b.add(armed_r, goff8);
+        let my_commit = b.add(commit_r, goff8);
+        let armed = b.ld(my_armed, 0, MemWidth::W8);
+        let committed = b.ld(my_commit, 0, MemWidth::W8);
+
+        // read_from_log + restore_pair for in-doubt inserts.
+        let one = b.eqi(armed, LOG_ARMED);
+        let zero = b.eqi(committed, 0);
+        let in_doubt = b.mul(one, zero);
+        b.if_then(in_doubt, |b| {
+            let slot = b.ld(laddr, 0, MemWidth::W8);
+            let old_k = b.ld(laddr, 8, MemWidth::W8);
+            let old_v = b.ld(laddr, 16, MemWidth::W8);
+            let toff = b.muli(slot, 16);
+            let taddr = b.add(table, toff);
+            b.st(taddr, 0, old_k, MemWidth::W8);
+            b.st(taddr, 8, old_v, MemWidth::W8);
+        });
+        // dfence(); remove_log() — the restored KVS must be durable
+        // before the log entry is discarded (Fig. 4 line 13).
+        let touched = b.nei(armed, 0);
+        b.if_then(touched, |b| {
+            match opts.model {
+                ModelKind::Sbrp => b.dfence(),
+                ModelKind::Epoch | ModelKind::Gpm => b.epoch_barrier(),
+            }
+            let empty = b.movi(LOG_EMPTY);
+            b.st(my_armed, 0, empty, MemWidth::W8);
+        });
+
+        Some(Launchable {
+            kernel: b.build("gpkvs_recover"),
+            launch: self.launch(),
+        })
+    }
+
+    fn verify_complete(&self, gpu: &Gpu) -> Result<(), String> {
+        for (i, &key) in self.keys.iter().enumerate() {
+            let slot = key;
+            let k = gpu.read_nvm_u64(self.a_table + slot * 16);
+            let v = gpu.read_nvm_u64(self.a_table + slot * 16 + 8);
+            if k != key || v != new_value(key) {
+                return Err(format!(
+                    "thread {i}: slot {slot} holds ({k}, {v}), expected ({key}, {})",
+                    new_value(key)
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn verify_crash_consistent(&self, image: &Backing) -> Result<(), String> {
+        for (i, &key) in self.keys.iter().enumerate() {
+            let slot = key;
+            let armed = image.read_u64(self.a_armed + i as u64 * 8);
+            let committed = image.read_u64(self.a_commit + i as u64 * 8);
+            let k = image.read_u64(self.a_table + slot * 16);
+            let v = image.read_u64(self.a_table + slot * 16 + 8);
+            let old = (slot, old_value(slot));
+            let new = (key, new_value(key));
+            if armed > 1 || committed > 1 {
+                return Err(format!("thread {i}: torn marks ({armed},{committed})"));
+            }
+            if committed == 1 {
+                // Commit is PMO-last: the pair and the armed mark must
+                // both be durable.
+                if (k, v) != new {
+                    return Err(format!(
+                        "thread {i}: committed but pair is ({k},{v}) — \
+                         PMO violation (commit before pair)"
+                    ));
+                }
+                if armed != 1 {
+                    return Err(format!(
+                        "thread {i}: committed without the armed mark — \
+                         PMO violation (commit before armed)"
+                    ));
+                }
+            } else if armed == 1 {
+                // In doubt: the log fields must be valid enough to undo.
+                let ls = image.read_u64(self.a_log + i as u64 * 24);
+                let lk = image.read_u64(self.a_log + i as u64 * 24 + 8);
+                let lv = image.read_u64(self.a_log + i as u64 * 24 + 16);
+                if (ls, lk, lv) != (slot, old.0, old.1) {
+                    return Err(format!(
+                        "thread {i}: armed log is corrupt ({ls},{lk},{lv}) — \
+                         PMO violation (armed before fields)"
+                    ));
+                }
+                let k_ok = k == old.0 || k == new.0;
+                let v_ok = v == old.1 || v == new.1;
+                if !k_ok || !v_ok {
+                    return Err(format!(
+                        "thread {i}: pair ({k},{v}) is neither old nor new bytes"
+                    ));
+                }
+            } else {
+                // Not armed: the pair must be untouched.
+                if (k, v) != old {
+                    return Err(format!(
+                        "thread {i}: pair modified ({k},{v}) with an empty log — \
+                         PMO violation (pair before log)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_a_permutation() {
+        let g = Gpkvs::new(512, 9);
+        let mut sorted = g.keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..g.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kernels_build() {
+        let g = Gpkvs::new(256, 1);
+        for model in ModelKind::ALL {
+            let opts = BuildOpts::for_model(model);
+            assert!(g.kernel(opts).kernel.static_len() > 10);
+            assert!(g.recovery(opts).is_some());
+        }
+    }
+
+    #[test]
+    fn value_functions_differ() {
+        for k in [0u64, 1, 77, 1_000_000] {
+            assert_ne!(new_value(k), old_value(k));
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Hashmap (HM) — cuckoo-hashing batch inserts with undo logging (§7.1).
+//!
+//! Each thread inserts one key whose primary slot (`h1`) is occupied,
+//! displacing the resident entry to its alternate slot (`h2`) — the
+//! single-displacement cuckoo path. Both writes are guarded by a
+//! per-thread undo log with intra-thread PMO:
+//!
+//! ```text
+//! log = {s1, victim, s2}; oFence; log.state = ARMED; oFence;
+//! table[s2] = victim;  oFence;  table[s1] = new;  oFence;
+//! log.state = COMMITTED
+//! ```
+//!
+//! The host pre-computes a conflict-free assignment (distinct `s1`,
+//! distinct empty `s2`), as GPU cuckoo implementations achieve with
+//! cooperative batch construction [Alcantara et al.].
+
+use crate::layout::Layout;
+use crate::{BuildOpts, Launchable, Workload};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::mem::Backing;
+use sbrp_gpu_sim::Gpu;
+use sbrp_isa::{KernelBuilder, LaunchConfig, MemWidth, Special};
+
+const LOG_EMPTY: u64 = 0;
+const LOG_ARMED: u64 = 1;
+/// Key marking an unoccupied table slot.
+const SLOT_EMPTY: u64 = u64::MAX;
+
+/// Value stored for an original (victim) key.
+#[must_use]
+pub fn victim_value(key: u64) -> u64 {
+    key.wrapping_mul(11_400_714_819_323_198_485).wrapping_add(3)
+}
+
+/// Value stored for a newly inserted key.
+#[must_use]
+pub fn insert_value(key: u64) -> u64 {
+    key.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695)
+}
+
+/// The cuckoo-hashmap workload.
+#[derive(Debug)]
+pub struct Hashmap {
+    inserts: u64,
+    tpb: u32,
+    /// Per thread: the new key; its primary slot is `perm[i]` and the
+    /// displaced victim goes to `slots + perm[i]`.
+    new_keys: Vec<u64>,
+    /// Permutation assigning thread i its primary slot.
+    perm: Vec<u64>,
+    a_input: u64,
+    a_table: u64,
+    a_log: u64,
+    a_armed: u64,
+    a_commit: u64,
+}
+
+impl Hashmap {
+    /// Creates a batch of roughly `scale` inserts into a `2×scale`-slot
+    /// table.
+    #[must_use]
+    pub fn new(scale: u64, seed: u64) -> Self {
+        let tpb: u32 = if scale >= 256 { 256 } else { 64 };
+        let blocks = (scale.max(u64::from(tpb)) / u64::from(tpb)).max(1);
+        let inserts = blocks * u64::from(tpb);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Block-partitioned assignment (hash-sharded batch): each block's
+        // threads displace victims within the block's own slot range.
+        let mut perm: Vec<u64> = (0..inserts).collect();
+        for chunk in perm.chunks_mut(tpb as usize) {
+            chunk.shuffle(&mut rng);
+        }
+        let new_keys: Vec<u64> = (0..inserts).map(|i| inserts + perm[i as usize]).collect();
+        let mut l = Layout::new();
+        // Per thread input record: (new_key, s1, s2) — 24 bytes.
+        let a_input = l.gddr(inserts * 24);
+        let a_table = l.nvm(inserts * 2 * 16);
+        // Append-style log: fields, armed marks, and commit marks live in
+        // separate regions so fence-separated writes never rewrite a line.
+        let a_log = l.nvm(inserts * 32); // s1, vk, vv, s2
+        let a_armed = l.nvm(inserts * 8);
+        let a_commit = l.nvm(inserts * 8);
+        Hashmap {
+            inserts,
+            tpb,
+            new_keys,
+            perm,
+            a_input,
+            a_table,
+            a_log,
+            a_armed,
+            a_commit,
+        }
+    }
+
+    /// Number of inserts.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Never empty (at least one block).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inserts == 0
+    }
+
+    fn blocks(&self) -> u32 {
+        (self.inserts / u64::from(self.tpb)) as u32
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.blocks(), self.tpb)
+    }
+
+    fn s1(&self, i: usize) -> u64 {
+        self.perm[i]
+    }
+
+    fn s2(&self, i: usize) -> u64 {
+        self.inserts + self.perm[i]
+    }
+
+    fn emit_fence(b: &mut KernelBuilder, model: ModelKind) {
+        match model {
+            ModelKind::Sbrp => b.ofence(),
+            ModelKind::Epoch | ModelKind::Gpm => b.epoch_barrier(),
+        }
+    }
+}
+
+impl Workload for Hashmap {
+    fn name(&self) -> &'static str {
+        "Hashmap"
+    }
+
+    fn init(&self, gpu: &mut Gpu) {
+        self.init_volatile(gpu);
+        // Lower half of the table occupied by victims (key = slot index),
+        // upper half empty.
+        let mut table = Vec::with_capacity((self.inserts * 2 * 16) as usize);
+        for slot in 0..self.inserts {
+            table.extend_from_slice(&slot.to_le_bytes());
+            table.extend_from_slice(&victim_value(slot).to_le_bytes());
+        }
+        for _ in 0..self.inserts {
+            table.extend_from_slice(&SLOT_EMPTY.to_le_bytes());
+            table.extend_from_slice(&0u64.to_le_bytes());
+        }
+        gpu.load_nvm(self.a_table, &table);
+        gpu.load_nvm(self.a_log, &vec![0u8; (self.inserts * 32) as usize]);
+        gpu.load_nvm(self.a_armed, &vec![0u8; (self.inserts * 8) as usize]);
+        gpu.load_nvm(self.a_commit, &vec![0u8; (self.inserts * 8) as usize]);
+    }
+
+    fn init_volatile(&self, gpu: &mut Gpu) {
+        let mut input = Vec::with_capacity((self.inserts * 24) as usize);
+        for i in 0..self.inserts as usize {
+            input.extend_from_slice(&self.new_keys[i].to_le_bytes());
+            input.extend_from_slice(&self.s1(i).to_le_bytes());
+            input.extend_from_slice(&self.s2(i).to_le_bytes());
+        }
+        gpu.load_gddr(self.a_input, &input);
+    }
+
+    fn kernel(&self, opts: BuildOpts) -> Launchable {
+        let mut b = KernelBuilder::new();
+        b.set_params(vec![
+            self.a_input,
+            self.a_table,
+            self.a_log,
+            self.a_armed,
+            self.a_commit,
+        ]);
+        let input = b.param(0);
+        let table = b.param(1);
+        let log = b.param(2);
+        let armed_r = b.param(3);
+        let commit_r = b.param(4);
+
+        let gtid = b.special(Special::GlobalTid);
+        let ioff = b.muli(gtid, 24);
+        let iaddr = b.add(input, ioff);
+        let key = b.ld(iaddr, 0, MemWidth::W8);
+        let s1 = b.ld(iaddr, 8, MemWidth::W8);
+        let s2 = b.ld(iaddr, 16, MemWidth::W8);
+
+        let goff8 = b.muli(gtid, 8);
+        let loff = b.muli(gtid, 32);
+        let laddr = b.add(log, loff);
+        let my_armed = b.add(armed_r, goff8);
+        let my_commit = b.add(commit_r, goff8);
+        let committed = b.ld(my_commit, 0, MemWidth::W8);
+        let not_committed = b.eqi(committed, 0);
+        b.if_then(not_committed, |b| {
+            let t1off = b.muli(s1, 16);
+            let t1 = b.add(table, t1off);
+            let t2off = b.muli(s2, 16);
+            let t2 = b.add(table, t2off);
+            let vk = b.ld(t1, 0, MemWidth::W8);
+            let vv = b.ld(t1, 8, MemWidth::W8);
+            // Idempotence on recovery re-runs: if the commit mark was
+            // lost but the insert already landed, the "victim" read back
+            // is the new key itself — re-displacing it would destroy the
+            // real victim. (Cannot happen mid-run: the commit mark is
+            // PMO-ordered after the pair.)
+            let fresh = b.ne(vk, key);
+            b.if_then(fresh, |b| {
+
+            // Log the displacement.
+            b.st(laddr, 0, s1, MemWidth::W8);
+            b.st(laddr, 8, vk, MemWidth::W8);
+            b.st(laddr, 16, vv, MemWidth::W8);
+            b.st(laddr, 24, s2, MemWidth::W8);
+            Self::emit_fence(b, opts.model);
+            let armed = b.movi(LOG_ARMED);
+            b.st(my_armed, 0, armed, MemWidth::W8);
+            Self::emit_fence(b, opts.model);
+
+            // Move the victim to its alternate slot.
+            b.st(t2, 0, vk, MemWidth::W8);
+            b.st(t2, 8, vv, MemWidth::W8);
+            Self::emit_fence(b, opts.model);
+
+            // Install the new pair in the primary slot.
+            let nv = b.muli(key, 6_364_136_223_846_793_005);
+            let nv = b.addi(nv, 1_442_695);
+            b.st(t1, 0, key, MemWidth::W8);
+            b.st(t1, 8, nv, MemWidth::W8);
+            Self::emit_fence(b, opts.model);
+
+                let cm = b.movi(1);
+                b.st(my_commit, 0, cm, MemWidth::W8);
+            });
+        });
+
+        Launchable {
+            kernel: b.build("hashmap_insert"),
+            launch: self.launch(),
+        }
+    }
+
+    fn recovery(&self, opts: BuildOpts) -> Option<Launchable> {
+        let mut b = KernelBuilder::new();
+        b.set_params(vec![self.a_table, self.a_log, self.a_armed, self.a_commit]);
+        let table = b.param(0);
+        let log = b.param(1);
+        let armed_r = b.param(2);
+        let commit_r = b.param(3);
+        let gtid = b.special(Special::GlobalTid);
+        let goff8 = b.muli(gtid, 8);
+        let loff = b.muli(gtid, 32);
+        let laddr = b.add(log, loff);
+        let my_armed = b.add(armed_r, goff8);
+        let my_commit = b.add(commit_r, goff8);
+        let armed_v = b.ld(my_armed, 0, MemWidth::W8);
+        let commit_v = b.ld(my_commit, 0, MemWidth::W8);
+
+        let is_armed = b.eqi(armed_v, LOG_ARMED);
+        let not_committed = b.eqi(commit_v, 0);
+        let armed = b.mul(is_armed, not_committed);
+        b.if_then(armed, |b| {
+            // Undo: restore the victim to s1, clear s2.
+            let s1 = b.ld(laddr, 0, MemWidth::W8);
+            let vk = b.ld(laddr, 8, MemWidth::W8);
+            let vv = b.ld(laddr, 16, MemWidth::W8);
+            let s2 = b.ld(laddr, 24, MemWidth::W8);
+            let t1off = b.muli(s1, 16);
+            let t1 = b.add(table, t1off);
+            let t2off = b.muli(s2, 16);
+            let t2 = b.add(table, t2off);
+            b.st(t1, 0, vk, MemWidth::W8);
+            b.st(t1, 8, vv, MemWidth::W8);
+            let empty = b.movi(SLOT_EMPTY);
+            let zero = b.movi(0);
+            b.st(t2, 0, empty, MemWidth::W8);
+            b.st(t2, 8, zero, MemWidth::W8);
+        });
+        let touched = b.nei(armed_v, LOG_EMPTY);
+        b.if_then(touched, |b| {
+            match opts.model {
+                ModelKind::Sbrp => b.dfence(),
+                ModelKind::Epoch | ModelKind::Gpm => b.epoch_barrier(),
+            }
+            let empty = b.movi(LOG_EMPTY);
+            b.st(my_armed, 0, empty, MemWidth::W8);
+        });
+
+        Some(Launchable {
+            kernel: b.build("hashmap_recover"),
+            launch: self.launch(),
+        })
+    }
+
+    fn verify_complete(&self, gpu: &Gpu) -> Result<(), String> {
+        for i in 0..self.inserts as usize {
+            let key = self.new_keys[i];
+            let (s1, s2) = (self.s1(i), self.s2(i));
+            let k1 = gpu.read_nvm_u64(self.a_table + s1 * 16);
+            let v1 = gpu.read_nvm_u64(self.a_table + s1 * 16 + 8);
+            if k1 != key || v1 != insert_value(key) {
+                return Err(format!("insert {i}: slot {s1} holds ({k1},{v1})"));
+            }
+            let k2 = gpu.read_nvm_u64(self.a_table + s2 * 16);
+            let v2 = gpu.read_nvm_u64(self.a_table + s2 * 16 + 8);
+            if k2 != s1 || v2 != victim_value(s1) {
+                return Err(format!("insert {i}: victim not at slot {s2}: ({k2},{v2})"));
+            }
+        }
+        Ok(())
+    }
+
+    fn verify_crash_consistent(&self, image: &Backing) -> Result<(), String> {
+        for i in 0..self.inserts as usize {
+            let key = self.new_keys[i];
+            let (s1, s2) = (self.s1(i), self.s2(i));
+            let armed = image.read_u64(self.a_armed + i as u64 * 8);
+            let committed = image.read_u64(self.a_commit + i as u64 * 8);
+            let k1 = image.read_u64(self.a_table + s1 * 16);
+            let v1 = image.read_u64(self.a_table + s1 * 16 + 8);
+            let k2 = image.read_u64(self.a_table + s2 * 16);
+            if armed > 1 || committed > 1 {
+                return Err(format!("insert {i}: torn marks ({armed},{committed})"));
+            }
+            if committed == 1 {
+                if (k1, v1) != (key, insert_value(key)) {
+                    return Err(format!(
+                        "insert {i}: committed but s1 holds ({k1},{v1}) — PMO violation"
+                    ));
+                }
+                if k2 != s1 {
+                    return Err(format!(
+                        "insert {i}: committed but victim missing from s2 — PMO violation"
+                    ));
+                }
+            } else if armed == 1 {
+                let ls1 = image.read_u64(self.a_log + i as u64 * 32);
+                let lvk = image.read_u64(self.a_log + i as u64 * 32 + 8);
+                let ls2 = image.read_u64(self.a_log + i as u64 * 32 + 24);
+                if (ls1, lvk, ls2) != (s1, s1, s2) {
+                    return Err(format!("insert {i}: armed log corrupt — PMO violation"));
+                }
+                // Any intermediate table state is fine: the log can undo.
+            } else {
+                if (k1, v1) != (s1, victim_value(s1)) {
+                    return Err(format!(
+                        "insert {i}: s1 modified with empty log — PMO violation"
+                    ));
+                }
+                if k2 != SLOT_EMPTY {
+                    return Err(format!(
+                        "insert {i}: s2 written with empty log — PMO violation"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_disjoint() {
+        let h = Hashmap::new(300, 5);
+        let mut all: Vec<u64> = (0..h.len() as usize)
+            .flat_map(|i| [h.s1(i), h.s2(i)])
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, 2 * h.len());
+    }
+
+    #[test]
+    fn kernels_build() {
+        let h = Hashmap::new(64, 2);
+        for model in ModelKind::ALL {
+            let opts = BuildOpts::for_model(model);
+            assert!(h.kernel(opts).kernel.static_len() > 15);
+            assert!(h.recovery(opts).is_some());
+        }
+    }
+}

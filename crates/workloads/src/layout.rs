@@ -1,0 +1,80 @@
+//! Address-space layout helper.
+
+use sbrp_gpu_sim::config::PM_BASE;
+
+/// Bump allocator over the simulated address spaces: volatile (GDDR)
+/// regions below [`PM_BASE`], persistent (NVM) regions above it. Plays
+/// the role of the paper's PM allocation API / persistent namespace
+/// table (§3, "Software model") — region addresses are stable across
+/// crashes, so recovery kernels find their data by construction.
+#[derive(Debug)]
+pub struct Layout {
+    gddr_next: u64,
+    nvm_next: u64,
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layout {
+    /// Alignment of every region (one cache line).
+    pub const ALIGN: u64 = 128;
+
+    /// Creates a fresh layout.
+    #[must_use]
+    pub fn new() -> Self {
+        Layout {
+            // Leave page zero unused to catch stray null derefs.
+            gddr_next: 0x1_0000,
+            nvm_next: PM_BASE + 0x1_0000,
+        }
+    }
+
+    fn bump(cursor: &mut u64, bytes: u64) -> u64 {
+        let aligned = (*cursor + Self::ALIGN - 1) & !(Self::ALIGN - 1);
+        *cursor = aligned + bytes;
+        aligned
+    }
+
+    /// Allocates a volatile region of `bytes`.
+    pub fn gddr(&mut self, bytes: u64) -> u64 {
+        Self::bump(&mut self.gddr_next, bytes)
+    }
+
+    /// Allocates a persistent region of `bytes`.
+    pub fn nvm(&mut self, bytes: u64) -> u64 {
+        Self::bump(&mut self.nvm_next, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbrp_gpu_sim::config::is_pm;
+
+    #[test]
+    fn regions_are_disjoint_aligned_and_in_the_right_space() {
+        let mut l = Layout::new();
+        let a = l.gddr(100);
+        let b = l.gddr(1);
+        let p = l.nvm(4096);
+        let q = l.nvm(8);
+        assert!(!is_pm(a) && !is_pm(b));
+        assert!(is_pm(p) && is_pm(q));
+        assert_eq!(a % Layout::ALIGN, 0);
+        assert_eq!(b % Layout::ALIGN, 0);
+        assert!(b >= a + 100);
+        assert!(q >= p + 4096);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut l1 = Layout::new();
+        let mut l2 = Layout::new();
+        assert_eq!(l1.nvm(64), l2.nvm(64));
+        assert_eq!(l1.gddr(64), l2.gddr(64));
+    }
+}

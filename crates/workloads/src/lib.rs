@@ -1,0 +1,192 @@
+//! # sbrp-workloads
+//!
+//! The six PM-aware GPU applications of the paper's Table 2, expressed in
+//! the `sbrp-isa` kernel builder, with per-model kernel variants,
+//! recovery kernels, and host-side verifiers:
+//!
+//! | App | Scoped PMO | Recovery |
+//! |-----|------------|----------|
+//! | gpKVS | intra-thread | WAL undo logging |
+//! | Hashmap (HM, cuckoo) | intra-thread | logging |
+//! | SRAD | intra-thread | native |
+//! | Reduction | block/device inter-thread | native |
+//! | Multiqueue | intra-thread + intra-block | logging |
+//! | Scan | block inter-thread | native |
+//!
+//! Each workload builds **two kernel flavours** from the same logic:
+//! under [`ModelKind::Sbrp`] it uses `oFence`/`dFence` and scoped
+//! `pAcq`/`pRel`; under the GPM/Epoch baselines every ordering point
+//! becomes an epoch barrier and synchronization falls back to plain
+//! volatile flags (exactly how GPM programs were written). The
+//! [`BuildOpts::demote_scopes`] knob converts block-scoped operations to
+//! device scope for the Figure 7 scope/buffer breakdown.
+
+#![warn(missing_docs)]
+
+mod gpkvs;
+mod hashmap;
+mod layout;
+pub mod micro;
+mod multiqueue;
+mod reduction;
+mod scan;
+mod srad;
+
+pub use gpkvs::Gpkvs;
+pub use micro::Micro;
+pub use hashmap::Hashmap;
+pub use layout::Layout;
+pub use multiqueue::Multiqueue;
+pub use reduction::Reduction;
+pub use scan::Scan;
+pub use srad::Srad;
+
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::Gpu;
+use sbrp_isa::{Kernel, LaunchConfig};
+
+/// How to build a workload's kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BuildOpts {
+    /// The persistency model the kernel must target.
+    pub model: ModelKind,
+    /// Convert block-scoped `pAcq`/`pRel` to device scope (Fig. 7's
+    /// scope-contribution experiment). Ignored by the baselines.
+    pub demote_scopes: bool,
+}
+
+impl BuildOpts {
+    /// Standard build for a model.
+    #[must_use]
+    pub fn for_model(model: ModelKind) -> Self {
+        BuildOpts {
+            model,
+            demote_scopes: false,
+        }
+    }
+}
+
+/// A kernel plus its launch geometry.
+#[derive(Clone, Debug)]
+pub struct Launchable {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Grid/block dimensions.
+    pub launch: LaunchConfig,
+}
+
+/// One of the paper's applications, instantiated at a concrete size.
+pub trait Workload {
+    /// Display name (Table 2).
+    fn name(&self) -> &'static str;
+
+    /// Writes the initial NVM and GDDR images.
+    fn init(&self, gpu: &mut Gpu);
+
+    /// Re-writes only the *volatile* inputs (what a host would reload
+    /// after a crash — persistent state comes from the durable image).
+    fn init_volatile(&self, gpu: &mut Gpu);
+
+    /// The main kernel for a model.
+    fn kernel(&self, opts: BuildOpts) -> Launchable;
+
+    /// The recovery kernel, if the workload uses one (logging-based
+    /// recovery); natively-recoverable workloads re-run
+    /// [`Workload::kernel`] instead.
+    fn recovery(&self, opts: BuildOpts) -> Option<Launchable>;
+
+    /// Verifies the final state of a crash-free run.
+    ///
+    /// # Errors
+    /// Describes the first inconsistency found.
+    fn verify_complete(&self, gpu: &Gpu) -> Result<(), String>;
+
+    /// Verifies a *durable image* is consistent (recoverable) — called
+    /// on crash states before recovery.
+    ///
+    /// # Errors
+    /// Describes the first inconsistency found.
+    fn verify_crash_consistent(&self, image: &sbrp_gpu_sim::mem::Backing) -> Result<(), String>;
+}
+
+/// The six applications, for harness enumeration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// GPU-accelerated persistent key-value store.
+    Gpkvs,
+    /// Cuckoo hashmap with undo logging.
+    Hashmap,
+    /// SRAD image denoising.
+    Srad,
+    /// Tree reduction (the paper's running example).
+    Reduction,
+    /// Per-block persistent queues with transactional batches.
+    Multiqueue,
+    /// Per-block inclusive scan.
+    Scan,
+}
+
+impl WorkloadKind {
+    /// All six, in Table 2 order.
+    pub const ALL: [WorkloadKind; 6] = [
+        WorkloadKind::Gpkvs,
+        WorkloadKind::Hashmap,
+        WorkloadKind::Srad,
+        WorkloadKind::Reduction,
+        WorkloadKind::Multiqueue,
+        WorkloadKind::Scan,
+    ];
+
+    /// Instantiates the workload at a size of roughly `scale` elements.
+    #[must_use]
+    pub fn instantiate(self, scale: u64, seed: u64) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::Gpkvs => Box::new(Gpkvs::new(scale, seed)),
+            WorkloadKind::Hashmap => Box::new(Hashmap::new(scale, seed)),
+            WorkloadKind::Srad => Box::new(Srad::new(scale)),
+            WorkloadKind::Reduction => Box::new(Reduction::new(scale, seed)),
+            WorkloadKind::Multiqueue => Box::new(Multiqueue::new(scale, seed)),
+            WorkloadKind::Scan => Box::new(Scan::new(scale, seed)),
+        }
+    }
+
+    /// Short name used in figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Gpkvs => "gpKVS",
+            WorkloadKind::Hashmap => "HM",
+            WorkloadKind::Srad => "SRAD",
+            WorkloadKind::Reduction => "Red",
+            WorkloadKind::Multiqueue => "MQ",
+            WorkloadKind::Scan => "Scan",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_instantiate() {
+        for kind in WorkloadKind::ALL {
+            let w = kind.instantiate(256, 42);
+            assert!(!w.name().is_empty());
+            let l = w.kernel(BuildOpts::for_model(ModelKind::Sbrp));
+            assert!(l.kernel.static_len() > 0);
+        }
+    }
+
+    #[test]
+    fn labels_match_table_2() {
+        let labels: Vec<_> = WorkloadKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["gpKVS", "HM", "SRAD", "Red", "MQ", "Scan"]);
+    }
+}

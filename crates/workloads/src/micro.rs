@@ -1,0 +1,309 @@
+//! Microbenchmark kernels: minimal probes of the persist machinery.
+//!
+//! The six applications exercise the persistency models in aggregate;
+//! these kernels isolate one mechanism each, for the Criterion suite and
+//! the `microbench` harness binary:
+//!
+//! * [`Micro::PersistStorm`] — every thread persists one line's worth of
+//!   data, no ordering: pure persist-path bandwidth.
+//! * [`Micro::FenceChain`] — each thread alternates persist/`oFence` N
+//!   times: intra-thread ordering latency (the §6.1 same-line stall is
+//!   deliberately avoided by striding).
+//! * [`Micro::SameLineRewrite`] — each warp rewrites one line across
+//!   fences: the §6.1 stall-until-durable path.
+//! * [`Micro::AcquirePingPong`] — two warps bounce a block-scoped
+//!   release/acquire flag: scoped synchronization latency.
+//! * [`Micro::CoalesceStress`] — all threads of a warp hammer the same
+//!   lines between fences: PB coalescing effectiveness.
+
+use crate::layout::Layout;
+use crate::{BuildOpts, Launchable};
+use sbrp_core::scope::Scope;
+use sbrp_core::ModelKind;
+use sbrp_isa::{BinOp, KernelBuilder, LaunchConfig, MemWidth, Special};
+
+/// The microbenchmark kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Micro {
+    /// Unordered persist bandwidth.
+    PersistStorm,
+    /// persist → oFence chains (distinct lines).
+    FenceChain,
+    /// persist → oFence → persist to the *same* line.
+    SameLineRewrite,
+    /// Block-scoped release/acquire round trips between two warps.
+    AcquirePingPong,
+    /// Same-line stores from all lanes between fences.
+    CoalesceStress,
+}
+
+impl Micro {
+    /// All microbenchmarks.
+    pub const ALL: [Micro; 5] = [
+        Micro::PersistStorm,
+        Micro::FenceChain,
+        Micro::SameLineRewrite,
+        Micro::AcquirePingPong,
+        Micro::CoalesceStress,
+    ];
+
+    /// Short display name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Micro::PersistStorm => "persist-storm",
+            Micro::FenceChain => "fence-chain",
+            Micro::SameLineRewrite => "same-line-rewrite",
+            Micro::AcquirePingPong => "acquire-pingpong",
+            Micro::CoalesceStress => "coalesce-stress",
+        }
+    }
+
+    /// Builds the kernel for a model. `iters` controls per-thread work.
+    #[must_use]
+    pub fn kernel(self, opts: BuildOpts, iters: u64) -> Launchable {
+        let mut l = Layout::new();
+        let fence = |b: &mut KernelBuilder| match opts.model {
+            ModelKind::Sbrp => b.ofence(),
+            ModelKind::Epoch | ModelKind::Gpm => b.epoch_barrier(),
+        };
+        match self {
+            Micro::PersistStorm => {
+                let arr = l.nvm(64 * 1024 * 128);
+                let mut b = KernelBuilder::new();
+                b.set_params(vec![arr, iters]);
+                let arr = b.param(0);
+                let n = b.param(1);
+                let gtid = b.special(Special::GlobalTid);
+                let i = b.movi(0);
+                b.while_loop(
+                    |b| b.lt(i, n),
+                    |b| {
+                        // Stride by the grid so lines are written once.
+                        let nthreads = b.special(Special::NCta);
+                        let ntid = b.special(Special::Ntid);
+                        let total = b.mul(nthreads, ntid);
+                        let idx = b.mul(i, total);
+                        let idx = b.add(idx, gtid);
+                        let off = b.muli(idx, 8);
+                        let addr = b.add(arr, off);
+                        b.st(addr, 0, gtid, MemWidth::W8);
+                        let one = b.movi(1);
+                        b.bin_to(BinOp::Add, i, one);
+                    },
+                );
+                Launchable {
+                    kernel: b.build("micro_persist_storm"),
+                    launch: LaunchConfig::new(4, 256),
+                }
+            }
+            Micro::FenceChain => {
+                let arr = l.nvm(64 * 1024 * 128);
+                let mut b = KernelBuilder::new();
+                b.set_params(vec![arr, iters]);
+                let arr = b.param(0);
+                let n = b.param(1);
+                let gtid = b.special(Special::GlobalTid);
+                let i = b.movi(0);
+                b.while_loop(
+                    |b| b.lt(i, n),
+                    |b| {
+                        let nthreads = b.special(Special::NCta);
+                        let ntid = b.special(Special::Ntid);
+                        let total = b.mul(nthreads, ntid);
+                        let idx = b.mul(i, total);
+                        let idx = b.add(idx, gtid);
+                        let off = b.muli(idx, 8);
+                        let addr = b.add(arr, off);
+                        b.st(addr, 0, gtid, MemWidth::W8);
+                        fence(b);
+                        let one = b.movi(1);
+                        b.bin_to(BinOp::Add, i, one);
+                    },
+                );
+                Launchable {
+                    kernel: b.build("micro_fence_chain"),
+                    launch: LaunchConfig::new(4, 256),
+                }
+            }
+            Micro::SameLineRewrite => {
+                // One line per warp, rewritten `iters` times with fences
+                // between: every rewrite hits §6.1's stall path.
+                let arr = l.nvm(1024 * 128);
+                let mut b = KernelBuilder::new();
+                b.set_params(vec![arr, iters]);
+                let arr = b.param(0);
+                let n = b.param(1);
+                let cta = b.special(Special::CtaId);
+                let warp = b.special(Special::WarpId);
+                let lane = b.special(Special::Lane);
+                let nwarps = {
+                    let ntid = b.special(Special::Ntid);
+                    b.shri(ntid, 5)
+                };
+                let gw = b.mul(cta, nwarps);
+                let gw = b.add(gw, warp);
+                let line_off = b.muli(gw, 128);
+                let lane_off = b.muli(lane, 4);
+                let addr = b.add(arr, line_off);
+                let addr = b.add(addr, lane_off);
+                let i = b.movi(0);
+                b.while_loop(
+                    |b| b.lt(i, n),
+                    |b| {
+                        b.st(addr, 0, i, MemWidth::W4);
+                        fence(b);
+                        let one = b.movi(1);
+                        b.bin_to(BinOp::Add, i, one);
+                    },
+                );
+                Launchable {
+                    kernel: b.build("micro_same_line"),
+                    launch: LaunchConfig::new(2, 128),
+                }
+            }
+            Micro::AcquirePingPong => {
+                let arr = l.nvm(64 * 128);
+                let flags = l.gddr(256);
+                let mut b = KernelBuilder::new();
+                b.set_params(vec![arr, flags, iters]);
+                let arr = b.param(0);
+                let flags = b.param(1);
+                let n = b.param(2);
+                let warp = b.special(Special::WarpId);
+                let lane = b.special(Special::Lane);
+                let is_lane0 = b.eqi(lane, 0);
+                let is_w0 = b.eqi(warp, 0);
+                let other = b.eqi(warp, 1);
+                let f0 = flags; // warp 0 releases f0
+                let f1 = b.addi(flags, 4); // warp 1 releases f1
+                let woff = b.muli(warp, 128);
+                let waddr = b.add(arr, woff);
+                let i = b.movi(0);
+                b.while_loop(
+                    |b| b.lt(i, n),
+                    |b| {
+                        let target = b.addi(i, 1);
+                        b.if_then(is_w0, |b| {
+                            b.st(waddr, 0, i, MemWidth::W8); // persist
+                            b.if_then(is_lane0, |b| match opts.model {
+                                ModelKind::Sbrp => b.prel(f0, target, Scope::Block),
+                                _ => {
+                                    b.epoch_barrier();
+                                    b.st(f0, 0, target, MemWidth::W4);
+                                }
+                            });
+                            // Wait for the pong.
+                            b.while_loop(
+                                |b| {
+                                    let v = match opts.model {
+                                        ModelKind::Sbrp => b.pacq(f1, Scope::Block),
+                                        _ => b.ld_volatile(f1, 0, MemWidth::W4),
+                                    };
+                                    b.lt(v, target)
+                                },
+                                |_| {},
+                            );
+                        });
+                        b.if_then(other, |b| {
+                            // Wait for the ping, persist, pong back.
+                            b.while_loop(
+                                |b| {
+                                    let v = match opts.model {
+                                        ModelKind::Sbrp => b.pacq(f0, Scope::Block),
+                                        _ => b.ld_volatile(f0, 0, MemWidth::W4),
+                                    };
+                                    b.lt(v, target)
+                                },
+                                |_| {},
+                            );
+                            b.st(waddr, 0, i, MemWidth::W8);
+                            b.if_then(is_lane0, |b| match opts.model {
+                                ModelKind::Sbrp => b.prel(f1, target, Scope::Block),
+                                _ => {
+                                    b.epoch_barrier();
+                                    b.st(f1, 0, target, MemWidth::W4);
+                                }
+                            });
+                        });
+                        let one = b.movi(1);
+                        b.bin_to(BinOp::Add, i, one);
+                    },
+                );
+                Launchable {
+                    kernel: b.build("micro_pingpong"),
+                    launch: LaunchConfig::new(1, 64),
+                }
+            }
+            Micro::CoalesceStress => {
+                // All 32 lanes write 4-byte slots of the same line, then
+                // fence, repeatedly: one PB entry per iteration if
+                // coalescing works.
+                let arr = l.nvm(1024 * 128);
+                let mut b = KernelBuilder::new();
+                b.set_params(vec![arr, iters]);
+                let arr = b.param(0);
+                let n = b.param(1);
+                let cta = b.special(Special::CtaId);
+                let warp = b.special(Special::WarpId);
+                let lane = b.special(Special::Lane);
+                let nwarps = {
+                    let ntid = b.special(Special::Ntid);
+                    b.shri(ntid, 5)
+                };
+                let gw = b.mul(cta, nwarps);
+                let gw = b.add(gw, warp);
+                let i = b.movi(0);
+                b.while_loop(
+                    |b| b.lt(i, n),
+                    |b| {
+                        // A fresh line per iteration per warp.
+                        let total = b.mul(gw, n);
+                        let li = b.add(total, i);
+                        let loff = b.muli(li, 128);
+                        let laneoff = b.muli(lane, 4);
+                        let addr = b.add(arr, loff);
+                        let addr = b.add(addr, laneoff);
+                        b.st(addr, 0, lane, MemWidth::W4);
+                        fence(b);
+                        let one = b.movi(1);
+                        b.bin_to(BinOp::Add, i, one);
+                    },
+                );
+                Launchable {
+                    kernel: b.build("micro_coalesce"),
+                    launch: LaunchConfig::new(2, 128),
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Micro {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_micros_build_for_all_models() {
+        for m in Micro::ALL {
+            for model in ModelKind::ALL {
+                let l = m.kernel(BuildOpts::for_model(model), 4);
+                assert!(l.kernel.static_len() > 3, "{m}/{model}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = Micro::ALL.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Micro::ALL.len());
+    }
+}

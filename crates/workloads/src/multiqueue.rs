@@ -1,0 +1,349 @@
+//! Multiqueue (MQ) — per-threadblock persistent queues (§7.1).
+//!
+//! Each threadblock owns one PM-resident queue and inserts a series of
+//! batches transactionally: every thread persists one entry of the
+//! batch, lane 0 of each warp performs a **block-scoped release** of the
+//! warp's flag, and the block leader **acquires** all warp flags before
+//! committing the batch by logging the old tail and bumping the tail
+//! (intra-thread PMO via `oFence`). Recovery requires a batch to be
+//! all-or-nothing: an in-doubt transaction (`txn == 1`) rolls the tail
+//! back to the logged value.
+//!
+//! Queue metadata layout per block (one line): `tail`, `logTail`, `txn`.
+
+use crate::layout::Layout;
+use crate::{BuildOpts, Launchable, Workload};
+use sbrp_core::scope::Scope;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::mem::Backing;
+use sbrp_gpu_sim::Gpu;
+use sbrp_isa::{BinOp, KernelBuilder, LaunchConfig, MemWidth, Reg, Special};
+
+/// Batches inserted per queue.
+const BATCHES: u64 = 4;
+
+/// The value stored at queue position `idx` of block `blk`.
+#[must_use]
+pub fn entry_value(blk: u64, idx: u64) -> u64 {
+    ((blk << 32) | idx).wrapping_mul(2_654_435_761)
+}
+
+/// The multiqueue workload.
+#[derive(Debug)]
+pub struct Multiqueue {
+    blocks: u32,
+    tpb: u32,
+    a_entries: u64,
+    a_meta: u64,
+    a_flags: u64,
+}
+
+impl Multiqueue {
+    /// Creates an instance inserting roughly `scale` entries in total
+    /// (across all queues and batches). The seed is unused — contents
+    /// are a deterministic function of position — but kept for interface
+    /// symmetry.
+    #[must_use]
+    pub fn new(scale: u64, _seed: u64) -> Self {
+        let tpb: u32 = if scale >= 256 { 256 } else { 64 };
+        let per_block = u64::from(tpb) * BATCHES;
+        let blocks = (scale.max(per_block) / per_block).max(1) as u32;
+        let mut l = Layout::new();
+        let cap = u64::from(blocks) * per_block;
+        let a_entries = l.nvm(cap * 8);
+        let a_meta = l.nvm(u64::from(blocks) * 128);
+        let a_flags = l.gddr(u64::from(blocks) * u64::from(tpb / 32) * 4);
+        Multiqueue {
+            blocks,
+            tpb,
+            a_entries,
+            a_meta,
+            a_flags,
+        }
+    }
+
+    /// Total entries inserted when complete.
+    #[must_use]
+    pub fn total_entries(&self) -> u64 {
+        u64::from(self.blocks) * u64::from(self.tpb) * BATCHES
+    }
+
+    fn per_block(&self) -> u64 {
+        u64::from(self.tpb) * BATCHES
+    }
+
+    fn warps(&self) -> u64 {
+        u64::from(self.tpb / 32)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.blocks, self.tpb)
+    }
+
+    fn emit_fence(b: &mut KernelBuilder, model: ModelKind) {
+        match model {
+            ModelKind::Sbrp => b.ofence(),
+            ModelKind::Epoch | ModelKind::Gpm => b.epoch_barrier(),
+        }
+    }
+
+    /// Release `flag_addr = value` in the model's idiom.
+    fn emit_release_value(b: &mut KernelBuilder, opts: BuildOpts, flag_addr: Reg, value: Reg) {
+        let scope = if opts.demote_scopes { Scope::Device } else { Scope::Block };
+        match opts.model {
+            ModelKind::Sbrp => b.prel(flag_addr, value, scope),
+            ModelKind::Epoch | ModelKind::Gpm => {
+                b.epoch_barrier();
+                b.st(flag_addr, 0, value, MemWidth::W4);
+            }
+        }
+    }
+
+    /// Spin until `*flag_addr >= target`.
+    fn emit_acquire_ge(b: &mut KernelBuilder, opts: BuildOpts, flag_addr: Reg, target: Reg) {
+        let scope = if opts.demote_scopes { Scope::Device } else { Scope::Block };
+        b.while_loop(
+            |b| {
+                let v = match opts.model {
+                    ModelKind::Sbrp => b.pacq(flag_addr, scope),
+                    // GPM-style spins must bypass the non-coherent L1.
+                    ModelKind::Epoch | ModelKind::Gpm => {
+                        b.ld_volatile(flag_addr, 0, MemWidth::W4)
+                    }
+                };
+                b.lt(v, target)
+            },
+            |_| {},
+        );
+    }
+}
+
+impl Workload for Multiqueue {
+    fn name(&self) -> &'static str {
+        "Multiqueue"
+    }
+
+    fn init(&self, gpu: &mut Gpu) {
+        self.init_volatile(gpu);
+        gpu.load_nvm(self.a_entries, &vec![0u8; (self.total_entries() * 8) as usize]);
+        gpu.load_nvm(self.a_meta, &vec![0u8; (u64::from(self.blocks) * 128) as usize]);
+    }
+
+    fn init_volatile(&self, gpu: &mut Gpu) {
+        let n = u64::from(self.blocks) * self.warps() * 4;
+        gpu.load_gddr(self.a_flags, &vec![0u8; n as usize]);
+    }
+
+    fn kernel(&self, opts: BuildOpts) -> Launchable {
+        let mut b = KernelBuilder::new();
+        b.set_params(vec![self.a_entries, self.a_meta, self.a_flags, BATCHES]);
+        let entries = b.param(0);
+        let meta = b.param(1);
+        let flags = b.param(2);
+        let batches = b.param(3);
+
+        let blk = b.special(Special::CtaId);
+        let tid = b.special(Special::Tid);
+        let ntid = b.special(Special::Ntid);
+        let warp = b.special(Special::WarpId);
+        let lane = b.special(Special::Lane);
+        let nwarps = b.shri(ntid, 5);
+
+        let blk_cap = b.mul(ntid, batches);
+        let e_off = b.mul(blk, blk_cap);
+        let e_off8 = b.muli(e_off, 8);
+        let base_e = b.add(entries, e_off8);
+        let m_off = b.muli(blk, 128);
+        let maddr = b.add(meta, m_off);
+        let f_off = b.mul(blk, nwarps);
+        let f_off4 = b.muli(f_off, 4);
+        let fbase = b.add(flags, f_off4);
+
+        // Resume from the committed tail (multiple of ntid).
+        let tail0 = b.ld(maddr, 0, MemWidth::W8);
+        let bi = b.div(tail0, ntid);
+
+        b.while_loop(
+            |b| b.lt(bi, batches),
+            |b| {
+                // Persist this thread's entry of the batch.
+                let idx = b.mul(bi, ntid);
+                let idx = b.add(idx, tid);
+                let tag = b.shli(blk, 32);
+                let tag = b.add(tag, idx);
+                let val = b.muli(tag, 2_654_435_761);
+                let ioff = b.muli(idx, 8);
+                let eaddr = b.add(base_e, ioff);
+                b.st(eaddr, 0, val, MemWidth::W8);
+
+                // Lane 0 releases the warp's flag with the batch count.
+                let done_count = b.addi(bi, 1);
+                let is_lane0 = b.eqi(lane, 0);
+                b.if_then(is_lane0, |b| {
+                    let woff = b.muli(warp, 4);
+                    let faddr = b.add(fbase, woff);
+                    let dc32 = b.andi(done_count, 0xffff_ffff);
+                    Self::emit_release_value(b, opts, faddr, dc32);
+                });
+
+                // The leader acquires every warp's flag, then commits.
+                let is_leader = b.eqi(tid, 0);
+                b.if_then(is_leader, |b| {
+                    let w = b.movi(0);
+                    b.while_loop(
+                        |b| b.lt(w, nwarps),
+                        |b| {
+                            let woff = b.muli(w, 4);
+                            let faddr = b.add(fbase, woff);
+                            Self::emit_acquire_ge(b, opts, faddr, done_count);
+                            let one = b.movi(1);
+                            b.bin_to(BinOp::Add, w, one);
+                        },
+                    );
+                    // Transactional tail bump with undo logging.
+                    let old_tail = b.mul(bi, ntid);
+                    let new_tail = b.mul(done_count, ntid);
+                    b.st(maddr, 8, old_tail, MemWidth::W8); // logTail
+                    Self::emit_fence(b, opts.model);
+                    let one = b.movi(1);
+                    b.st(maddr, 16, one, MemWidth::W8); // txn = 1
+                    Self::emit_fence(b, opts.model);
+                    b.st(maddr, 0, new_tail, MemWidth::W8); // tail
+                    Self::emit_fence(b, opts.model);
+                    let zero = b.movi(0);
+                    b.st(maddr, 16, zero, MemWidth::W8); // txn = 0
+                });
+                b.sync_block();
+                let one = b.movi(1);
+                b.bin_to(BinOp::Add, bi, one);
+            },
+        );
+
+        Launchable {
+            kernel: b.build("multiqueue_insert"),
+            launch: self.launch(),
+        }
+    }
+
+    fn recovery(&self, opts: BuildOpts) -> Option<Launchable> {
+        // One warp per block; lane/tid 0 repairs the metadata.
+        let mut b = KernelBuilder::new();
+        b.set_params(vec![self.a_meta]);
+        let meta = b.param(0);
+        let blk = b.special(Special::CtaId);
+        let tid = b.special(Special::Tid);
+        let is_t0 = b.eqi(tid, 0);
+        b.if_then(is_t0, |b| {
+            let m_off = b.muli(blk, 128);
+            let maddr = b.add(meta, m_off);
+            let txn = b.ld(maddr, 16, MemWidth::W8);
+            let in_doubt = b.eqi(txn, 1);
+            b.if_then(in_doubt, |b| {
+                // Roll back to the logged tail.
+                let log_tail = b.ld(maddr, 8, MemWidth::W8);
+                b.st(maddr, 0, log_tail, MemWidth::W8);
+                match opts.model {
+                    ModelKind::Sbrp => b.dfence(),
+                    ModelKind::Epoch | ModelKind::Gpm => b.epoch_barrier(),
+                }
+                let zero = b.movi(0);
+                b.st(maddr, 16, zero, MemWidth::W8);
+            });
+        });
+        Some(Launchable {
+            kernel: b.build("multiqueue_recover"),
+            launch: LaunchConfig::new(self.blocks, 32),
+        })
+    }
+
+    fn verify_complete(&self, gpu: &Gpu) -> Result<(), String> {
+        for blk in 0..u64::from(self.blocks) {
+            let maddr = self.a_meta + blk * 128;
+            let tail = gpu.read_nvm_u64(maddr);
+            let txn = gpu.read_nvm_u64(maddr + 16);
+            if tail != self.per_block() {
+                return Err(format!("queue {blk}: tail {tail} != {}", self.per_block()));
+            }
+            if txn != 0 {
+                return Err(format!("queue {blk}: transaction still open"));
+            }
+            let base = self.a_entries + blk * self.per_block() * 8;
+            for idx in 0..self.per_block() {
+                let v = gpu.read_nvm_u64(base + idx * 8);
+                if v != entry_value(blk, idx) {
+                    return Err(format!("queue {blk}: entry {idx} = {v}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn verify_crash_consistent(&self, image: &Backing) -> Result<(), String> {
+        let t = u64::from(self.tpb);
+        for blk in 0..u64::from(self.blocks) {
+            let maddr = self.a_meta + blk * 128;
+            let tail = image.read_u64(maddr);
+            let log_tail = image.read_u64(maddr + 8);
+            let txn = image.read_u64(maddr + 16);
+            if txn > 1 {
+                return Err(format!("queue {blk}: impossible txn {txn}"));
+            }
+            if tail % t != 0 || tail > self.per_block() {
+                return Err(format!("queue {blk}: torn tail {tail}"));
+            }
+            // The committed prefix: everything below the tail (or the
+            // logged tail while a transaction is in doubt) must be
+            // durable and correct — the intra-block PMO at work.
+            let committed = if txn == 1 {
+                if log_tail % t != 0 || log_tail > self.per_block() {
+                    return Err(format!(
+                        "queue {blk}: in-doubt txn with torn logTail {log_tail} — \
+                         PMO violation (txn before log)"
+                    ));
+                }
+                log_tail.min(tail)
+            } else {
+                tail
+            };
+            let base = self.a_entries + blk * self.per_block() * 8;
+            for idx in 0..committed {
+                let v = image.read_u64(base + idx * 8);
+                if v != entry_value(blk, idx) {
+                    return Err(format!(
+                        "queue {blk}: committed entry {idx} = {v} not durable — \
+                         PMO violation (tail before entries)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_determines_blocks() {
+        let mq = Multiqueue::new(2048, 0);
+        assert_eq!(mq.total_entries(), 2048);
+        assert_eq!(mq.blocks, 2);
+    }
+
+    #[test]
+    fn kernels_build() {
+        let mq = Multiqueue::new(256, 0);
+        for model in ModelKind::ALL {
+            let opts = BuildOpts::for_model(model);
+            assert!(mq.kernel(opts).kernel.static_len() > 25);
+            assert!(mq.recovery(opts).is_some());
+        }
+    }
+
+    #[test]
+    fn entry_values_are_position_unique() {
+        assert_ne!(entry_value(0, 1), entry_value(1, 0));
+        assert_ne!(entry_value(2, 3), entry_value(2, 4));
+    }
+}

@@ -1,0 +1,445 @@
+//! Reduction — the paper's running example (§4, Fig. 2/3).
+//!
+//! The input array lives in GDDR; the per-thread partial sums (`pArr`),
+//! per-block sums, and the final result live on NVM so the computation
+//! can resume after a crash. Iterations halve the active threads: the
+//! retiring half persists its partial sums and *releases* per-thread
+//! flags at **block scope**; the surviving half *acquires* its partner's
+//! flag before consuming the partner's persisted sum. Once a block
+//! finishes, its leader publishes the block sum with a **device-scoped**
+//! release; the last block (elected with an atomic counter) acquires all
+//! block flags and persists the grand total (Fig. 3 line 24 — using
+//! block scope here would be the §5.3 scoped persistency bug).
+//!
+//! Recovery is *native*: the same kernel consults `pArr` (initialized to
+//! `EMPTY`) and resumes from whatever persisted, re-releasing the
+//! volatile flags that the crash destroyed.
+
+use crate::layout::Layout;
+use crate::{BuildOpts, Launchable, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sbrp_core::scope::Scope;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::mem::Backing;
+use sbrp_gpu_sim::Gpu;
+use sbrp_isa::{BinOp, KernelBuilder, LaunchConfig, MemWidth, Reg, Special};
+
+/// Sentinel for "not yet persisted".
+pub const EMPTY: u64 = u64::MAX;
+
+/// The reduction workload at a fixed size.
+#[derive(Debug)]
+pub struct Reduction {
+    n: u64,
+    tpb: u32,
+    input: Vec<u64>,
+    // Layout (fixed for a given construction, stable across crashes).
+    a_input: u64,
+    a_parr: u64,
+    a_flags: u64,
+    a_blocksum: u64,
+    a_blkflag: u64,
+    a_ctr: u64,
+    a_final: u64,
+    a_islast: u64,
+    a_scratch: u64,
+}
+
+impl Reduction {
+    /// Creates a reduction over roughly `scale` elements (rounded to a
+    /// whole number of blocks) with pseudo-random small inputs.
+    #[must_use]
+    pub fn new(scale: u64, seed: u64) -> Self {
+        let tpb: u32 = if scale >= 256 { 256 } else { 64 };
+        let blocks = (scale.max(u64::from(tpb)) / u64::from(tpb)).max(1);
+        let n = blocks * u64::from(tpb);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let input: Vec<u64> = (0..n).map(|_| rng.random_range(0..1000u64)).collect();
+        let mut l = Layout::new();
+        let a_input = l.gddr(n * 8);
+        let a_flags = l.gddr(n * 4);
+        let a_blkflag = l.gddr(blocks * 4);
+        let a_ctr = l.gddr(8);
+        let a_islast = l.gddr(blocks * 4);
+        let a_scratch = l.gddr(u64::from(tpb) * 8);
+        let a_parr = l.nvm(n * 8);
+        let a_blocksum = l.nvm(blocks * 8);
+        let a_final = l.nvm(16);
+        Reduction {
+            n,
+            tpb,
+            input,
+            a_input,
+            a_parr,
+            a_flags,
+            a_blocksum,
+            a_blkflag,
+            a_ctr,
+            a_final,
+            a_islast,
+            a_scratch,
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether the instance is empty (never true; blocks ≥ 1).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn blocks(&self) -> u32 {
+        (self.n / u64::from(self.tpb)) as u32
+    }
+
+    /// The grand total the kernel must produce.
+    #[must_use]
+    pub fn expected_total(&self) -> u64 {
+        self.input.iter().sum()
+    }
+
+    /// Expected exit value of every thread (host replay of the tree),
+    /// and per-block totals.
+    fn expected_partials(&self) -> (Vec<u64>, Vec<u64>) {
+        let t = self.tpb as usize;
+        let mut exit_vals = vec![0u64; self.n as usize];
+        let mut block_totals = Vec::new();
+        for b in 0..self.blocks() as usize {
+            let base = b * t;
+            let mut vals: Vec<u64> = self.input[base..base + t].to_vec();
+            let mut stride = t / 2;
+            while stride >= 1 {
+                for i in stride..2 * stride {
+                    exit_vals[base + i] = vals[i];
+                }
+                for i in 0..stride {
+                    vals[i] = vals[i].wrapping_add(vals[i + stride]);
+                }
+                stride /= 2;
+            }
+            exit_vals[base] = vals[0]; // thread 0 never retires; unused
+            block_totals.push(vals[0]);
+        }
+        (exit_vals, block_totals)
+    }
+
+    /// Emits "release `flag_addr_reg` (already computed) with value 1"
+    /// in the model's idiom.
+    fn emit_release(b: &mut KernelBuilder, opts: BuildOpts, flag_addr: Reg, scope: Scope) {
+        let scope = if opts.demote_scopes { Scope::Device } else { scope };
+        match opts.model {
+            ModelKind::Sbrp => {
+                let one = b.movi(1);
+                b.prel(flag_addr, one, scope);
+            }
+            ModelKind::Epoch | ModelKind::Gpm => {
+                b.epoch_barrier();
+                let one = b.movi(1);
+                b.st(flag_addr, 0, one, MemWidth::W4);
+            }
+        }
+    }
+
+    /// Emits "spin until flag becomes non-zero" in the model's idiom.
+    fn emit_acquire_spin(b: &mut KernelBuilder, opts: BuildOpts, flag_addr: Reg, scope: Scope) {
+        let scope = if opts.demote_scopes { Scope::Device } else { scope };
+        b.while_loop(
+            |b| {
+                let v = match opts.model {
+                    ModelKind::Sbrp => b.pacq(flag_addr, scope),
+                    // GPM-style spins must bypass the non-coherent L1.
+                    ModelKind::Epoch | ModelKind::Gpm => {
+                        b.ld_volatile(flag_addr, 0, MemWidth::W4)
+                    }
+                };
+                b.eqi(v, 0)
+            },
+            |_| {},
+        );
+    }
+}
+
+impl Workload for Reduction {
+    fn name(&self) -> &'static str {
+        "Reduction"
+    }
+
+    fn init(&self, gpu: &mut Gpu) {
+        self.init_volatile(gpu);
+        let empty = EMPTY.to_le_bytes().repeat(self.n as usize);
+        gpu.load_nvm(self.a_parr, &empty);
+        let bempty = EMPTY.to_le_bytes().repeat(self.blocks() as usize);
+        gpu.load_nvm(self.a_blocksum, &bempty);
+        gpu.load_nvm(self.a_final, &[0u8; 16]);
+    }
+
+    fn init_volatile(&self, gpu: &mut Gpu) {
+        let bytes: Vec<u8> = self.input.iter().flat_map(|v| v.to_le_bytes()).collect();
+        gpu.load_gddr(self.a_input, &bytes);
+        gpu.load_gddr(self.a_flags, &vec![0u8; (self.n * 4) as usize]);
+        gpu.load_gddr(self.a_blkflag, &vec![0u8; (self.blocks() * 4) as usize]);
+        gpu.load_gddr(self.a_ctr, &[0u8; 8]);
+        gpu.load_gddr(self.a_islast, &vec![0u8; (self.blocks() * 4) as usize]);
+        gpu.load_gddr(self.a_scratch, &vec![0u8; (u64::from(self.tpb) * 8) as usize]);
+    }
+
+    fn kernel(&self, opts: BuildOpts) -> Launchable {
+        let mut b = KernelBuilder::new();
+        b.set_params(vec![
+            self.a_input,
+            self.a_parr,
+            self.a_flags,
+            self.a_blocksum,
+            self.a_blkflag,
+            self.a_ctr,
+            self.a_final,
+            self.a_islast,
+            self.a_scratch,
+        ]);
+        let input = b.param(0);
+        let parr = b.param(1);
+        let flags = b.param(2);
+        let blocksum = b.param(3);
+        let blkflag = b.param(4);
+        let ctr = b.param(5);
+        let finalp = b.param(6);
+        let islast = b.param(7);
+        let scratch = b.param(8);
+
+        let tid = b.special(Special::Tid);
+        let gtid = b.special(Special::GlobalTid);
+        let ntid = b.special(Special::Ntid);
+        let ncta = b.special(Special::NCta);
+        let cta = b.special(Special::CtaId);
+
+        let goff8 = b.muli(gtid, 8);
+        let my_parr = b.add(parr, goff8);
+        let goff4 = b.muli(gtid, 4);
+        let my_flag = b.add(flags, goff4);
+
+        // Native recovery: resume from a persisted partial sum.
+        let persisted = b.ld(my_parr, 0, MemWidth::W8);
+        let have = b.nei(persisted, EMPTY);
+        let my_input_addr = b.add(input, goff8);
+        let fresh = b.ld(my_input_addr, 0, MemWidth::W8);
+        let sum = b.select(have, persisted, fresh);
+
+        let stride = b.shri(ntid, 1);
+        b.while_loop(
+            |b| b.gei(stride, 1),
+            |b| {
+                let ge_s = b.ge(tid, stride);
+                let two_s = b.shli(stride, 1);
+                let lt_2s = b.lt(tid, two_s);
+                let in_upper = b.mul(ge_s, lt_2s);
+                b.if_then(in_upper, |b| {
+                    let not_have = b.eqi(have, 0);
+                    b.if_then(not_have, |b| {
+                        b.st(my_parr, 0, sum, MemWidth::W8);
+                    });
+                    Self::emit_release(b, opts, my_flag, Scope::Block);
+                });
+                let in_lower = b.lt(tid, stride);
+                b.if_then(in_lower, |b| {
+                    let partner = b.add(gtid, stride);
+                    let poff4 = b.muli(partner, 4);
+                    let pflag = b.add(flags, poff4);
+                    Self::emit_acquire_spin(b, opts, pflag, Scope::Block);
+                    let poff8 = b.muli(partner, 8);
+                    let pparr = b.add(parr, poff8);
+                    let pv = b.ld(pparr, 0, MemWidth::W8);
+                    b.bin_to(BinOp::Add, sum, pv);
+                });
+                let one = b.movi(1);
+                b.bin_to(BinOp::Shr, stride, one);
+            },
+        );
+
+        // Block leader publishes the block sum at device scope, then the
+        // last block (elected via an atomic counter) reduces the block
+        // sums cooperatively — every thread strides over the blocks.
+        let is_t0 = b.eqi(tid, 0);
+        b.if_then(is_t0, |b| {
+            let boff8 = b.muli(cta, 8);
+            let my_bsum = b.add(blocksum, boff8);
+            let existing = b.ld(my_bsum, 0, MemWidth::W8);
+            let missing = b.eqi(existing, EMPTY);
+            b.if_then(missing, |b| {
+                b.st(my_bsum, 0, sum, MemWidth::W8);
+            });
+            let boff4 = b.muli(cta, 4);
+            let my_bflag = b.add(blkflag, boff4);
+            Self::emit_release(b, opts, my_bflag, Scope::Device);
+
+            // Elect the last block to finish.
+            let one = b.movi(1);
+            let old = b.atom_add(ctr, one, MemWidth::W8);
+            let last_needed = b.subi(ncta, 1);
+            let is_last = b.eq(old, last_needed);
+            b.if_then(is_last, |b| {
+                let lo4 = b.muli(cta, 4);
+                let my_islast = b.add(islast, lo4);
+                let one = b.movi(1);
+                b.st(my_islast, 0, one, MemWidth::W4);
+            });
+        });
+        b.sync_block();
+        let lo4 = b.muli(cta, 4);
+        let my_islast = b.add(islast, lo4);
+        let we_are_last = b.ld(my_islast, 0, MemWidth::W4);
+        b.if_then(we_are_last, |b| {
+            // Each thread accumulates a strided subset of block sums.
+            let total_t = b.movi(0);
+            let i = b.reg();
+            b.mov_to(i, tid);
+            b.while_loop(
+                |b| b.lt(i, ncta),
+                |b| {
+                    let ioff4 = b.muli(i, 4);
+                    let iflag = b.add(blkflag, ioff4);
+                    Self::emit_acquire_spin(b, opts, iflag, Scope::Device);
+                    let ioff8 = b.muli(i, 8);
+                    let ibsum = b.add(blocksum, ioff8);
+                    let v = b.ld(ibsum, 0, MemWidth::W8);
+                    b.bin_to(BinOp::Add, total_t, v);
+                    b.bin_to(BinOp::Add, i, ntid);
+                },
+            );
+            let soff = b.muli(tid, 8);
+            let my_scratch = b.add(scratch, soff);
+            b.st(my_scratch, 0, total_t, MemWidth::W8);
+            b.sync_block();
+            let is_t0b = b.eqi(tid, 0);
+            b.if_then(is_t0b, |b| {
+                let valid = b.ld(finalp, 8, MemWidth::W8);
+                let not_done = b.eqi(valid, 0);
+                b.if_then(not_done, |b| {
+                    let total = b.movi(0);
+                    let j = b.movi(0);
+                    b.while_loop(
+                        |b| b.lt(j, ntid),
+                        |b| {
+                            let joff = b.muli(j, 8);
+                            let jaddr = b.add(scratch, joff);
+                            let v = b.ld(jaddr, 0, MemWidth::W8);
+                            b.bin_to(BinOp::Add, total, v);
+                            let one = b.movi(1);
+                            b.bin_to(BinOp::Add, j, one);
+                        },
+                    );
+                    b.st(finalp, 0, total, MemWidth::W8);
+                    match opts.model {
+                        ModelKind::Sbrp => b.ofence(),
+                        ModelKind::Epoch | ModelKind::Gpm => b.epoch_barrier(),
+                    }
+                    let one = b.movi(1);
+                    b.st(finalp, 8, one, MemWidth::W8);
+                });
+            });
+        });
+
+        Launchable {
+            kernel: b.build("reduction"),
+            launch: LaunchConfig::new(self.blocks(), self.tpb),
+        }
+    }
+
+    fn recovery(&self, _opts: BuildOpts) -> Option<Launchable> {
+        None // native: re-run the main kernel on the recovered image
+    }
+
+    fn verify_complete(&self, gpu: &Gpu) -> Result<(), String> {
+        let valid = gpu.read_nvm_u64(self.a_final + 8);
+        if valid != 1 {
+            return Err(format!("final valid flag is {valid}, expected 1"));
+        }
+        let total = gpu.read_nvm_u64(self.a_final);
+        let expected = self.expected_total();
+        if total != expected {
+            return Err(format!("final sum {total} != expected {expected}"));
+        }
+        Ok(())
+    }
+
+    fn verify_crash_consistent(&self, image: &Backing) -> Result<(), String> {
+        let (exit_vals, block_totals) = self.expected_partials();
+        for g in 0..self.n {
+            let v = image.read_u64(self.a_parr + g * 8);
+            if v != EMPTY && v != exit_vals[g as usize] {
+                return Err(format!(
+                    "pArr[{g}] = {v} is neither EMPTY nor the expected partial {}",
+                    exit_vals[g as usize]
+                ));
+            }
+        }
+        for bid in 0..self.blocks() as u64 {
+            let v = image.read_u64(self.a_blocksum + bid * 8);
+            if v != EMPTY && v != block_totals[bid as usize] {
+                return Err(format!(
+                    "blockSum[{bid}] = {v} != expected {}",
+                    block_totals[bid as usize]
+                ));
+            }
+        }
+        let valid = image.read_u64(self.a_final + 8);
+        if valid == 1 {
+            let total = image.read_u64(self.a_final);
+            let expected = self.expected_total();
+            if total != expected {
+                return Err(format!(
+                    "final marked valid but sum {total} != expected {expected}"
+                ));
+            }
+        } else if valid != 0 {
+            return Err(format!("final valid flag is {valid}, expected 0 or 1"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_round_to_blocks() {
+        let r = Reduction::new(1000, 1);
+        assert_eq!(r.len() % 256, 0);
+        let small = Reduction::new(10, 1);
+        assert_eq!(small.len(), 64);
+    }
+
+    #[test]
+    fn host_replay_partials_sum_up() {
+        let r = Reduction::new(512, 7);
+        let (_, blocks) = r.expected_partials();
+        assert_eq!(blocks.iter().sum::<u64>(), r.expected_total());
+    }
+
+    #[test]
+    fn kernels_build_for_all_models() {
+        let r = Reduction::new(256, 3);
+        for model in ModelKind::ALL {
+            let l = r.kernel(BuildOpts::for_model(model));
+            assert!(l.kernel.static_len() > 20);
+            assert_eq!(l.launch.blocks, 1);
+        }
+    }
+
+    #[test]
+    fn demoted_build_differs() {
+        let r = Reduction::new(256, 3);
+        let normal = r.kernel(BuildOpts::for_model(ModelKind::Sbrp));
+        let demoted = r.kernel(BuildOpts {
+            model: ModelKind::Sbrp,
+            demote_scopes: true,
+        });
+        assert_ne!(normal.kernel.program(), demoted.kernel.program());
+    }
+}

@@ -1,0 +1,396 @@
+//! Scan — per-block inclusive prefix sums (§7.1).
+//!
+//! A Hillis–Steele scan over each block's sub-array, with the working
+//! buffers on PM so the computation resumes after a crash. Every round
+//! `r` reads round `r-1`'s buffer: a thread consuming a value produced
+//! by *another warp* performs a **block-scoped acquire** on that warp's
+//! round flag, and each warp **releases** its flag after persisting its
+//! round output — the paper's intra-threadblock inter-thread PMO. The
+//! block leader persists a per-block round counter (`pIter`) ordered
+//! after all of the round's persists, which is the native recovery
+//! resume point.
+
+use crate::layout::Layout;
+use crate::{BuildOpts, Launchable, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sbrp_core::scope::Scope;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::mem::Backing;
+use sbrp_gpu_sim::Gpu;
+use sbrp_isa::{BinOp, KernelBuilder, LaunchConfig, MemWidth, Reg, Special};
+
+/// The scan workload.
+#[derive(Debug)]
+pub struct Scan {
+    n: u64,
+    tpb: u32,
+    input: Vec<u64>,
+    a_input: u64,
+    a_ping: u64,
+    a_pong: u64,
+    a_flags: u64,
+    a_iter: u64,
+}
+
+impl Scan {
+    /// Creates a scan over roughly `scale` elements.
+    #[must_use]
+    pub fn new(scale: u64, seed: u64) -> Self {
+        let tpb: u32 = if scale >= 256 { 256 } else { 64 };
+        let blocks = (scale.max(u64::from(tpb)) / u64::from(tpb)).max(1);
+        let n = blocks * u64::from(tpb);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let input: Vec<u64> = (0..n).map(|_| rng.random_range(0..100u64)).collect();
+        let mut l = Layout::new();
+        let a_input = l.gddr(n * 8);
+        let a_flags = l.gddr(blocks * u64::from(tpb / 32) * 4);
+        let a_ping = l.nvm(n * 8);
+        let a_pong = l.nvm(n * 8);
+        let a_iter = l.nvm(blocks * 8);
+        Scan {
+            n,
+            tpb,
+            input,
+            a_input,
+            a_ping,
+            a_pong,
+            a_flags,
+            a_iter,
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn blocks(&self) -> u32 {
+        (self.n / u64::from(self.tpb)) as u32
+    }
+
+    fn warps(&self) -> u64 {
+        u64::from(self.tpb / 32)
+    }
+
+    /// Total rounds: round 0 copies the input; rounds 1..=log2(tpb)
+    /// apply strides 1, 2, ..., tpb/2.
+    fn rounds(&self) -> u64 {
+        1 + u64::from(self.tpb.trailing_zeros())
+    }
+
+    /// The buffer round `r` writes into.
+    fn buf_of(&self, r: u64) -> u64 {
+        if r % 2 == 0 {
+            self.a_ping
+        } else {
+            self.a_pong
+        }
+    }
+
+    /// Host replay: the values round `r` must produce for block `blk`.
+    fn expected_round(&self, blk: u64, r: u64) -> Vec<u64> {
+        let t = self.tpb as usize;
+        let base = (blk * u64::from(self.tpb)) as usize;
+        let mut v: Vec<u64> = self.input[base..base + t].to_vec();
+        for round in 1..=r {
+            let stride = 1usize << (round - 1);
+            let prev = v.clone();
+            for i in 0..t {
+                v[i] = prev[i].wrapping_add(if i >= stride { prev[i - stride] } else { 0 });
+            }
+        }
+        v
+    }
+
+    /// The final prefix sums for a block.
+    fn expected_final(&self, blk: u64) -> Vec<u64> {
+        self.expected_round(blk, self.rounds() - 1)
+    }
+
+    fn emit_release_value(b: &mut KernelBuilder, opts: BuildOpts, flag_addr: Reg, value: Reg) {
+        let scope = if opts.demote_scopes { Scope::Device } else { Scope::Block };
+        match opts.model {
+            ModelKind::Sbrp => b.prel(flag_addr, value, scope),
+            ModelKind::Epoch | ModelKind::Gpm => {
+                b.epoch_barrier();
+                b.st(flag_addr, 0, value, MemWidth::W4);
+            }
+        }
+    }
+
+    fn emit_acquire_ge(b: &mut KernelBuilder, opts: BuildOpts, flag_addr: Reg, target: Reg) {
+        let scope = if opts.demote_scopes { Scope::Device } else { Scope::Block };
+        b.while_loop(
+            |b| {
+                let v = match opts.model {
+                    ModelKind::Sbrp => b.pacq(flag_addr, scope),
+                    // GPM-style spins must bypass the non-coherent L1.
+                    ModelKind::Epoch | ModelKind::Gpm => {
+                        b.ld_volatile(flag_addr, 0, MemWidth::W4)
+                    }
+                };
+                b.lt(v, target)
+            },
+            |_| {},
+        );
+    }
+}
+
+impl Workload for Scan {
+    fn name(&self) -> &'static str {
+        "Scan"
+    }
+
+    fn init(&self, gpu: &mut Gpu) {
+        self.init_volatile(gpu);
+        gpu.load_nvm(self.a_ping, &vec![0u8; (self.n * 8) as usize]);
+        gpu.load_nvm(self.a_pong, &vec![0u8; (self.n * 8) as usize]);
+        gpu.load_nvm(self.a_iter, &vec![0u8; (u64::from(self.blocks()) * 8) as usize]);
+    }
+
+    fn init_volatile(&self, gpu: &mut Gpu) {
+        let bytes: Vec<u8> = self.input.iter().flat_map(|v| v.to_le_bytes()).collect();
+        gpu.load_gddr(self.a_input, &bytes);
+        let n = u64::from(self.blocks()) * self.warps() * 4;
+        gpu.load_gddr(self.a_flags, &vec![0u8; n as usize]);
+    }
+
+    fn kernel(&self, opts: BuildOpts) -> Launchable {
+        let rounds = self.rounds();
+        let mut b = KernelBuilder::new();
+        b.set_params(vec![
+            self.a_input,
+            self.a_ping,
+            self.a_pong,
+            self.a_flags,
+            self.a_iter,
+            rounds,
+        ]);
+        let input = b.param(0);
+        let ping = b.param(1);
+        let pong = b.param(2);
+        let flags = b.param(3);
+        let iter = b.param(4);
+        let nrounds = b.param(5);
+
+        let blk = b.special(Special::CtaId);
+        let tid = b.special(Special::Tid);
+        let gtid = b.special(Special::GlobalTid);
+        let ntid = b.special(Special::Ntid);
+        let warp = b.special(Special::WarpId);
+        let lane = b.special(Special::Lane);
+        let nwarps = b.shri(ntid, 5);
+
+        let goff8 = b.muli(gtid, 8);
+        let f_off = b.mul(blk, nwarps);
+        let f_off4 = b.muli(f_off, 4);
+        let fbase = b.add(flags, f_off4);
+        let my_iter_off = b.muli(blk, 8);
+        let my_iter = b.add(iter, my_iter_off);
+
+        // Resume point: completed rounds.
+        let done = b.ld(my_iter, 0, MemWidth::W8);
+        let r = b.reg();
+        b.mov_to(r, done);
+
+        // x = V_{done-1}[tid], or undefined if done == 0 (round 0 loads
+        // the input itself).
+        let x = b.reg();
+        let resumed = b.gti(done, 0);
+        b.if_then(resumed, |b| {
+            let prev_r = b.subi(done, 1);
+            let parity = b.andi(prev_r, 1);
+            let prev_ping = b.add(ping, goff8);
+            let prev_pong = b.add(pong, goff8);
+            let src = b.select(parity, prev_pong, prev_ping);
+            let v = b.ld(src, 0, MemWidth::W8);
+            b.mov_to(x, v);
+            // Re-prime the volatile round flags the crash destroyed:
+            // rounds below `done` are durable (pIter proves it), so a
+            // plain store suffices — without it, round `done`'s acquires
+            // of pre-crash rounds would spin forever.
+            let is_lane0 = b.eqi(lane, 0);
+            b.if_then(is_lane0, |b| {
+                let woff = b.muli(warp, 4);
+                let faddr = b.add(fbase, woff);
+                b.st(faddr, 0, done, MemWidth::W4);
+            });
+        });
+
+        b.while_loop(
+            |b| b.lt(r, nrounds),
+            |b| {
+                let is_round0 = b.eqi(r, 0);
+                b.if_then_else(
+                    is_round0,
+                    |b| {
+                        let ia = b.add(input, goff8);
+                        let v = b.ld(ia, 0, MemWidth::W8);
+                        b.mov_to(x, v);
+                    },
+                    |b| {
+                        // stride = 1 << (r-1); consume V_{r-1}[tid-stride].
+                        let rm1 = b.subi(r, 1);
+                        let one = b.movi(1);
+                        let stride = b.reg();
+                        b.mov_to(stride, one);
+                        b.bin_to(BinOp::Shl, stride, rm1);
+                        let takes = b.ge(tid, stride);
+                        b.if_then(takes, |b| {
+                            // Acquire the producing warp's flag for r-1.
+                            let src_tid = b.sub(tid, stride);
+                            let src_warp = b.shri(src_tid, 5);
+                            let woff = b.muli(src_warp, 4);
+                            let faddr = b.add(fbase, woff);
+                            Self::emit_acquire_ge(b, opts, faddr, r);
+                            // Read V_{r-1}[src] from the r-1 buffer.
+                            let parity = b.andi(rm1, 1);
+                            let src_g = b.sub(gtid, stride);
+                            let soff = b.muli(src_g, 8);
+                            let sping = b.add(ping, soff);
+                            let spong = b.add(pong, soff);
+                            let saddr = b.select(parity, spong, sping);
+                            let v = b.ld(saddr, 0, MemWidth::W8);
+                            b.bin_to(BinOp::Add, x, v);
+                        });
+                    },
+                );
+                // Persist V_r[tid] into buf(r).
+                let parity = b.andi(r, 1);
+                let dping = b.add(ping, goff8);
+                let dpong = b.add(pong, goff8);
+                let daddr = b.select(parity, dpong, dping);
+                b.st(daddr, 0, x, MemWidth::W8);
+
+                // Lane 0 releases the warp's round flag.
+                let done_count = b.addi(r, 1);
+                let is_lane0 = b.eqi(lane, 0);
+                b.if_then(is_lane0, |b| {
+                    let woff = b.muli(warp, 4);
+                    let faddr = b.add(fbase, woff);
+                    Self::emit_release_value(b, opts, faddr, done_count);
+                });
+
+                // The leader orders pIter after the whole round.
+                let is_leader = b.eqi(tid, 0);
+                b.if_then(is_leader, |b| {
+                    let w = b.movi(0);
+                    b.while_loop(
+                        |b| b.lt(w, nwarps),
+                        |b| {
+                            let woff = b.muli(w, 4);
+                            let faddr = b.add(fbase, woff);
+                            Self::emit_acquire_ge(b, opts, faddr, done_count);
+                            let one = b.movi(1);
+                            b.bin_to(BinOp::Add, w, one);
+                        },
+                    );
+                    b.st(my_iter, 0, done_count, MemWidth::W8);
+                });
+                b.sync_block();
+                let one = b.movi(1);
+                b.bin_to(BinOp::Add, r, one);
+            },
+        );
+
+        Launchable {
+            kernel: b.build("scan"),
+            launch: LaunchConfig::new(self.blocks(), self.tpb),
+        }
+    }
+
+    fn recovery(&self, _opts: BuildOpts) -> Option<Launchable> {
+        None // native: re-run resumes from pIter
+    }
+
+    fn verify_complete(&self, gpu: &Gpu) -> Result<(), String> {
+        let last = self.rounds() - 1;
+        let buf = self.buf_of(last);
+        for blk in 0..u64::from(self.blocks()) {
+            let expected = self.expected_final(blk);
+            let iter = gpu.read_nvm_u64(self.a_iter + blk * 8);
+            if iter != self.rounds() {
+                return Err(format!("block {blk}: pIter {iter} != {}", self.rounds()));
+            }
+            for t in 0..u64::from(self.tpb) {
+                let g = blk * u64::from(self.tpb) + t;
+                let v = gpu.read_nvm_u64(buf + g * 8);
+                if v != expected[t as usize] {
+                    return Err(format!(
+                        "block {blk} elem {t}: {v} != {}",
+                        expected[t as usize]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn verify_crash_consistent(&self, image: &Backing) -> Result<(), String> {
+        // If pIter == c is durable, round c-1's buffer must be fully
+        // durable and correct for the block — pIter is ordered after the
+        // round's persists via the acquire chain.
+        for blk in 0..u64::from(self.blocks()) {
+            let c = image.read_u64(self.a_iter + blk * 8);
+            if c > self.rounds() {
+                return Err(format!("block {blk}: impossible pIter {c}"));
+            }
+            if c == 0 {
+                continue;
+            }
+            let expected = self.expected_round(blk, c - 1);
+            let buf = self.buf_of(c - 1);
+            for t in 0..u64::from(self.tpb) {
+                let g = blk * u64::from(self.tpb) + t;
+                let v = image.read_u64(buf + g * 8);
+                if v != expected[t as usize] {
+                    return Err(format!(
+                        "block {blk}: pIter={c} but round {} elem {t} is {v}, expected {} — \
+                         PMO violation (marker before data)",
+                        c - 1,
+                        expected[t as usize]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_replay_produces_prefix_sums() {
+        let s = Scan::new(64, 11);
+        let f = s.expected_final(0);
+        let mut acc = 0u64;
+        for (i, &v) in f.iter().enumerate() {
+            acc = acc.wrapping_add(s.input[i]);
+            assert_eq!(v, acc, "element {i}");
+        }
+    }
+
+    #[test]
+    fn rounds_cover_the_block() {
+        let s = Scan::new(256, 1);
+        assert_eq!(s.rounds(), 9); // copy + strides 1..128
+    }
+
+    #[test]
+    fn kernels_build() {
+        let s = Scan::new(256, 1);
+        for model in ModelKind::ALL {
+            assert!(s.kernel(BuildOpts::for_model(model)).kernel.static_len() > 30);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! SRAD — speckle-reducing anisotropic diffusion (§7.1).
+//!
+//! Each thread denoises one pixel in two steps: it computes a noise
+//! coefficient from the pixel's neighbourhood and persists it, then
+//! computes and persists the output pixel. Recovery is *native*: for
+//! consistency, a pixel may only be persisted after its noise
+//! coefficient (intra-thread PMO via `oFence`), so a restarted kernel
+//! resumes from whatever persisted.
+//!
+//! The arithmetic is an integer stand-in for the SRAD stencil: the same
+//! neighbourhood dependence and two-phase persist pattern, with a
+//! `sleep` modelling the floating-point work. The paper notes SRAD's
+//! behaviour is dominated by its bursty persist phase, which this
+//! preserves.
+
+use crate::layout::Layout;
+use crate::{BuildOpts, Launchable, Workload};
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::mem::Backing;
+use sbrp_gpu_sim::Gpu;
+use sbrp_isa::{KernelBuilder, LaunchConfig, MemWidth, Special};
+
+/// Sentinel for "not persisted yet".
+pub const EMPTY: u64 = u64::MAX;
+
+/// Cycles of simulated stencil arithmetic per pixel.
+const COMPUTE_CYCLES: u32 = 40;
+
+/// The SRAD workload over a square image.
+#[derive(Debug)]
+pub struct Srad {
+    pixels: u64,
+    side: u64,
+    tpb: u32,
+    image: Vec<u64>,
+    a_img: u64,
+    a_c: u64,
+    a_out: u64,
+}
+
+impl Srad {
+    /// Creates an instance over roughly `scale` pixels (a square image,
+    /// padded to whole blocks).
+    #[must_use]
+    pub fn new(scale: u64) -> Self {
+        let tpb: u32 = if scale >= 256 { 256 } else { 64 };
+        let side = ((scale as f64).sqrt() as u64).max(16);
+        let mut pixels = side * side;
+        // Round up to whole blocks.
+        let rem = pixels % u64::from(tpb);
+        if rem != 0 {
+            pixels += u64::from(tpb) - rem;
+        }
+        let image: Vec<u64> = (0..pixels)
+            .map(|p| p.wrapping_mul(2_654_435_761) % 256)
+            .collect();
+        let mut l = Layout::new();
+        let a_img = l.gddr(pixels * 8);
+        let a_c = l.nvm(pixels * 8);
+        let a_out = l.nvm(pixels * 8);
+        Srad {
+            pixels,
+            side,
+            tpb,
+            image,
+            a_img,
+            a_c,
+            a_out,
+        }
+    }
+
+    /// Number of pixels.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.pixels
+    }
+
+    /// Never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pixels == 0
+    }
+
+    fn blocks(&self) -> u32 {
+        (self.pixels / u64::from(self.tpb)) as u32
+    }
+
+    /// The expected noise coefficient of pixel `p` (wrap-around
+    /// neighbourhood in the flattened image).
+    fn expected_c(&self, p: u64) -> u64 {
+        let n = self.pixels;
+        let l = self.image[((p + n - 1) % n) as usize];
+        let r = self.image[((p + 1) % n) as usize];
+        let u = self.image[((p + n - self.side) % n) as usize];
+        let d = self.image[((p + self.side) % n) as usize];
+        l.wrapping_add(r).wrapping_add(u).wrapping_add(d) / 4
+    }
+
+    /// The expected output pixel.
+    fn expected_out(&self, p: u64) -> u64 {
+        self.image[p as usize].wrapping_add(self.expected_c(p) >> 1)
+    }
+}
+
+impl Workload for Srad {
+    fn name(&self) -> &'static str {
+        "SRAD"
+    }
+
+    fn init(&self, gpu: &mut Gpu) {
+        self.init_volatile(gpu);
+        let empty = EMPTY.to_le_bytes().repeat(self.pixels as usize);
+        gpu.load_nvm(self.a_c, &empty);
+        gpu.load_nvm(self.a_out, &empty);
+    }
+
+    fn init_volatile(&self, gpu: &mut Gpu) {
+        let bytes: Vec<u8> = self.image.iter().flat_map(|v| v.to_le_bytes()).collect();
+        gpu.load_gddr(self.a_img, &bytes);
+    }
+
+    fn kernel(&self, opts: BuildOpts) -> Launchable {
+        let mut b = KernelBuilder::new();
+        b.set_params(vec![self.a_img, self.a_c, self.a_out, self.side, self.pixels]);
+        let img = b.param(0);
+        let carr = b.param(1);
+        let out = b.param(2);
+        let side = b.param(3);
+        let npix = b.param(4);
+
+        let p = b.special(Special::GlobalTid);
+        let poff = b.muli(p, 8);
+        let my_out = b.add(out, poff);
+        let done = b.ld(my_out, 0, MemWidth::W8);
+        let not_done = b.eqi(done, EMPTY);
+        b.if_then(not_done, |b| {
+            let my_c = b.add(carr, poff);
+            let c_prev = b.ld(my_c, 0, MemWidth::W8);
+            let have_c = b.nei(c_prev, EMPTY);
+            let c = b.reg();
+            b.if_then_else(
+                have_c,
+                |b| b.mov_to(c, c_prev),
+                |b| {
+                    // Wrap-around neighbourhood (avoids boundary branches).
+                    let left_i = b.add(p, npix);
+                    let left_i = b.subi(left_i, 1);
+                    let left_i = b.rem(left_i, npix);
+                    let right_i = b.addi(p, 1);
+                    let right_i = b.rem(right_i, npix);
+                    let up_i = b.add(p, npix);
+                    let up_i = b.sub(up_i, side);
+                    let up_i = b.rem(up_i, npix);
+                    let down_i = b.add(p, side);
+                    let down_i = b.rem(down_i, npix);
+
+                    let lo = b.muli(left_i, 8);
+                    let la = b.add(img, lo);
+                    let lv = b.ld(la, 0, MemWidth::W8);
+                    let ro = b.muli(right_i, 8);
+                    let ra = b.add(img, ro);
+                    let rv = b.ld(ra, 0, MemWidth::W8);
+                    let uo = b.muli(up_i, 8);
+                    let ua = b.add(img, uo);
+                    let uv = b.ld(ua, 0, MemWidth::W8);
+                    let dof = b.muli(down_i, 8);
+                    let da = b.add(img, dof);
+                    let dv = b.ld(da, 0, MemWidth::W8);
+
+                    b.sleep(COMPUTE_CYCLES); // the stencil math
+                    let s = b.add(lv, rv);
+                    let s = b.add(s, uv);
+                    let s = b.add(s, dv);
+                    let cv = b.divi(s, 4);
+                    b.mov_to(c, cv);
+                    b.st(my_c, 0, c, MemWidth::W8);
+                },
+            );
+            // The pixel may persist only after its noise coefficient.
+            match opts.model {
+                ModelKind::Sbrp => b.ofence(),
+                ModelKind::Epoch | ModelKind::Gpm => b.epoch_barrier(),
+            }
+            let ia = b.add(img, poff);
+            let iv = b.ld(ia, 0, MemWidth::W8);
+            let half_c = b.shri(c, 1);
+            let o = b.add(iv, half_c);
+            b.st(my_out, 0, o, MemWidth::W8);
+        });
+
+        Launchable {
+            kernel: b.build("srad"),
+            launch: LaunchConfig::new(self.blocks(), self.tpb),
+        }
+    }
+
+    fn recovery(&self, _opts: BuildOpts) -> Option<Launchable> {
+        None // native: re-run the kernel
+    }
+
+    fn verify_complete(&self, gpu: &Gpu) -> Result<(), String> {
+        for p in 0..self.pixels {
+            let o = gpu.read_nvm_u64(self.a_out + p * 8);
+            if o != self.expected_out(p) {
+                return Err(format!(
+                    "pixel {p}: out = {o}, expected {}",
+                    self.expected_out(p)
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn verify_crash_consistent(&self, image: &Backing) -> Result<(), String> {
+        for p in 0..self.pixels {
+            let c = image.read_u64(self.a_c + p * 8);
+            let o = image.read_u64(self.a_out + p * 8);
+            if c != EMPTY && c != self.expected_c(p) {
+                return Err(format!("pixel {p}: bad noise coefficient {c}"));
+            }
+            if o != EMPTY {
+                if o != self.expected_out(p) {
+                    return Err(format!("pixel {p}: bad output {o}"));
+                }
+                // Intra-thread PMO: the pixel may not be durable before
+                // its noise coefficient.
+                if c == EMPTY {
+                    return Err(format!(
+                        "pixel {p}: output persisted before its noise value — PMO violation"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_rounds_to_blocks() {
+        let s = Srad::new(1000);
+        assert_eq!(s.len() % 256, 0);
+        assert!(s.len() >= 961);
+    }
+
+    #[test]
+    fn expected_math_is_self_consistent() {
+        let s = Srad::new(300);
+        let p = 17;
+        assert_eq!(s.expected_out(p), s.image[p as usize] + (s.expected_c(p) >> 1));
+    }
+
+    #[test]
+    fn kernels_build() {
+        let s = Srad::new(256);
+        for model in ModelKind::ALL {
+            assert!(s.kernel(BuildOpts::for_model(model)).kernel.static_len() > 20);
+            assert!(s.recovery(BuildOpts::for_model(model)).is_none());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The microbenchmark kernels run to completion and behave as designed
+//! (coalescing visible in the PB stats, ping-pong round trips happen).
+
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::{GpuConfig, SystemDesign};
+use sbrp_gpu_sim::Gpu;
+use sbrp_workloads::{BuildOpts, Micro};
+
+fn run(micro: Micro, model: ModelKind, iters: u64) -> sbrp_gpu_sim::stats::SimStats {
+    let cfg = GpuConfig::small(model, SystemDesign::PmNear);
+    let l = micro.kernel(BuildOpts::for_model(model), iters);
+    let mut gpu = Gpu::new(&cfg);
+    gpu.launch(&l.kernel, l.launch);
+    gpu.run(100_000_000)
+        .unwrap_or_else(|e| panic!("{micro}/{model}: {e}"));
+    gpu.stats()
+}
+
+#[test]
+fn all_micros_complete_under_all_models() {
+    for micro in Micro::ALL {
+        for model in ModelKind::ALL {
+            let stats = run(micro, model, 4);
+            assert!(stats.persist_flushes > 0, "{micro}/{model}: no persists?");
+        }
+    }
+}
+
+#[test]
+fn coalesce_stress_coalesces_under_sbrp() {
+    let stats = run(Micro::CoalesceStress, ModelKind::Sbrp, 8);
+    // 32 lanes × W4 into one line: one entry, one flush per iteration
+    // per warp; the per-lane stores coalesce.
+    assert!(
+        stats.pb.coalesced == 0,
+        "a full-warp store is one engine event, not 32: got {} coalesces",
+        stats.pb.coalesced
+    );
+    assert_eq!(stats.pb.entries as u64, stats.persist_flushes);
+}
+
+#[test]
+fn same_line_rewrite_stalls_under_sbrp() {
+    let stats = run(Micro::SameLineRewrite, ModelKind::Sbrp, 8);
+    assert!(
+        stats.pb.stall_ordered > 0,
+        "rewriting a fenced line must hit the §6.1 stall path"
+    );
+}
+
+#[test]
+fn fence_chain_is_cheaper_under_sbrp_than_epoch() {
+    // The asynchronous oFence vs. a blocking barrier per iteration.
+    let cfg_iters = 16;
+    let sbrp = run(Micro::FenceChain, ModelKind::Sbrp, cfg_iters);
+    let epoch = run(Micro::FenceChain, ModelKind::Epoch, cfg_iters);
+    assert!(
+        sbrp.cycles < epoch.cycles,
+        "asynchronous fences should win: SBRP {} vs epoch {}",
+        sbrp.cycles,
+        epoch.cycles
+    );
+}
+
+#[test]
+fn pingpong_round_trips_complete() {
+    for model in [ModelKind::Sbrp, ModelKind::Epoch] {
+        let stats = run(Micro::AcquirePingPong, model, 6);
+        assert!(stats.cycles > 0, "{model}");
+    }
+}

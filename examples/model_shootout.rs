@@ -1,0 +1,48 @@
+//! Compare the three persistency models on one workload and system
+//! design — a miniature of the paper's Figure 6.
+//!
+//! Run with: `cargo run --release --example model_shootout [scale]`
+
+use sbrp::core::ModelKind;
+use sbrp::harness::{run_workload, RunSpec};
+use sbrp::sim::config::SystemDesign;
+use sbrp::workloads::WorkloadKind;
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be an integer"))
+        .unwrap_or(8192);
+    println!("Reduction, {scale} elements, scaled-down GPU\n");
+    println!("{:<12} {:>10} {:>12} {:>14}", "config", "cycles", "speedup", "PM rd misses");
+    let mut baseline = None;
+    for (model, system) in [
+        (ModelKind::Gpm, SystemDesign::PmFar),
+        (ModelKind::Epoch, SystemDesign::PmFar),
+        (ModelKind::Sbrp, SystemDesign::PmFar),
+        (ModelKind::Epoch, SystemDesign::PmNear),
+        (ModelKind::Sbrp, SystemDesign::PmNear),
+    ] {
+        let out = run_workload(&RunSpec {
+            workload: WorkloadKind::Reduction,
+            model,
+            system,
+            scale,
+            ..RunSpec::default()
+        });
+        assert!(out.verified);
+        let base = *baseline.get_or_insert(out.cycles as f64);
+        // Normalize to epoch-far (the second row), as the paper does.
+        if model == ModelKind::Epoch && system == SystemDesign::PmFar {
+            baseline = Some(out.cycles as f64);
+        }
+        println!(
+            "{:<12} {:>10} {:>11.2}x {:>14}",
+            format!("{model}-{system}"),
+            out.cycles,
+            base / out.cycles as f64,
+            out.stats.l1_pm_read_misses,
+        );
+    }
+    println!("\n(speedups are relative to the first row until epoch-far is measured;\n re-run figure6 for the paper's exact normalization)");
+}

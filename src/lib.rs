@@ -1,0 +1,43 @@
+//! # sbrp — Scoped Buffered Persistency Model for GPUs
+//!
+//! Facade crate for the reproduction of *"Scoped Buffered Persistency
+//! Model for GPUs"* (Pandey, Kamath, Basu — ASPLOS 2023). It re-exports
+//! the workspace crates so examples and integration tests can reach the
+//! whole system through one dependency:
+//!
+//! * [`core`] (`sbrp-core`) — the persistency model itself: scopes,
+//!   operations, the executable formal PMO model and checkers, and the
+//!   persist-buffer / epoch hardware engines.
+//! * [`isa`] (`sbrp-isa`) — the structured SIMT ISA and kernel builder
+//!   used to express GPU kernels.
+//! * [`sim`] (`sbrp-gpu-sim`) — the cycle-level GPU timing simulator with
+//!   PM-far / PM-near system designs and crash injection.
+//! * [`workloads`] (`sbrp-workloads`) — the six PM-aware applications of
+//!   the paper's Table 2, with recovery kernels and verifiers.
+//! * [`harness`] (`sbrp-harness`) — experiment orchestration for the
+//!   paper's figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sbrp::harness::{run_workload, RunSpec};
+//! use sbrp::sim::config::SystemDesign;
+//! use sbrp::core::ModelKind;
+//! use sbrp::workloads::WorkloadKind;
+//!
+//! let spec = RunSpec {
+//!     workload: WorkloadKind::Reduction,
+//!     model: ModelKind::Sbrp,
+//!     system: SystemDesign::PmNear,
+//!     scale: 1024, // elements; tiny for the doctest
+//!     ..RunSpec::default()
+//! };
+//! let outcome = run_workload(&spec);
+//! assert!(outcome.verified, "persistent state must be consistent");
+//! ```
+
+pub use sbrp_core as core;
+pub use sbrp_gpu_sim as sim;
+pub use sbrp_harness as harness;
+pub use sbrp_isa as isa;
+pub use sbrp_workloads as workloads;

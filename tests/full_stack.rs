@@ -1,0 +1,94 @@
+//! Workspace-level integration tests through the `sbrp` facade: the
+//! whole stack from kernel construction to formal checking.
+
+use sbrp::core::formal::litmus;
+use sbrp::core::ModelKind;
+use sbrp::harness::{geomean, run_recovery, run_workload, Fig6Bar, RunSpec};
+use sbrp::sim::config::SystemDesign;
+use sbrp::workloads::WorkloadKind;
+
+/// Every workload × every Figure 6 bar, one small run each: verified
+/// results everywhere. This is the figure harness's exact code path.
+#[test]
+fn figure6_matrix_smoke() {
+    for kind in WorkloadKind::ALL {
+        for bar in Fig6Bar::ALL {
+            let (model, system) = bar.model_system();
+            let out = run_workload(&RunSpec {
+                workload: kind,
+                model,
+                system,
+                scale: 512,
+                small_gpu: true,
+                ..RunSpec::default()
+            });
+            assert!(out.verified, "{kind}/{}", bar.label());
+            assert!(out.cycles > 0);
+        }
+    }
+}
+
+/// Crash-recovery timing measurement works for every workload.
+#[test]
+fn recovery_measurement_smoke() {
+    for kind in [WorkloadKind::Gpkvs, WorkloadKind::Reduction, WorkloadKind::Scan] {
+        for model in [ModelKind::Epoch, ModelKind::Sbrp] {
+            let out = run_recovery(
+                &RunSpec {
+                    workload: kind,
+                    model,
+                    system: SystemDesign::PmNear,
+                    scale: 512,
+                    small_gpu: true,
+                    ..RunSpec::default()
+                },
+                0.6,
+            );
+            assert!(out.verified, "{kind}/{model}");
+            assert!(out.recovery_cycles > 0);
+            assert!(out.crash_cycle < out.crash_free_cycles);
+        }
+    }
+}
+
+/// The formal litmus suite is re-exported and passes through the facade.
+#[test]
+fn litmus_suite_via_facade() {
+    for l in litmus::all() {
+        l.check().unwrap();
+    }
+}
+
+/// Buffering is observable end-to-end: SBRP coalesces persists where the
+/// epoch baseline cannot.
+#[test]
+fn sbrp_reports_buffer_activity() {
+    let out = run_workload(&RunSpec {
+        workload: WorkloadKind::Gpkvs,
+        model: ModelKind::Sbrp,
+        scale: 512,
+        small_gpu: true,
+        ..RunSpec::default()
+    });
+    assert!(out.stats.pb.stores > 0);
+    assert!(out.stats.pb.coalesced > 0, "logging coalesces in the PB");
+    assert!(out.stats.pb.acks == out.stats.pb.flushes);
+
+    let epoch = run_workload(&RunSpec {
+        workload: WorkloadKind::Gpkvs,
+        model: ModelKind::Epoch,
+        scale: 512,
+        small_gpu: true,
+        ..RunSpec::default()
+    });
+    assert_eq!(epoch.stats.pb.stores, 0, "no PB under the epoch baseline");
+    assert!(epoch.stats.epoch_rounds > 0);
+}
+
+/// The geometric-mean helper used by every figure binary.
+#[test]
+fn geomean_is_stable_under_permutation() {
+    let a = geomean(&[1.2, 0.8, 3.0, 1.0]);
+    let b = geomean(&[3.0, 1.0, 1.2, 0.8]);
+    assert!((a - b).abs() < 1e-12);
+}
