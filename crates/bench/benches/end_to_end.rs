@@ -10,7 +10,11 @@ use sbrp_workloads::WorkloadKind;
 fn bench_small_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
-    for kind in [WorkloadKind::Gpkvs, WorkloadKind::Reduction, WorkloadKind::Scan] {
+    for kind in [
+        WorkloadKind::Gpkvs,
+        WorkloadKind::Reduction,
+        WorkloadKind::Scan,
+    ] {
         for model in [ModelKind::Epoch, ModelKind::Sbrp] {
             let id = BenchmarkId::new(format!("{kind}"), format!("{model}"));
             g.bench_with_input(id, &(kind, model), |b, &(kind, model)| {

@@ -30,9 +30,13 @@ fn build_chain(threads: u32, per_thread: u32) -> sbrp_core::formal::PmoGraph {
 fn bench_pmo(c: &mut Criterion) {
     let mut g = c.benchmark_group("pmo");
     for &threads in &[8u32, 64, 256] {
-        g.bench_with_input(BenchmarkId::new("build_chain", threads), &threads, |b, &t| {
-            b.iter(|| build_chain(t, 16));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("build_chain", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| build_chain(t, 16));
+            },
+        );
         let graph = build_chain(threads, 16);
         let durable: HashSet<_> = graph.persists().take(threads as usize * 8).collect();
         g.bench_with_input(BenchmarkId::new("crash_cut", threads), &threads, |b, _| {

@@ -11,9 +11,11 @@ use sbrp_harness::report::Table;
 use sbrp_harness::{geomean, run_workload, RunSpec};
 use sbrp_workloads::WorkloadKind;
 
+type Variant = (&'static str, fn(&mut RunSpec));
+
 fn main() {
     let cli = Cli::parse();
-    let variants: [(&str, fn(&mut RunSpec)); 7] = [
+    let variants: [Variant; 7] = [
         ("full", |_| {}),
         ("-ooo-drain", |s| s.no_ooo_drain = true),
         ("-early-flush", |s| s.no_early_flush = true),
@@ -28,8 +30,9 @@ fn main() {
         }),
     ];
     for system in [SystemDesign::PmNear, SystemDesign::PmFar] {
-        let headers: Vec<&str> =
-            std::iter::once("app").chain(variants.iter().map(|v| v.0)).collect();
+        let headers: Vec<&str> = std::iter::once("app")
+            .chain(variants.iter().map(|v| v.0))
+            .collect();
         let mut table = Table::new(
             format!("Ablation: SBRP-{system} speedup over epoch-{system}"),
             &headers,

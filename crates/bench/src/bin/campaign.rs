@@ -1,0 +1,148 @@
+//! Crash-recovery campaign driver.
+//!
+//! Sweeps event-triggered crash points across a (workload × model ×
+//! system) matrix, recovering and verifying at every point, and fails
+//! the process if any point finds a consistency violation.
+//!
+//! ```text
+//! cargo run --release -p sbrp-bench --bin campaign -- --quick
+//! ```
+//!
+//! * `--quick`    — acceptance sweep: gpKVS/HM/MQ × all models × both
+//!   systems on the small GPU at scale 256 (minutes);
+//! * `--points N` — minimum crash points per cell (default 20);
+//! * `--scale N`  — override the workload scale;
+//! * `--seed N`   — input seed (default 42);
+//! * `--small`    — use the 4-SM GPU without the rest of `--quick`;
+//! * `--csv`      — emit CSV instead of an aligned table.
+//!
+//! Without `--quick`, the full six-workload matrix runs at the default
+//! figure scales on the Table 1 machine — an overnight-class sweep.
+
+use sbrp_harness::campaign::{CampaignSpec, CellReport};
+use sbrp_harness::report::Table;
+
+struct Args {
+    quick: bool,
+    points: Option<usize>,
+    scale: Option<u64>,
+    seed: Option<u64>,
+    small: bool,
+    csv: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        quick: false,
+        points: None,
+        scale: None,
+        seed: None,
+        small: false,
+        csv: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> u64 {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} must be an integer"))
+        };
+        match a.as_str() {
+            "--quick" => out.quick = true,
+            "--points" => out.points = Some(num("--points") as usize),
+            "--scale" => out.scale = Some(num("--scale")),
+            "--seed" => out.seed = Some(num("--seed")),
+            "--small" => out.small = true,
+            "--csv" => out.csv = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: campaign [--quick] [--points N] [--scale N] [--seed N] [--small] [--csv]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let mut spec = if args.quick {
+        CampaignSpec::quick()
+    } else {
+        CampaignSpec::default()
+    };
+    if let Some(p) = args.points {
+        spec.points_per_cell = p;
+    }
+    if let Some(s) = args.scale {
+        spec.scale = Some(s);
+    }
+    if let Some(s) = args.seed {
+        spec.seed = s;
+    }
+    if args.small {
+        spec.small_gpu = true;
+    }
+
+    let cells = spec.workloads.len() * spec.models.len() * spec.systems.len();
+    eprintln!(
+        "campaign: {cells} cells ({} workloads x {} models x {} systems), >= {} points/cell",
+        spec.workloads.len(),
+        spec.models.len(),
+        spec.systems.len(),
+        spec.points_per_cell
+    );
+
+    let mut done = 0usize;
+    let report = sbrp_harness::campaign::run_with(&spec, |cell: &CellReport| {
+        done += 1;
+        let status = if let Some(e) = &cell.baseline_error {
+            format!("BASELINE FAILED: {e}")
+        } else if cell.violations() == 0 {
+            format!("{} points, all pass", cell.points.len())
+        } else {
+            format!(
+                "{} points, {} VIOLATIONS",
+                cell.points.len(),
+                cell.violations()
+            )
+        };
+        eprintln!(
+            "[{done}/{cells}] {} {:?} {:?}: {status}",
+            cell.workload, cell.model, cell.system
+        );
+    });
+
+    let table: Table = report.table();
+    if args.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_text());
+    }
+
+    // Spell out every violation with its shrunk minimal crash point.
+    for cell in &report.cells {
+        for s in &cell.shrunk {
+            eprintln!(
+                "violation: {} {:?} {:?} {} minimal failing event k={} -> {:?}",
+                cell.workload,
+                cell.model,
+                cell.system,
+                s.family.label(),
+                s.min_k,
+                s.outcome
+            );
+        }
+    }
+    println!(
+        "campaign: {} points, {} violations",
+        report.total_points(),
+        report.total_violations()
+    );
+    if !report.ok() {
+        std::process::exit(1);
+    }
+}

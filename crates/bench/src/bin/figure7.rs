@@ -17,7 +17,11 @@ fn main() {
         "Figure 7: SBRP speedup breakdown (% buffers vs % scopes)",
         &["app", "system", "buffers%", "scopes%"],
     );
-    for kind in [WorkloadKind::Reduction, WorkloadKind::Multiqueue, WorkloadKind::Scan] {
+    for kind in [
+        WorkloadKind::Reduction,
+        WorkloadKind::Multiqueue,
+        WorkloadKind::Scan,
+    ] {
         let scale = cli.scale_for(kind);
         for system in [SystemDesign::PmFar, SystemDesign::PmNear] {
             let base = RunSpec {

@@ -17,7 +17,9 @@ fn main() {
         ("Epoch-near", ModelKind::Epoch, SystemDesign::PmNear),
         ("SBRP-near", ModelKind::Sbrp, SystemDesign::PmNear),
     ];
-    let headers: Vec<&str> = std::iter::once("app").chain(bars.iter().map(|b| b.0)).collect();
+    let headers: Vec<&str> = std::iter::once("app")
+        .chain(bars.iter().map(|b| b.0))
+        .collect();
     let mut table = Table::new(
         "Figure 8: L1 read misses for NVM data (normalized to epoch-far)",
         &headers,

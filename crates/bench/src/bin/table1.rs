@@ -8,7 +8,10 @@ use sbrp_harness::report::Table;
 fn main() {
     let cli = Cli::parse();
     let c = GpuConfig::table1(ModelKind::Sbrp, SystemDesign::PmNear);
-    let mut t = Table::new("Table 1: simulated hardware configuration", &["parameter", "value"]);
+    let mut t = Table::new(
+        "Table 1: simulated hardware configuration",
+        &["parameter", "value"],
+    );
     let rows: Vec<(&str, String)> = vec![
         ("# of SMs", c.num_sms.to_string()),
         ("Clock speed", format!("{} MHz", c.clock_mhz)),
@@ -20,7 +23,10 @@ fn main() {
         ("GDDR latency", format!("{} ns", c.gddr_latency_ns)),
         (
             "NVM BW",
-            format!("{} GBPS read, {} GBPS write", c.nvm_read_bw_gbps, c.nvm_write_bw_gbps),
+            format!(
+                "{} GBPS read, {} GBPS write",
+                c.nvm_read_bw_gbps, c.nvm_write_bw_gbps
+            ),
         ),
         ("NVM latency", format!("{} ns", c.nvm_latency_ns)),
         ("PCIe BW", format!("{} GBPS", c.pcie_bw_gbps)),

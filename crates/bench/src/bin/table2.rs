@@ -25,7 +25,12 @@ fn main() {
             .recovery(BuildOpts::for_model(sbrp_core::ModelKind::Sbrp))
             .is_some();
         assert_eq!(has_kernel, recovery == "Logging", "{kind}");
-        t.row(vec![kind.label().into(), params.into(), pmo.into(), recovery.into()]);
+        t.row(vec![
+            kind.label().into(),
+            params.into(),
+            pmo.into(),
+            recovery.into(),
+        ]);
     }
     cli.emit(&t);
 }

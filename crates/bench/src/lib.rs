@@ -59,7 +59,8 @@ impl Cli {
     /// The scale to use for a workload.
     #[must_use]
     pub fn scale_for(&self, kind: sbrp_workloads::WorkloadKind) -> u64 {
-        self.scale.unwrap_or_else(|| sbrp_harness::default_scale(kind))
+        self.scale
+            .unwrap_or_else(|| sbrp_harness::default_scale(kind))
     }
 
     /// Prints a finished table in the selected format.

@@ -204,7 +204,10 @@ mod tests {
 
     #[test]
     fn flush_scope_distinguishes_gpm_from_epoch() {
-        assert_eq!(EpochEngine::new(FlushScope::All).flush_scope(), FlushScope::All);
+        assert_eq!(
+            EpochEngine::new(FlushScope::All).flush_scope(),
+            FlushScope::All
+        );
         assert_eq!(
             EpochEngine::new(FlushScope::PmOnly).flush_scope(),
             FlushScope::PmOnly

@@ -572,7 +572,10 @@ mod tests {
         let w2 = tb.persist(other, 0x200);
         tb.observe(acq, rel);
         let g = tb.finish();
-        assert!(g.pmo_holds(w_old, w2), "persists before an earlier oFence are still released");
+        assert!(
+            g.pmo_holds(w_old, w2),
+            "persists before an earlier oFence are still released"
+        );
     }
 
     #[test]

@@ -80,8 +80,16 @@ pub fn intra_thread_ofence() -> Litmus {
         description: "oFence orders a thread's earlier persists before its later ones",
         graph: tb.finish(),
         expectations: vec![
-            Expectation { before: log, after: pair, ordered: true },
-            Expectation { before: pair, after: log, ordered: false },
+            Expectation {
+                before: log,
+                after: pair,
+                ordered: true,
+            },
+            Expectation {
+                before: pair,
+                after: log,
+                ordered: false,
+            },
         ],
     }
 }
@@ -99,8 +107,16 @@ pub fn unfenced_persists() -> Litmus {
         description: "persists without an intervening fence are unordered",
         graph: tb.finish(),
         expectations: vec![
-            Expectation { before: a, after: b, ordered: false },
-            Expectation { before: b, after: a, ordered: false },
+            Expectation {
+                before: a,
+                after: b,
+                ordered: false,
+            },
+            Expectation {
+                before: b,
+                after: a,
+                ordered: false,
+            },
         ],
     }
 }
@@ -121,8 +137,16 @@ pub fn message_passing_block() -> Litmus {
         description: "block-scoped release/acquire orders persists within a threadblock",
         graph: tb.finish(),
         expectations: vec![
-            Expectation { before: w1, after: w2, ordered: true },
-            Expectation { before: w2, after: w1, ordered: false },
+            Expectation {
+                before: w1,
+                after: w2,
+                ordered: true,
+            },
+            Expectation {
+                before: w2,
+                after: w1,
+                ordered: false,
+            },
         ],
     }
 }
@@ -142,7 +166,11 @@ pub fn scoped_bug_block_across_blocks() -> Litmus {
         name: "MP+block-across-blocks (bug)",
         description: "narrower-than-needed scope yields no PMO — the §5.3 persistency bug",
         graph: tb.finish(),
-        expectations: vec![Expectation { before: w1, after: w2, ordered: false }],
+        expectations: vec![Expectation {
+            before: w1,
+            after: w2,
+            ordered: false,
+        }],
     }
 }
 
@@ -161,7 +189,11 @@ pub fn message_passing_device() -> Litmus {
         name: "MP+device",
         description: "device-scoped release/acquire orders persists across threadblocks",
         graph: tb.finish(),
-        expectations: vec![Expectation { before: w1, after: w2, ordered: true }],
+        expectations: vec![Expectation {
+            before: w1,
+            after: w2,
+            ordered: true,
+        }],
     }
 }
 
@@ -184,8 +216,16 @@ pub fn transitive_chain() -> Litmus {
         description: "PMO is transitive across release/acquire chains",
         graph: tb.finish(),
         expectations: vec![
-            Expectation { before: w1, after: w3, ordered: true },
-            Expectation { before: w3, after: w1, ordered: false },
+            Expectation {
+                before: w1,
+                after: w3,
+                ordered: true,
+            },
+            Expectation {
+                before: w3,
+                after: w1,
+                ordered: false,
+            },
         ],
     }
 }
@@ -202,7 +242,11 @@ pub fn dfence_orders() -> Litmus {
         name: "dFence",
         description: "dFence provides the ordering guarantees of oFence",
         graph: tb.finish(),
-        expectations: vec![Expectation { before: w1, after: w2, ordered: true }],
+        expectations: vec![Expectation {
+            before: w1,
+            after: w2,
+            ordered: true,
+        }],
     }
 }
 
@@ -222,10 +266,26 @@ pub fn epoch_barrier_orders() -> Litmus {
         description: "epoch barriers order persists across epochs, not within them",
         graph: tb.finish(),
         expectations: vec![
-            Expectation { before: w1, after: w2, ordered: true },
-            Expectation { before: w2, after: w3, ordered: true },
-            Expectation { before: w1, after: w3, ordered: true },
-            Expectation { before: w3, after: w1, ordered: false },
+            Expectation {
+                before: w1,
+                after: w2,
+                ordered: true,
+            },
+            Expectation {
+                before: w2,
+                after: w3,
+                ordered: true,
+            },
+            Expectation {
+                before: w1,
+                after: w3,
+                ordered: true,
+            },
+            Expectation {
+                before: w3,
+                after: w1,
+                ordered: false,
+            },
         ],
     }
 }
@@ -244,7 +304,11 @@ pub fn acquire_of_initial_value() -> Litmus {
         name: "MP+unobserved",
         description: "an acquire that did not read the release's value orders nothing",
         graph: tb.finish(),
-        expectations: vec![Expectation { before: w1, after: w2, ordered: false }],
+        expectations: vec![Expectation {
+            before: w1,
+            after: w2,
+            ordered: false,
+        }],
     }
 }
 
@@ -280,6 +344,8 @@ mod tests {
         let set = all();
         assert!(set.len() >= 9);
         assert!(set.iter().any(|l| l.expectations.iter().any(|e| e.ordered)));
-        assert!(set.iter().any(|l| l.expectations.iter().any(|e| !e.ordered)));
+        assert!(set
+            .iter()
+            .any(|l| l.expectations.iter().any(|e| !e.ordered)));
     }
 }

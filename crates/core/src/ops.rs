@@ -121,8 +121,14 @@ mod tests {
 
     #[test]
     fn op_scopes() {
-        assert_eq!(PersistOpKind::PAcq(Scope::Block).scope(), Some(Scope::Block));
-        assert_eq!(PersistOpKind::PRel(Scope::Device).scope(), Some(Scope::Device));
+        assert_eq!(
+            PersistOpKind::PAcq(Scope::Block).scope(),
+            Some(Scope::Block)
+        );
+        assert_eq!(
+            PersistOpKind::PRel(Scope::Device).scope(),
+            Some(Scope::Device)
+        );
         assert_eq!(PersistOpKind::EpochBarrier.scope(), Some(Scope::System));
         assert_eq!(PersistOpKind::OFence.scope(), None);
     }
@@ -139,7 +145,10 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(PersistOpKind::PAcq(Scope::Block).to_string(), "pAcq_block");
-        assert_eq!(PersistOpKind::PRel(Scope::Device).to_string(), "pRel_device");
+        assert_eq!(
+            PersistOpKind::PRel(Scope::Device).to_string(),
+            "pRel_device"
+        );
         assert_eq!(ModelKind::Sbrp.to_string(), "SBRP");
     }
 }

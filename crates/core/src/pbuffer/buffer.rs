@@ -92,7 +92,8 @@ impl PersistBuffer {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.fifo.push_back(PbEntry::new(seq, kind, WarpMask::single(warp)));
+        self.fifo
+            .push_back(PbEntry::new(seq, kind, WarpMask::single(warp)));
         self.live += 1;
         match kind {
             EntryKind::Persist(line) => {
@@ -173,9 +174,12 @@ impl PersistBuffer {
     /// entry's own warps is sound.
     #[must_use]
     pub fn has_ordering_before_for(&self, seq: u64, warps: WarpMask) -> bool {
-        warps
-            .iter()
-            .any(|w| self.warp_order_seqs[w.index()].range(..seq).next_back().is_some())
+        warps.iter().any(|w| {
+            self.warp_order_seqs[w.index()]
+                .range(..seq)
+                .next_back()
+                .is_some()
+        })
     }
 
     /// The tail entry, if any (used for tail coalescing of ordering ops).

@@ -66,7 +66,9 @@ impl WarpMask {
 
     /// Iterates over the warps in the mask, lowest slot first.
     pub fn iter(self) -> impl Iterator<Item = WarpSlot> {
-        (0..32u8).filter(move |b| self.0 & (1 << b) != 0).map(WarpSlot)
+        (0..32u8)
+            .filter(move |b| self.0 & (1 << b) != 0)
+            .map(WarpSlot)
     }
 }
 

@@ -30,6 +30,5 @@ pub use entry::{EntryKind, LineIdx, PbEntry};
 pub use masks::WarpMask;
 pub use policy::DrainPolicy;
 pub use unit::{
-    BlockReason, DrainAction, EvictOutcome, OpOutcome, PbConfig, PbStats, PersistUnit,
-    StoreOutcome,
+    BlockReason, DrainAction, EvictOutcome, OpOutcome, PbConfig, PbStats, PersistUnit, StoreOutcome,
 };

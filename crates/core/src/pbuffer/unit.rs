@@ -292,7 +292,10 @@ impl PersistUnit {
     }
 
     fn block(&mut self, warp: WarpSlot, reason: BlockReason) {
-        debug_assert!(self.blocked[warp.index()].is_none(), "{warp} double-blocked");
+        debug_assert!(
+            self.blocked[warp.index()].is_none(),
+            "{warp} double-blocked"
+        );
         self.blocked[warp.index()] = Some(reason);
         match reason {
             BlockReason::OpDone => self.odm.set(warp),
@@ -367,9 +370,7 @@ impl PersistUnit {
             if picked.len() >= limit {
                 break;
             }
-            if !self.buf.has_ordering_before_for(seq, warps)
-                && self.fsm_clear_satisfied(warps)
-            {
+            if !self.buf.has_ordering_before_for(seq, warps) && self.fsm_clear_satisfied(warps) {
                 picked.push(seq);
             }
         }
@@ -619,8 +620,7 @@ impl PersistUnit {
     pub fn tick(&mut self, max_flushes: usize) -> Vec<DrainAction> {
         let mut actions = Vec::new();
         let mut flushed = 0usize;
-        loop {
-            let Some(head) = self.buf.peek_head() else { break };
+        while let Some(head) = self.buf.peek_head() {
             let head_kind = head.kind;
             let head_warps = head.warps;
             let head_seq = head.seq;
@@ -663,9 +663,7 @@ impl PersistUnit {
                         DrainPolicy::Lazy => {
                             self.forced() || head_forced || self.buf.ordering_len() > 0
                         }
-                        DrainPolicy::Window(n) => {
-                            self.forced() || head_forced || self.inflight < n
-                        }
+                        DrainPolicy::Window(n) => self.forced() || head_forced || self.inflight < n,
                     };
                     if !allowed || flushed >= max_flushes {
                         break;
@@ -827,7 +825,10 @@ mod tests {
         u.persist_store(w(0), LineIdx(1)); // pX = a
         u.persist_store(w(0), LineIdx(2)); // pY = b
         assert_eq!(u.ofence(w(0)), OpOutcome::Proceed);
-        assert_eq!(u.persist_store(w(0), LineIdx(1)), StoreOutcome::StallOrdered);
+        assert_eq!(
+            u.persist_store(w(0), LineIdx(1)),
+            StoreOutcome::StallOrdered
+        );
         assert!(u.is_blocked(w(0)));
 
         // Drain both persists, ack them: warp resumes with RetryStore.
@@ -1005,7 +1006,11 @@ mod tests {
         u.pacq(w(1), Scope::Block);
         u.persist_store(w(1), LineIdx(2));
         let acts = u.tick(8);
-        assert_eq!(flush_lines(&acts), vec![LineIdx(1)], "w1's persist held by FSM");
+        assert_eq!(
+            flush_lines(&acts),
+            vec![LineIdx(1)],
+            "w1's persist held by FSM"
+        );
         u.ack_persist(LineIdx(1));
         assert_eq!(flush_lines(&u.tick(8)), vec![LineIdx(2)]);
     }
@@ -1172,7 +1177,11 @@ mod tests {
         assert_eq!(flush_lines(&u.tick(8)).len(), 1);
         assert!(flush_lines(&u.tick(8)).is_empty(), "window closed");
         u.flush_accepted();
-        assert_eq!(flush_lines(&u.tick(8)).len(), 1, "credit reopens the window");
+        assert_eq!(
+            flush_lines(&u.tick(8)).len(),
+            1,
+            "credit reopens the window"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ proptest! {
         let mut flush_sizes: VecDeque<u32> = flushes_per_round.iter().copied().collect();
         let mut waiting_warps = std::collections::HashSet::new();
 
-        let mut handle_ack_result = |ack: sbrp_core::epoch::EpochAck,
+        let handle_ack_result = |ack: sbrp_core::epoch::EpochAck,
                                      released: &mut Vec<u32>| {
             for w in ack.released.iter() {
                 released[w.index()] += 1;

@@ -40,10 +40,7 @@ fn op_strategy(lines: u32) -> impl Strategy<Value = Op> {
 
 fn program_strategy() -> impl Strategy<Value = (Vec<Vec<Op>>, u64, usize)> {
     (
-        proptest::collection::vec(
-            proptest::collection::vec(op_strategy(24), 1..24),
-            1..5,
-        ),
+        proptest::collection::vec(proptest::collection::vec(op_strategy(24), 1..24), 1..5),
         1..40u64,   // ack gap
         4..64usize, // PB capacity
     )
@@ -96,9 +93,10 @@ impl Harness {
             let (_, line, tokens) = self.pending_acks.pop_front().expect("peeked");
             self.unit.ack_persist(line);
             for t in tokens {
-                let prev = self
-                    .durable_at
-                    .insert(sbrp_core::formal::EventId::from_index(t as usize), self.step);
+                let prev = self.durable_at.insert(
+                    sbrp_core::formal::EventId::from_index(t as usize),
+                    self.step,
+                );
                 assert!(prev.is_none(), "token {t} durable twice");
             }
         }
@@ -120,7 +118,10 @@ impl Harness {
                     // The trace event stands across hardware retries; the
                     // token is attached only when the store is accepted.
                     for _retry in 0..10_000 {
-                        match self.unit.persist_store_traced(slot, LineIdx(*line), &[token]) {
+                        match self
+                            .unit
+                            .persist_store_traced(slot, LineIdx(*line), &[token])
+                        {
                             StoreOutcome::Coalesced | StoreOutcome::NewEntry => return,
                             StoreOutcome::StallOrdered | StoreOutcome::StallFull => {
                                 self.wait_unblocked(slot);

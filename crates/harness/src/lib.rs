@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod report;
 
 use sbrp_core::ModelKind;
@@ -182,7 +183,11 @@ pub fn run_recovery(spec: &RunSpec, fraction: f64) -> RecoveryOutput {
     w.init(&mut gpu);
     gpu.launch(&l.kernel, l.launch);
     let report = gpu.run_until(crash_cycle).expect("no deadlock");
-    assert_eq!(report.outcome, RunOutcome::Crashed, "crash point inside the run");
+    assert_eq!(
+        report.outcome,
+        RunOutcome::Crashed,
+        "crash point inside the run"
+    );
     let image = gpu.durable_image();
 
     let mut rgpu = Gpu::from_image(&cfg, &image);
@@ -313,10 +318,7 @@ mod tests {
         assert!(cfg.eadr);
         assert_eq!(cfg.pb.capacity as u32, cfg.l1_lines() / 4);
         assert!((cfg.nvm_bw_scale - 2.0).abs() < 1e-12);
-        assert_eq!(
-            cfg.pb.policy,
-            sbrp_core::pbuffer::DrainPolicy::Window(10)
-        );
+        assert_eq!(cfg.pb.policy, sbrp_core::pbuffer::DrainPolicy::Window(10));
     }
 
     #[test]

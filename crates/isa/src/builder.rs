@@ -92,7 +92,10 @@ impl KernelBuilder {
     /// `dst = params[idx]` — registers the parameter slot.
     pub fn param(&mut self, idx: usize) -> Reg {
         let d = self.reg();
-        self.emit(Stmt::I(Instr::Param(d, u8::try_from(idx).expect("param index"))));
+        self.emit(Stmt::I(Instr::Param(
+            d,
+            u8::try_from(idx).expect("param index"),
+        )));
         d
     }
 

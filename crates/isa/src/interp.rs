@@ -221,7 +221,10 @@ impl WarpInterp {
     /// # Panics
     /// Panics if called while a memory/fence action is outstanding.
     pub fn step(&mut self) -> StepResult {
-        assert!(self.pending.is_none(), "step while an action is outstanding");
+        assert!(
+            self.pending.is_none(),
+            "step while an action is outstanding"
+        );
         loop {
             let Some(top) = self.frames.last_mut() else {
                 return StepResult::Done;
@@ -527,7 +530,10 @@ impl WarpInterp {
     /// # Panics
     /// Panics if nothing is outstanding.
     pub fn retry(&mut self) {
-        assert!(self.pending.take().is_some(), "retry with nothing outstanding");
+        assert!(
+            self.pending.take().is_some(),
+            "retry with nothing outstanding"
+        );
     }
 }
 
@@ -582,8 +588,10 @@ mod tests {
                 },
                 StepResult::Fence(f) => match f {
                     FenceAccess::PAcq { lanes, .. } => {
-                        let vals: Vec<u64> =
-                            lanes.iter().map(|l| *mem.get(&l.addr).unwrap_or(&0)).collect();
+                        let vals: Vec<u64> = lanes
+                            .iter()
+                            .map(|l| *mem.get(&l.addr).unwrap_or(&0))
+                            .collect();
                         w.complete_load(&vals);
                     }
                     FenceAccess::PRel { lanes, .. } => {
@@ -650,11 +658,7 @@ mod tests {
         let tid = b.special(Special::Tid);
         let c = b.lti(tid, 16);
         let out = b.reg();
-        b.if_then_else(
-            c,
-            |b| b.movi_to(out, 1),
-            |b| b.movi_to(out, 2),
-        );
+        b.if_then_else(c, |b| b.movi_to(out, 1), |b| b.movi_to(out, 2));
         let k = b.build("k");
         let (w, _) = run(&k, 0, 0);
         assert_eq!(w.reg(out, 3), 1);

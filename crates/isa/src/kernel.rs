@@ -128,7 +128,11 @@ impl Kernel {
                         out.push_str(&i.to_string());
                         out.push('\n');
                     }
-                    Stmt::If { cond, then_b, else_b } => {
+                    Stmt::If {
+                        cond,
+                        then_b,
+                        else_b,
+                    } => {
                         out.push_str(&format!("{pad}if {cond} {{\n"));
                         walk(out, then_b, depth + 1);
                         if !else_b.is_empty() {

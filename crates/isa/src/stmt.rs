@@ -38,9 +38,7 @@ impl Stmt {
     pub fn static_len(&self) -> usize {
         match self {
             Stmt::I(_) => 1,
-            Stmt::If { then_b, else_b, .. } => {
-                1 + block_len(then_b) + block_len(else_b)
-            }
+            Stmt::If { then_b, else_b, .. } => 1 + block_len(then_b) + block_len(else_b),
             Stmt::While { cond_b, body, .. } => 1 + block_len(cond_b) + block_len(body),
         }
     }

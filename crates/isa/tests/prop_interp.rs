@@ -148,10 +148,10 @@ proptest! {
         let mut interp = WarpInterp::new(&kernel, LaunchConfig::new(1, 32), 0, 0);
         run_warp(&mut interp);
         for (ri, reg) in out.iter().enumerate() {
-            for lane_idx in 0..32 {
+            for (lane_idx, lane_expected) in expected.iter().enumerate() {
                 prop_assert_eq!(
                     interp.reg(*reg, lane_idx),
-                    expected[lane_idx][ri],
+                    lane_expected[ri],
                     "reg {} lane {}", ri, lane_idx
                 );
             }

@@ -7,6 +7,7 @@
 //! a crash is simply "stop and take the image".
 
 use crate::config::GpuConfig;
+use crate::fault::FaultPlan;
 use crate::gpu::{Gpu, RunOutcome, SimError};
 use crate::mem::Backing;
 use sbrp_isa::{Kernel, LaunchConfig};
@@ -66,11 +67,85 @@ pub fn run_with_crash(
     })
 }
 
-/// Boots a recovery GPU from a crash image and runs `recovery` to
-/// completion, returning the recovered GPU.
+/// Like [`run_with_crash`], but the crash point (and any injected
+/// machine bugs) come from a [`FaultPlan`] — crash at the k-th WPQ
+/// accept / PB drain / dFence wait instead of at a raw cycle number.
 ///
 /// # Errors
-/// Propagates simulator deadlocks/timeouts from the recovery kernel.
+/// Propagates simulator deadlocks and timeouts.
+pub fn run_with_plan(
+    cfg: &GpuConfig,
+    init: impl FnOnce(&mut Gpu),
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    plan: FaultPlan,
+    max_cycles: u64,
+) -> Result<CrashRun, SimError> {
+    let mut gpu = Gpu::new(cfg);
+    init(&mut gpu);
+    gpu.set_fault_plan(plan);
+    gpu.launch(kernel, launch);
+    let report = gpu.run_faulted(max_cycles)?;
+    Ok(match report.outcome {
+        RunOutcome::Completed => CrashRun::Completed { gpu: Box::new(gpu) },
+        RunOutcome::Crashed => CrashRun::Crashed {
+            image: CrashImage {
+                nvm: gpu.durable_image(),
+                cycle: report.cycles,
+            },
+            gpu: Box::new(gpu),
+        },
+    })
+}
+
+/// Why [`recover`] failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The recovery run hit a simulator error (deadlock/timeout).
+    Sim(SimError),
+    /// The recovery run stopped without completing — e.g. a fault plan
+    /// installed by `init_volatile` crashed it again. Recovery must
+    /// never be reported successful in this case.
+    Incomplete {
+        /// How the run actually ended.
+        outcome: RunOutcome,
+        /// Cycles elapsed when it stopped.
+        cycles: u64,
+    },
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Sim(e) => write!(f, "recovery run failed: {e}"),
+            RecoverError::Incomplete { outcome, cycles } => {
+                write!(
+                    f,
+                    "recovery ended {outcome:?} (not Completed) at cycle {cycles}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<SimError> for RecoverError {
+    fn from(e: SimError) -> Self {
+        RecoverError::Sim(e)
+    }
+}
+
+/// Boots a recovery GPU from a crash image and runs `recovery` to
+/// completion, returning the recovered GPU. `init_volatile` may install
+/// a [`FaultPlan`] to crash the recovery run itself (nested-crash
+/// campaigns); the run honours it.
+///
+/// # Errors
+/// [`RecoverError::Sim`] for simulator deadlocks/timeouts, and
+/// [`RecoverError::Incomplete`] if the recovery run ended any way other
+/// than [`RunOutcome::Completed`] — an incomplete recovery is a
+/// failure, never silently accepted.
 pub fn recover(
     cfg: &GpuConfig,
     image: &CrashImage,
@@ -78,10 +153,16 @@ pub fn recover(
     recovery: &Kernel,
     launch: LaunchConfig,
     max_cycles: u64,
-) -> Result<Gpu, SimError> {
+) -> Result<Gpu, RecoverError> {
     let mut gpu = Gpu::from_image(cfg, &image.nvm);
     init_volatile(&mut gpu);
     gpu.launch(recovery, launch);
-    gpu.run(max_cycles)?;
+    let report = gpu.run_faulted(max_cycles)?;
+    if report.outcome != RunOutcome::Completed {
+        return Err(RecoverError::Incomplete {
+            outcome: report.outcome,
+            cycles: report.cycles,
+        });
+    }
     Ok(gpu)
 }

@@ -2,6 +2,7 @@
 //! completion routing, and run control.
 
 use crate::config::GpuConfig;
+use crate::fault::{CrashTrigger, FaultEventCounts, FaultPlan};
 use crate::mem::{Backing, MemSubsystem, PersistDest, ReqTag};
 use crate::sm::Sm;
 use crate::stats::SimStats;
@@ -69,6 +70,7 @@ pub struct Gpu {
     tracer: Option<TraceCapture>,
     cycle: u64,
     active: Option<ActiveLaunch>,
+    fault_trigger: Option<CrashTrigger>,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -92,6 +94,7 @@ impl Gpu {
             tracer: cfg.trace.then(TraceCapture::new),
             cycle: 0,
             active: None,
+            fault_trigger: None,
         }
     }
 
@@ -187,7 +190,9 @@ impl Gpu {
     }
 
     fn dispatch(&mut self) {
-        let Some(active) = self.active.as_mut() else { return };
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
         'outer: while active.next_block < active.launch.blocks {
             for sm in &mut self.sms {
                 if sm.try_place_block(&active.kernel, active.launch, active.next_block) {
@@ -206,20 +211,22 @@ impl Gpu {
                     self.sms[sm as usize].on_fill(token as usize, &mut self.tracer, &self.ms);
                 }
                 ReqTag::PersistAck { ack_id } => {
+                    let suppressed = self.ms.fault_ack_suppressed(ack_id);
                     let (dest, tokens) = self.ms.take_persist_dest(ack_id);
-                    if let Some(tc) = self.tracer.as_mut() {
-                        tc.durable(&tokens, c.at);
+                    // A dropped/torn commit still acks (the machine is
+                    // lied to), but the trace records the truth: these
+                    // persists never became durable.
+                    if !suppressed {
+                        if let Some(tc) = self.tracer.as_mut() {
+                            tc.durable(&tokens, c.at);
+                        }
                     }
                     match dest {
                         PersistDest::Sbrp { sm, line } => {
                             self.sms[sm as usize].on_persist_ack(line);
                         }
                         PersistDest::Epoch { sm } => {
-                            self.sms[sm as usize].on_epoch_ack(
-                                &mut self.ms,
-                                &mut self.tracer,
-                                c.at,
-                            );
+                            self.sms[sm as usize].on_epoch_ack(&mut self.ms, c.at);
                         }
                         PersistDest::Detached => {}
                     }
@@ -228,7 +235,7 @@ impl Gpu {
                     self.sms[sm as usize].on_flush_accepted();
                 }
                 ReqTag::EpochVol { sm } => {
-                    self.sms[sm as usize].on_epoch_ack(&mut self.ms, &mut self.tracer, c.at);
+                    self.sms[sm as usize].on_epoch_ack(&mut self.ms, c.at);
                 }
                 ReqTag::None => {}
             }
@@ -283,7 +290,10 @@ impl Gpu {
             }) {
                 let flushes: u64 = self.sms.iter().map(|s| s.counters().persist_flushes).sum();
                 let buffered: usize = self.sms.iter().map(Sm::debug_buffered).sum();
-                eprintln!("[debug] cyc={} flushes={} buffered={}", self.cycle, flushes, buffered);
+                eprintln!(
+                    "[debug] cyc={} flushes={} buffered={}",
+                    self.cycle, flushes, buffered
+                );
             }
         }
         self.route_completions();
@@ -335,6 +345,98 @@ impl Gpu {
         Err(SimError::Timeout { limit })
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Installs a fault-injection plan (see [`crate::fault`]). Must be
+    /// paired with [`Gpu::run_faulted`], which turns fault-triggered
+    /// power cuts into [`RunOutcome::Crashed`] reports.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_trigger = plan.trigger;
+        self.ms.set_fault_plan(plan);
+    }
+
+    /// Totals of the countable crash-trigger events so far; a campaign
+    /// reads these after a crash-free run to size its sweep.
+    #[must_use]
+    pub fn fault_event_counts(&self) -> FaultEventCounts {
+        let (wpq_accepts, pb_drains) = self.ms.fault_event_counts();
+        FaultEventCounts {
+            wpq_accepts,
+            pb_drains,
+            dfence_waits: self.sms.iter().map(|s| s.counters().dfence_waits).sum(),
+        }
+    }
+
+    /// Whether the PCIe link died by exhausting its retry budget (a
+    /// [`crate::fault::PcieFaultConfig`] consequence).
+    #[must_use]
+    pub fn fault_link_dead(&self) -> bool {
+        self.ms.fault_link_dead()
+    }
+
+    /// Whether an installed fault plan has cut power.
+    fn fault_crash_now(&self) -> bool {
+        if self.ms.fault_crashed() {
+            return true;
+        }
+        match self.fault_trigger {
+            Some(CrashTrigger::AtCycle(c)) => self.cycle >= c,
+            Some(CrashTrigger::DFenceWait(k)) => {
+                self.sms
+                    .iter()
+                    .map(|s| s.counters().dfence_waits)
+                    .sum::<u64>()
+                    >= k
+            }
+            _ => false,
+        }
+    }
+
+    /// Like [`Gpu::run`], but honours an installed [`FaultPlan`]: when a
+    /// crash trigger fires (or the PCIe link dies), the run stops with
+    /// [`RunOutcome::Crashed`] and the durable image holds exactly what
+    /// the persistence domain had accepted. With no plan installed this
+    /// is identical to [`Gpu::run`].
+    ///
+    /// # Errors
+    /// [`SimError::Timeout`] if `max_cycles` elapse with neither
+    /// completion nor a crash; [`SimError::Deadlock`] only for genuine
+    /// (non-fault) wedges.
+    pub fn run_faulted(&mut self, max_cycles: u64) -> Result<RunReport, SimError> {
+        let limit = self.cycle.saturating_add(max_cycles);
+        while self.cycle < limit {
+            if self.fault_crash_now() {
+                return Ok(RunReport {
+                    outcome: RunOutcome::Crashed,
+                    cycles: self.cycle,
+                });
+            }
+            match self.step() {
+                Ok(true) => {
+                    return Ok(RunReport {
+                        outcome: RunOutcome::Completed,
+                        cycles: self.cycle,
+                    })
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    // A power cut strands waiters mid-step; that is the
+                    // crash, not a simulator wedge.
+                    if self.fault_crash_now() {
+                        return Ok(RunReport {
+                            outcome: RunOutcome::Crashed,
+                            cycles: self.cycle,
+                        });
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Err(SimError::Timeout { limit })
+    }
+
     /// Runs until `crash_cycle` (simulated power failure) or completion,
     /// whichever comes first. On a crash, volatile state (caches, persist
     /// buffers, registers) is conceptually lost; use
@@ -364,11 +466,15 @@ impl Gpu {
     /// Aggregates statistics across SMs and the memory system.
     #[must_use]
     pub fn stats(&self) -> SimStats {
+        let (pcie_retries, pcie_backoff_cycles) = self.ms.pcie_retry_stats();
         let mut s = SimStats {
             cycles: self.cycle,
             pcie_bytes: self.ms.pcie_bytes(),
             nvm_write_bytes: self.ms.nvm_write_bytes(),
             nvm_read_bytes: self.ms.nvm_read_bytes(),
+            wpq_accepts: self.ms.fault_event_counts().0,
+            pcie_retries,
+            pcie_backoff_cycles,
             ..SimStats::default()
         };
         for sm in &self.sms {
@@ -378,6 +484,7 @@ impl Gpu {
             s.l1_pm_read_misses += c.pm_read_misses;
             s.persist_flushes += c.persist_flushes;
             s.volatile_writebacks += c.volatile_writebacks;
+            s.dfence_waits += c.dfence_waits;
             s.l1_hits += c.reads - c.read_misses;
             s.l1_misses += c.read_misses;
             s.epoch_rounds += sm.epoch_rounds();

@@ -60,6 +60,7 @@
 
 pub mod config;
 pub mod crash;
+pub mod fault;
 mod gpu;
 pub mod mem;
 pub mod pmem;

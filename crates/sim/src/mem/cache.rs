@@ -145,7 +145,10 @@ impl Cache {
     /// ways keeps persist-heavy working sets from wedging the cache.
     #[must_use]
     pub fn choose_victim(&self, addr: u64) -> (u32, Option<Victim>) {
-        debug_assert!(self.peek(addr).is_none(), "choose_victim on a resident line");
+        debug_assert!(
+            self.peek(addr).is_none(),
+            "choose_victim on a resident line"
+        );
         let mut best_unpinned = None::<usize>;
         let mut best_any = None::<usize>;
         for i in self.set_range(addr) {
@@ -153,11 +156,11 @@ impl Cache {
                 return (i as u32, None);
             }
             if !(self.lines[i].pm && self.lines[i].dirty)
-                && best_unpinned.map_or(true, |b| self.lines[i].lru < self.lines[b].lru)
+                && best_unpinned.is_none_or(|b| self.lines[i].lru < self.lines[b].lru)
             {
                 best_unpinned = Some(i);
             }
-            if best_any.map_or(true, |b| self.lines[i].lru < self.lines[b].lru) {
+            if best_any.is_none_or(|b| self.lines[i].lru < self.lines[b].lru) {
                 best_any = Some(i);
             }
         }

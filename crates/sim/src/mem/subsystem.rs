@@ -5,6 +5,7 @@ use super::backing::Backing;
 use super::cache::Cache;
 use super::channel::Channel;
 use crate::config::{is_pm, GpuConfig, SystemDesign};
+use crate::fault::{DurableAction, FaultPlan, FaultState};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -141,6 +142,7 @@ pub struct MemSubsystem {
     next_seq: u64,
     persist_dests: std::collections::HashMap<u64, (PersistDest, Vec<u64>)>,
     next_ack_id: u64,
+    fault: FaultState,
 }
 
 impl std::fmt::Debug for MemSubsystem {
@@ -181,7 +183,73 @@ impl MemSubsystem {
             next_seq: 0,
             persist_dests: std::collections::HashMap::new(),
             next_ack_id: 0,
+            fault: FaultState::default(),
         }
+    }
+
+    /// Installs a fault-injection plan (see [`crate::fault`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault.set_plan(plan);
+    }
+
+    /// Whether an injected fault has cut power (or killed the PCIe
+    /// link): no further events are delivered or committed.
+    #[must_use]
+    pub fn fault_crashed(&self) -> bool {
+        self.fault.crashed
+    }
+
+    /// Whether the PCIe link died by exhausting its retry budget.
+    #[must_use]
+    pub fn fault_link_dead(&self) -> bool {
+        self.fault.link_dead
+    }
+
+    /// Whether fault injection suppressed the durable commit behind a
+    /// persist acknowledgement (its persists must not be marked durable
+    /// in the trace).
+    #[must_use]
+    pub fn fault_ack_suppressed(&self, ack_id: u64) -> bool {
+        self.fault.ack_suppressed(ack_id)
+    }
+
+    /// (WPQ accepts, persist-buffer drains) observed so far — the
+    /// event-trigger counters of [`crate::fault::CrashTrigger`].
+    #[must_use]
+    pub fn fault_event_counts(&self) -> (u64, u64) {
+        (self.fault.wpq_accepts, self.fault.pb_drains)
+    }
+
+    /// (retries, backoff cycles) spent recovering transient PCIe faults.
+    #[must_use]
+    pub fn pcie_retry_stats(&self) -> (u64, u64) {
+        (self.fault.pcie_retries, self.fault.pcie_backoff_cycles)
+    }
+
+    /// A PCIe transfer, subject to transient link faults: a faulted
+    /// transfer is retransmitted with exponential backoff (re-charging
+    /// link bandwidth each attempt); exhausting the retry budget kills
+    /// the link, which the machine treats as a power cut.
+    fn pcie_transfer(&mut self, now: u64, bytes: u64) -> (u64, u64) {
+        let (accept, done) = self.pcie.access(now, bytes);
+        let Some(glitch) = self.fault.pcie_glitch() else {
+            return (accept, done);
+        };
+        let (mut accept, mut done) = (accept, done);
+        for attempt in 0..glitch.burst {
+            if attempt >= glitch.max_retries {
+                self.fault.link_dead = true;
+                self.fault.crashed = true;
+                break;
+            }
+            let backoff = glitch.backoff_base << attempt.min(16);
+            self.fault.pcie_retries += 1;
+            self.fault.pcie_backoff_cycles += backoff;
+            let (a, d) = self.pcie.access(done + backoff, bytes);
+            accept = a;
+            done = d;
+        }
+        (accept, done)
     }
 
     fn schedule(&mut self, at: u64, kind: EventKind) {
@@ -249,7 +317,7 @@ impl MemSubsystem {
                     // returns over PCIe (bandwidth + latency).
                     let t_req = at_l2 + self.pcie_latency;
                     let (_, t_nvm) = self.nvm_read.access(t_req, line);
-                    let (_, t_ret) = self.pcie.access(t_nvm, line);
+                    let (_, t_ret) = self.pcie_transfer(t_nvm, line);
                     t_ret
                 }
             }
@@ -280,6 +348,7 @@ impl MemSubsystem {
         dest: PersistDest,
         tokens: Vec<u64>,
     ) -> u64 {
+        self.fault.on_pb_drain();
         let ack_id = self.next_ack_id;
         self.next_ack_id += 1;
         let sbrp_sm = match dest {
@@ -306,7 +375,7 @@ impl MemSubsystem {
                 accept + MC_ACCEPT_LATENCY
             }
             SystemDesign::PmFar => {
-                let (_, over_pcie) = self.pcie.access(at_l2, line);
+                let (_, over_pcie) = self.pcie_transfer(at_l2, line);
                 if self.eadr {
                     // eADR: durable once it reaches the host LLC; the NVM
                     // write still happens, consuming bandwidth.
@@ -354,25 +423,60 @@ impl MemSubsystem {
         self.schedule(at_l2 + ATOMIC_OP_LATENCY, EventKind::Deliver(tag));
     }
 
-    /// Delivers all events due at or before `now`.
+    /// Delivers all events due at or before `now`. If an injected fault
+    /// cuts power mid-batch, delivery stops at that exact event: later
+    /// events (even same-cycle ones) never commit or deliver.
     pub fn poll(&mut self, now: u64) -> Vec<Completion> {
         let mut out = Vec::new();
         while let Some(Reverse(e)) = self.events.peek() {
-            if e.at > now {
+            if e.at > now || self.fault.crashed {
                 break;
             }
             let Reverse(e) = self.events.pop().expect("peeked event");
             match e.kind {
                 EventKind::Deliver(tag) => out.push(Completion { at: e.at, tag }),
                 EventKind::Durable { segments, tag } => {
-                    for (addr, data) in segments {
-                        self.nvm_durable.write_bytes(addr, &data);
+                    let ack_id = match tag {
+                        ReqTag::PersistAck { ack_id } => Some(ack_id),
+                        _ => None,
+                    };
+                    match self.fault.on_wpq_accept(ack_id) {
+                        DurableAction::Commit => {
+                            for (addr, data) in segments {
+                                self.nvm_durable.write_bytes(addr, &data);
+                            }
+                        }
+                        DurableAction::Drop => {}
+                        DurableAction::Torn(chunks) => {
+                            Self::commit_torn(&mut self.nvm_durable, &segments, chunks);
+                        }
                     }
+                    // The ack is delivered even for dropped/torn commits:
+                    // the machine believes the persist is durable.
                     out.push(Completion { at: e.at, tag });
                 }
             }
         }
         out
+    }
+
+    /// Commits only the first `chunks` 8-byte-aligned chunks of the
+    /// flush's segments — a torn media write.
+    fn commit_torn(durable: &mut Backing, segments: &[(u64, Vec<u8>)], mut chunks: u32) {
+        for (addr, data) in segments {
+            let mut off = 0usize;
+            while off < data.len() {
+                if chunks == 0 {
+                    return;
+                }
+                let a = addr + off as u64;
+                // Run up to the next 8-byte boundary (or segment end).
+                let take = (((a / 8 + 1) * 8 - a) as usize).min(data.len() - off);
+                durable.write_bytes(a, &data[off..off + take]);
+                off += take;
+                chunks -= 1;
+            }
+        }
     }
 
     /// The next pending event's cycle, for fast-forwarding.
@@ -423,7 +527,9 @@ mod tests {
 
     fn drain_until(ms: &mut MemSubsystem, tagged: ReqTag) -> u64 {
         for _ in 0..100 {
-            let Some(at) = ms.next_event() else { panic!("no events") };
+            let Some(at) = ms.next_event() else {
+                panic!("no events")
+            };
             for c in ms.poll(at) {
                 if c.tag == tagged {
                     return c.at;
@@ -466,7 +572,10 @@ mod tests {
         let mut far = subsystem(SystemDesign::PmFar);
         far.submit_load(0, PM_BASE, tag);
         let t_far = drain_until(&mut far, tag);
-        assert!(t_far > t_near + 400, "PCIe adds round-trip cost: {t_far} vs {t_near}");
+        assert!(
+            t_far > t_near + 400,
+            "PCIe adds round-trip cost: {t_far} vs {t_near}"
+        );
     }
 
     #[test]
@@ -474,8 +583,13 @@ mod tests {
         let mut ms = subsystem(SystemDesign::PmNear);
         ms.nvm_mem.write_u64(PM_BASE, 42);
         let data = ms.nvm_mem.read_bytes(PM_BASE, 128);
-        let id =
-            ms.submit_persist_flush(0, PM_BASE, vec![(PM_BASE, data)], PersistDest::Detached, vec![7]);
+        let id = ms.submit_persist_flush(
+            0,
+            PM_BASE,
+            vec![(PM_BASE, data)],
+            PersistDest::Detached,
+            vec![7],
+        );
         assert_eq!(ms.nvm_durable.read_u64(PM_BASE), 0, "not durable yet");
         let t = drain_until(&mut ms, ReqTag::PersistAck { ack_id: id });
         assert!(t > 0);

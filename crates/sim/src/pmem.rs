@@ -51,6 +51,9 @@ pub enum PmemError {
     TableFull,
     /// The name exceeds the fixed name field.
     NameTooLong,
+    /// The table failed an integrity check (e.g. a torn write to driver
+    /// metadata in a crash image).
+    Corrupt(String),
 }
 
 impl fmt::Display for PmemError {
@@ -60,6 +63,7 @@ impl fmt::Display for PmemError {
             PmemError::Exists => f.write_str("region name already exists"),
             PmemError::TableFull => f.write_str("namespace table is full"),
             PmemError::NameTooLong => f.write_str("region name exceeds 32 bytes"),
+            PmemError::Corrupt(why) => write!(f, "namespace table corrupt: {why}"),
         }
     }
 }
@@ -162,6 +166,74 @@ impl Namespace {
             .find(|r| r.name == name)
     }
 
+    /// Whether an image carries a formatted namespace table.
+    #[must_use]
+    pub fn is_formatted(image: &Backing) -> bool {
+        image.read_u64(PM_BASE) == MAGIC
+    }
+
+    /// Integrity-checks the namespace table in a durable image: sane
+    /// entry count, in-bounds region addresses, and no overlapping
+    /// regions. Recovery paths (and the crash-recovery campaign) run
+    /// this before trusting the table; a torn write to driver metadata
+    /// surfaces here instead of as silent data corruption.
+    ///
+    /// # Errors
+    /// [`PmemError::Unformatted`] if the magic is missing, or
+    /// [`PmemError::Corrupt`] describing the first inconsistency found.
+    pub fn verify_image(image: &Backing) -> Result<(), PmemError> {
+        if !Self::is_formatted(image) {
+            return Err(PmemError::Unformatted);
+        }
+        let count = image.read_u64(PM_BASE + 8);
+        if count > MAX_ENTRIES {
+            return Err(PmemError::Corrupt(format!(
+                "entry count {count} > {MAX_ENTRIES}"
+            )));
+        }
+        let mut regions: Vec<Region> = Vec::new();
+        for i in 0..count {
+            let base = Self::entry_addr(i);
+            let valid = image.read_u64(base + NAME_BYTES as u64 + 16);
+            if valid > 1 {
+                return Err(PmemError::Corrupt(format!(
+                    "entry {i} has valid mark {valid}"
+                )));
+            }
+            let Some(r) = Self::read_entry(image, i) else {
+                continue;
+            };
+            if r.addr < HEAP_BASE {
+                return Err(PmemError::Corrupt(format!(
+                    "region '{}' at {:#x} below heap base",
+                    r.name, r.addr
+                )));
+            }
+            if r.addr % 128 != 0 {
+                return Err(PmemError::Corrupt(format!(
+                    "region '{}' at {:#x} not 128-byte aligned",
+                    r.name, r.addr
+                )));
+            }
+            let Some(end) = r.addr.checked_add(r.size) else {
+                return Err(PmemError::Corrupt(format!(
+                    "region '{}' size overflows",
+                    r.name
+                )));
+            };
+            for prev in &regions {
+                if r.addr < prev.addr + prev.size && prev.addr < end {
+                    return Err(PmemError::Corrupt(format!(
+                        "regions '{}' and '{}' overlap",
+                        prev.name, r.name
+                    )));
+                }
+            }
+            regions.push(r);
+        }
+        Ok(())
+    }
+
     /// Lists all regions in an image.
     #[must_use]
     pub fn list(image: &Backing) -> Vec<Region> {
@@ -169,7 +241,9 @@ impl Namespace {
             return Vec::new();
         }
         let count = image.read_u64(PM_BASE + 8).min(MAX_ENTRIES);
-        (0..count).filter_map(|i| Self::read_entry(image, i)).collect()
+        (0..count)
+            .filter_map(|i| Self::read_entry(image, i))
+            .collect()
     }
 }
 
@@ -259,6 +333,42 @@ mod tests {
         let image = g.durable_image();
         let r = Namespace::open_in(&image, "survivor").unwrap();
         assert_eq!(r.addr, addr);
+    }
+
+    #[test]
+    fn verify_image_accepts_well_formed_tables() {
+        let mut g = gpu();
+        assert_eq!(
+            Namespace::verify_image(&g.durable_image()),
+            Err(PmemError::Unformatted)
+        );
+        Namespace::format(&mut g);
+        Namespace::create(&mut g, "a", 256).unwrap();
+        Namespace::create(&mut g, "b", 256).unwrap();
+        assert!(Namespace::is_formatted(&g.durable_image()));
+        assert_eq!(Namespace::verify_image(&g.durable_image()), Ok(()));
+    }
+
+    #[test]
+    fn verify_image_catches_torn_metadata() {
+        let mut g = gpu();
+        Namespace::format(&mut g);
+        Namespace::create(&mut g, "a", 256).unwrap();
+        // Tear the entry's address field to something out of bounds.
+        let mut img = g.durable_image();
+        let base = Namespace::entry_addr(0);
+        img.write_u64(base + NAME_BYTES as u64, PM_BASE / 2);
+        assert!(matches!(
+            Namespace::verify_image(&img),
+            Err(PmemError::Corrupt(_))
+        ));
+        // And a bogus count.
+        let mut img2 = g.durable_image();
+        img2.write_u64(PM_BASE + 8, MAX_ENTRIES + 7);
+        assert!(matches!(
+            Namespace::verify_image(&img2),
+            Err(PmemError::Corrupt(_))
+        ));
     }
 
     #[test]

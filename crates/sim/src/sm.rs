@@ -17,7 +17,10 @@ use sbrp_isa::{
 };
 use std::collections::HashMap;
 
-/// The per-SM persistency hardware.
+/// The per-SM persistency hardware. One instance per SM, held inline:
+/// the PersistUnit's size is fine unboxed and stays off the heap on
+/// the per-cycle hot path.
+#[allow(clippy::large_enum_variant)]
 enum Engine {
     Sbrp(PersistUnit),
     Epoch(EpochEngine),
@@ -38,11 +41,15 @@ struct Group {
 }
 
 enum OpKind {
-    Load { pacq: Option<Scope> },
+    Load {
+        pacq: Option<Scope>,
+    },
     /// L1-bypassing load (flag spins; goes straight to the L2).
     LoadBypass,
     Store,
-    Atomic { olds: Vec<u64> },
+    Atomic {
+        olds: Vec<u64>,
+    },
 }
 
 /// An in-flight memory instruction, processed one group per issue slot.
@@ -108,6 +115,10 @@ pub struct SmCounters {
     pub persist_flushes: u64,
     /// Volatile writebacks (evictions + GPM barrier flushes).
     pub volatile_writebacks: u64,
+    /// Warps that entered a durability wait: a dFence blocking on
+    /// pending drains, or an epoch barrier ([`crate::fault`] counts
+    /// these as crash-trigger events).
+    pub dfence_waits: u64,
 }
 
 /// A streaming multiprocessor.
@@ -418,26 +429,15 @@ impl Sm {
     }
 
     /// An epoch barrier writeback (PM or volatile) completed.
-    pub fn on_epoch_ack(
-        &mut self,
-        ms: &mut MemSubsystem,
-        tracer: &mut Option<TraceCapture>,
-        now: u64,
-    ) {
+    pub fn on_epoch_ack(&mut self, ms: &mut MemSubsystem, now: u64) {
         let ack = match &mut self.engine {
             Engine::Epoch(e) => e.ack(),
             Engine::Sbrp(_) => panic!("epoch ack delivered to an SBRP SM"),
         };
-        self.handle_epoch_ack(ack, ms, tracer, now);
+        self.handle_epoch_ack(ack, ms, now);
     }
 
-    fn handle_epoch_ack(
-        &mut self,
-        ack: EpochAck,
-        ms: &mut MemSubsystem,
-        tracer: &mut Option<TraceCapture>,
-        now: u64,
-    ) {
+    fn handle_epoch_ack(&mut self, ack: EpochAck, ms: &mut MemSubsystem, now: u64) {
         for w in ack.released.iter() {
             let slot = w.index();
             if let Some(ctx) = self.warps[slot].as_mut() {
@@ -452,7 +452,7 @@ impl Sm {
                 Engine::Epoch(e) => e.begin_round(count),
                 Engine::Sbrp(_) => unreachable!(),
             };
-            self.handle_epoch_ack(next, ms, tracer, now);
+            self.handle_epoch_ack(next, ms, now);
         }
     }
 
@@ -610,11 +610,7 @@ impl Sm {
         progress
     }
 
-    fn apply_rel_batch(
-        ms: &mut MemSubsystem,
-        tracer: &mut Option<TraceCapture>,
-        batch: &RelBatch,
-    ) {
+    fn apply_rel_batch(ms: &mut MemSubsystem, tracer: &mut Option<TraceCapture>, batch: &RelBatch) {
         for &(addr, value, rel) in &batch.lanes {
             // Release flags are 32-bit, matching pAcq's load width.
             ms.write_mem(addr, value, 4);
@@ -867,8 +863,7 @@ impl Sm {
                         });
                     }
                 }
-                let tokens =
-                    self.with_mem_op(slot, |op| op.groups[op.next].tokens.clone());
+                let tokens = self.with_mem_op(slot, |op| op.groups[op.next].tokens.clone());
                 let accepted = match &mut self.engine {
                     Engine::Sbrp(unit) => matches!(
                         unit.persist_store_traced(WarpSlot::new(slot), LineIdx(line), &tokens),
@@ -1084,24 +1079,22 @@ impl Sm {
                 Engine::Epoch(_) => self.epoch_barrier(slot, ms, tracer, cycle),
             },
             FenceAccess::DFence => match &mut self.engine {
-                Engine::Sbrp(unit) => {
-                    match unit.dfence(WarpSlot::new(slot)) {
-                        OpOutcome::Proceed => {
-                            self.trace_fence_all_lanes(slot, tracer, PersistOpKind::DFence);
-                            self.warps[slot].as_mut().expect("warp").interp.complete();
-                        }
-                        OpOutcome::StallUntilDone => {
-                            self.trace_fence_all_lanes(slot, tracer, PersistOpKind::DFence);
-                            let ctx = self.warps[slot].as_mut().expect("warp");
-                            ctx.op = Some(WaitingOp::Fence);
-                            ctx.blocked = Some(Blocked::Engine);
-                        }
-                        OpOutcome::StallRetry => {
-                            self.warps[slot].as_mut().expect("warp").blocked =
-                                Some(Blocked::Engine);
-                        }
+                Engine::Sbrp(unit) => match unit.dfence(WarpSlot::new(slot)) {
+                    OpOutcome::Proceed => {
+                        self.trace_fence_all_lanes(slot, tracer, PersistOpKind::DFence);
+                        self.warps[slot].as_mut().expect("warp").interp.complete();
                     }
-                }
+                    OpOutcome::StallUntilDone => {
+                        self.trace_fence_all_lanes(slot, tracer, PersistOpKind::DFence);
+                        self.counters.dfence_waits += 1;
+                        let ctx = self.warps[slot].as_mut().expect("warp");
+                        ctx.op = Some(WaitingOp::Fence);
+                        ctx.blocked = Some(Blocked::Engine);
+                    }
+                    OpOutcome::StallRetry => {
+                        self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Engine);
+                    }
+                },
                 Engine::Epoch(_) => self.epoch_barrier(slot, ms, tracer, cycle),
             },
             FenceAccess::EpochBarrier => match &self.engine {
@@ -1208,6 +1201,7 @@ impl Sm {
         cycle: u64,
     ) {
         self.trace_fence_all_lanes(slot, tracer, PersistOpKind::EpochBarrier);
+        self.counters.dfence_waits += 1;
         self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::EpochWait);
         let starts = match &mut self.engine {
             Engine::Epoch(e) => e.barrier(WarpSlot::new(slot)),
@@ -1219,7 +1213,7 @@ impl Sm {
                 Engine::Epoch(e) => e.begin_round(count),
                 Engine::Sbrp(_) => unreachable!(),
             };
-            self.handle_epoch_ack(ack, ms, tracer, cycle);
+            self.handle_epoch_ack(ack, ms, cycle);
         }
     }
 

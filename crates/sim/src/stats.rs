@@ -30,6 +30,14 @@ pub struct SimStats {
     pub nvm_write_bytes: u64,
     /// Bytes read from NVM.
     pub nvm_read_bytes: u64,
+    /// Writes accepted into memory-controller WPQs (durable commits).
+    pub wpq_accepts: u64,
+    /// Warps that blocked waiting on durability (dFence/epoch barrier).
+    pub dfence_waits: u64,
+    /// PCIe retransmissions recovering injected transient link faults.
+    pub pcie_retries: u64,
+    /// Cycles spent in PCIe retry backoff.
+    pub pcie_backoff_cycles: u64,
     /// Aggregated persist-buffer statistics (SBRP runs).
     pub pb: PbStats,
 }

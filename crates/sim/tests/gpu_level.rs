@@ -86,7 +86,9 @@ fn wal_trace_respects_pmo_in_complete_runs() {
         gpu.run(LIMIT).expect("completes");
         let trace = gpu.take_trace().expect("tracing enabled");
         assert!(trace.persist_count() > 0);
-        trace.check().unwrap_or_else(|v| panic!("{model:?}: PMO violated: {v}"));
+        trace
+            .check()
+            .unwrap_or_else(|v| panic!("{model:?}: PMO violated: {v}"));
     }
 }
 
@@ -129,8 +131,7 @@ fn wal_crash_never_shows_data_without_log() {
                 let l = image.read_u64(log + t * 8);
                 if d != 0 {
                     assert_eq!(
-                        l,
-                        d,
+                        l, d,
                         "{model:?} crash@{crash_at}: data persisted before its log entry"
                     );
                 }
@@ -199,8 +200,14 @@ fn block_scope_message_passing_orders_persists() {
             }
         }
     }
-    let (w0, w1) = (w0.expect("releaser persisted"), w1.expect("acquirer persisted"));
-    assert!(graph.pmo_holds(w0, w1), "release/acquire created inter-thread PMO");
+    let (w0, w1) = (
+        w0.expect("releaser persisted"),
+        w1.expect("acquirer persisted"),
+    );
+    assert!(
+        graph.pmo_holds(w0, w1),
+        "release/acquire created inter-thread PMO"
+    );
     assert!(!graph.pmo_holds(w1, w0));
 }
 
@@ -247,7 +254,9 @@ fn device_scope_release_is_visible_across_sms() {
     let cfg = GpuConfig::small(ModelKind::Sbrp, SystemDesign::PmNear);
     let mut gpu = Gpu::new(&cfg);
     gpu.launch(&kernel, LaunchConfig::new(2, 32));
-    let report = gpu.run(LIMIT).expect("completes — the release must become visible");
+    let report = gpu
+        .run(LIMIT)
+        .expect("completes — the release must become visible");
     assert_eq!(report.outcome, RunOutcome::Completed);
     assert_eq!(gpu.read_nvm_u64(PM_BASE + 8192 + 8), 1);
 }
@@ -305,7 +314,10 @@ fn sbrp_buffers_do_not_make_persists_durable_without_fences() {
     gpu.launch(&kernel, LaunchConfig::new(1, 32));
     let _ = gpu.run_until(200_000).expect("no deadlock");
     let functional: Vec<u64> = (0..32).map(|t| gpu.read_nvm_u64(PM_BASE + t * 8)).collect();
-    assert!(functional.iter().enumerate().all(|(t, &v)| v == t as u64 + 1));
+    assert!(functional
+        .iter()
+        .enumerate()
+        .all(|(t, &v)| v == t as u64 + 1));
 }
 
 #[test]
@@ -430,10 +442,7 @@ fn pm_far_is_slower_than_pm_near() {
     };
     let near = run(SystemDesign::PmNear);
     let far = run(SystemDesign::PmFar);
-    assert!(
-        far > near,
-        "PCIe must cost time: far={far} vs near={near}"
-    );
+    assert!(far > near, "PCIe must cost time: far={far} vs near={near}");
 }
 
 #[test]
@@ -514,7 +523,10 @@ fn scope_bug_block_ops_across_blocks_create_no_pmo() {
             }
         }
     }
-    let (w1, w2) = (w1.expect("producer persisted"), w2.expect("consumer persisted"));
+    let (w1, w2) = (
+        w1.expect("producer persisted"),
+        w2.expect("consumer persisted"),
+    );
     assert!(
         !graph.pmo_holds(w1, w2),
         "block scope across blocks must NOT create PMO — this is the §5.3 bug"
@@ -585,5 +597,8 @@ fn correct_device_scope_closes_the_bug() {
     }
     let (w1, w2) = (w1.expect("producer"), w2.expect("consumer"));
     assert!(graph.pmo_holds(w1, w2), "device scope orders across blocks");
-    assert!(graph.scope_bugs().is_empty(), "correct scope: nothing to flag");
+    assert!(
+        graph.scope_bugs().is_empty(),
+        "correct scope: nothing to flag"
+    );
 }

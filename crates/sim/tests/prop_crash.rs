@@ -35,15 +35,17 @@ proptest! {
 
     /// Crashing a three-stage WAL chain at any cycle leaves a durable
     /// image whose (log, data, commit) triples respect the fence chain,
-    /// under every model — and the recorded trace passes the formal
-    /// crash-cut check.
+    /// under every model and both system designs — and the recorded
+    /// trace passes the formal crash-cut check.
     #[test]
     fn wal_chain_crash_states_are_ordered(
         crash_at in 100u64..60_000,
         model_ix in 0usize..3,
+        system_ix in 0usize..2,
     ) {
         let model = ModelKind::ALL[model_ix];
-        let mut cfg = GpuConfig::small(model, SystemDesign::PmNear);
+        let system = [SystemDesign::PmNear, SystemDesign::PmFar][system_ix];
+        let mut cfg = GpuConfig::small(model, system);
         cfg.trace = true;
         let log = PM_BASE;
         let data = PM_BASE + (1 << 20);
@@ -71,14 +73,18 @@ proptest! {
         let trace = gpu.take_trace().expect("tracing enabled");
         trace
             .check()
-            .map_err(|v| TestCaseError::fail(format!("{model:?}: {v}")))?;
+            .map_err(|v| TestCaseError::fail(format!("{model:?}/{system:?}: {v}")))?;
     }
 
     /// Booting from any crash image and re-running the kernel always
-    /// converges to the fully-committed state.
+    /// converges to the fully-committed state, on both system designs.
     #[test]
-    fn rerun_from_any_crash_image_converges(crash_at in 100u64..60_000) {
-        let cfg = GpuConfig::small(ModelKind::Sbrp, SystemDesign::PmNear);
+    fn rerun_from_any_crash_image_converges(
+        crash_at in 100u64..60_000,
+        system_ix in 0usize..2,
+    ) {
+        let system = [SystemDesign::PmNear, SystemDesign::PmFar][system_ix];
+        let cfg = GpuConfig::small(ModelKind::Sbrp, system);
         let log = PM_BASE;
         let data = PM_BASE + (1 << 20);
         let commit = PM_BASE + (2 << 20);

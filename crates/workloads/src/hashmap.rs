@@ -39,7 +39,8 @@ pub fn victim_value(key: u64) -> u64 {
 /// Value stored for a newly inserted key.
 #[must_use]
 pub fn insert_value(key: u64) -> u64 {
-    key.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695)
+    key.wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695)
 }
 
 /// The cuckoo-hashmap workload.
@@ -210,28 +211,27 @@ impl Workload for Hashmap {
             // PMO-ordered after the pair.)
             let fresh = b.ne(vk, key);
             b.if_then(fresh, |b| {
+                // Log the displacement.
+                b.st(laddr, 0, s1, MemWidth::W8);
+                b.st(laddr, 8, vk, MemWidth::W8);
+                b.st(laddr, 16, vv, MemWidth::W8);
+                b.st(laddr, 24, s2, MemWidth::W8);
+                Self::emit_fence(b, opts.model);
+                let armed = b.movi(LOG_ARMED);
+                b.st(my_armed, 0, armed, MemWidth::W8);
+                Self::emit_fence(b, opts.model);
 
-            // Log the displacement.
-            b.st(laddr, 0, s1, MemWidth::W8);
-            b.st(laddr, 8, vk, MemWidth::W8);
-            b.st(laddr, 16, vv, MemWidth::W8);
-            b.st(laddr, 24, s2, MemWidth::W8);
-            Self::emit_fence(b, opts.model);
-            let armed = b.movi(LOG_ARMED);
-            b.st(my_armed, 0, armed, MemWidth::W8);
-            Self::emit_fence(b, opts.model);
+                // Move the victim to its alternate slot.
+                b.st(t2, 0, vk, MemWidth::W8);
+                b.st(t2, 8, vv, MemWidth::W8);
+                Self::emit_fence(b, opts.model);
 
-            // Move the victim to its alternate slot.
-            b.st(t2, 0, vk, MemWidth::W8);
-            b.st(t2, 8, vv, MemWidth::W8);
-            Self::emit_fence(b, opts.model);
-
-            // Install the new pair in the primary slot.
-            let nv = b.muli(key, 6_364_136_223_846_793_005);
-            let nv = b.addi(nv, 1_442_695);
-            b.st(t1, 0, key, MemWidth::W8);
-            b.st(t1, 8, nv, MemWidth::W8);
-            Self::emit_fence(b, opts.model);
+                // Install the new pair in the primary slot.
+                let nv = b.muli(key, 6_364_136_223_846_793_005);
+                let nv = b.addi(nv, 1_442_695);
+                b.st(t1, 0, key, MemWidth::W8);
+                b.st(t1, 8, nv, MemWidth::W8);
+                Self::emit_fence(b, opts.model);
 
                 let cm = b.movi(1);
                 b.st(my_commit, 0, cm, MemWidth::W8);

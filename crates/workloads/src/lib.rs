@@ -33,9 +33,9 @@ mod scan;
 mod srad;
 
 pub use gpkvs::Gpkvs;
-pub use micro::Micro;
 pub use hashmap::Hashmap;
 pub use layout::Layout;
+pub use micro::Micro;
 pub use multiqueue::Multiqueue;
 pub use reduction::Reduction;
 pub use scan::Scan;

@@ -89,7 +89,11 @@ impl Multiqueue {
 
     /// Release `flag_addr = value` in the model's idiom.
     fn emit_release_value(b: &mut KernelBuilder, opts: BuildOpts, flag_addr: Reg, value: Reg) {
-        let scope = if opts.demote_scopes { Scope::Device } else { Scope::Block };
+        let scope = if opts.demote_scopes {
+            Scope::Device
+        } else {
+            Scope::Block
+        };
         match opts.model {
             ModelKind::Sbrp => b.prel(flag_addr, value, scope),
             ModelKind::Epoch | ModelKind::Gpm => {
@@ -101,15 +105,17 @@ impl Multiqueue {
 
     /// Spin until `*flag_addr >= target`.
     fn emit_acquire_ge(b: &mut KernelBuilder, opts: BuildOpts, flag_addr: Reg, target: Reg) {
-        let scope = if opts.demote_scopes { Scope::Device } else { Scope::Block };
+        let scope = if opts.demote_scopes {
+            Scope::Device
+        } else {
+            Scope::Block
+        };
         b.while_loop(
             |b| {
                 let v = match opts.model {
                     ModelKind::Sbrp => b.pacq(flag_addr, scope),
                     // GPM-style spins must bypass the non-coherent L1.
-                    ModelKind::Epoch | ModelKind::Gpm => {
-                        b.ld_volatile(flag_addr, 0, MemWidth::W4)
-                    }
+                    ModelKind::Epoch | ModelKind::Gpm => b.ld_volatile(flag_addr, 0, MemWidth::W4),
                 };
                 b.lt(v, target)
             },
@@ -125,8 +131,14 @@ impl Workload for Multiqueue {
 
     fn init(&self, gpu: &mut Gpu) {
         self.init_volatile(gpu);
-        gpu.load_nvm(self.a_entries, &vec![0u8; (self.total_entries() * 8) as usize]);
-        gpu.load_nvm(self.a_meta, &vec![0u8; (u64::from(self.blocks) * 128) as usize]);
+        gpu.load_nvm(
+            self.a_entries,
+            &vec![0u8; (self.total_entries() * 8) as usize],
+        );
+        gpu.load_nvm(
+            self.a_meta,
+            &vec![0u8; (u64::from(self.blocks) * 128) as usize],
+        );
     }
 
     fn init_volatile(&self, gpu: &mut Gpu) {
@@ -288,14 +300,14 @@ impl Workload for Multiqueue {
             if txn > 1 {
                 return Err(format!("queue {blk}: impossible txn {txn}"));
             }
-            if tail % t != 0 || tail > self.per_block() {
+            if !tail.is_multiple_of(t) || tail > self.per_block() {
                 return Err(format!("queue {blk}: torn tail {tail}"));
             }
             // The committed prefix: everything below the tail (or the
             // logged tail while a transaction is in doubt) must be
             // durable and correct — the intra-block PMO at work.
             let committed = if txn == 1 {
-                if log_tail % t != 0 || log_tail > self.per_block() {
+                if !log_tail.is_multiple_of(t) || log_tail > self.per_block() {
                     return Err(format!(
                         "queue {blk}: in-doubt txn with torn logTail {log_tail} — \
                          PMO violation (txn before log)"

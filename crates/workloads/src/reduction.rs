@@ -115,9 +115,8 @@ impl Reduction {
             let mut vals: Vec<u64> = self.input[base..base + t].to_vec();
             let mut stride = t / 2;
             while stride >= 1 {
-                for i in stride..2 * stride {
-                    exit_vals[base + i] = vals[i];
-                }
+                exit_vals[base + stride..base + 2 * stride]
+                    .copy_from_slice(&vals[stride..2 * stride]);
                 for i in 0..stride {
                     vals[i] = vals[i].wrapping_add(vals[i + stride]);
                 }
@@ -132,7 +131,11 @@ impl Reduction {
     /// Emits "release `flag_addr_reg` (already computed) with value 1"
     /// in the model's idiom.
     fn emit_release(b: &mut KernelBuilder, opts: BuildOpts, flag_addr: Reg, scope: Scope) {
-        let scope = if opts.demote_scopes { Scope::Device } else { scope };
+        let scope = if opts.demote_scopes {
+            Scope::Device
+        } else {
+            scope
+        };
         match opts.model {
             ModelKind::Sbrp => {
                 let one = b.movi(1);
@@ -148,15 +151,17 @@ impl Reduction {
 
     /// Emits "spin until flag becomes non-zero" in the model's idiom.
     fn emit_acquire_spin(b: &mut KernelBuilder, opts: BuildOpts, flag_addr: Reg, scope: Scope) {
-        let scope = if opts.demote_scopes { Scope::Device } else { scope };
+        let scope = if opts.demote_scopes {
+            Scope::Device
+        } else {
+            scope
+        };
         b.while_loop(
             |b| {
                 let v = match opts.model {
                     ModelKind::Sbrp => b.pacq(flag_addr, scope),
                     // GPM-style spins must bypass the non-coherent L1.
-                    ModelKind::Epoch | ModelKind::Gpm => {
-                        b.ld_volatile(flag_addr, 0, MemWidth::W4)
-                    }
+                    ModelKind::Epoch | ModelKind::Gpm => b.ld_volatile(flag_addr, 0, MemWidth::W4),
                 };
                 b.eqi(v, 0)
             },
@@ -186,7 +191,10 @@ impl Workload for Reduction {
         gpu.load_gddr(self.a_blkflag, &vec![0u8; (self.blocks() * 4) as usize]);
         gpu.load_gddr(self.a_ctr, &[0u8; 8]);
         gpu.load_gddr(self.a_islast, &vec![0u8; (self.blocks() * 4) as usize]);
-        gpu.load_gddr(self.a_scratch, &vec![0u8; (u64::from(self.tpb) * 8) as usize]);
+        gpu.load_gddr(
+            self.a_scratch,
+            &vec![0u8; (u64::from(self.tpb) * 8) as usize],
+        );
     }
 
     fn kernel(&self, opts: BuildOpts) -> Launchable {

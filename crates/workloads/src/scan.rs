@@ -88,7 +88,7 @@ impl Scan {
 
     /// The buffer round `r` writes into.
     fn buf_of(&self, r: u64) -> u64 {
-        if r % 2 == 0 {
+        if r.is_multiple_of(2) {
             self.a_ping
         } else {
             self.a_pong
@@ -116,7 +116,11 @@ impl Scan {
     }
 
     fn emit_release_value(b: &mut KernelBuilder, opts: BuildOpts, flag_addr: Reg, value: Reg) {
-        let scope = if opts.demote_scopes { Scope::Device } else { Scope::Block };
+        let scope = if opts.demote_scopes {
+            Scope::Device
+        } else {
+            Scope::Block
+        };
         match opts.model {
             ModelKind::Sbrp => b.prel(flag_addr, value, scope),
             ModelKind::Epoch | ModelKind::Gpm => {
@@ -127,15 +131,17 @@ impl Scan {
     }
 
     fn emit_acquire_ge(b: &mut KernelBuilder, opts: BuildOpts, flag_addr: Reg, target: Reg) {
-        let scope = if opts.demote_scopes { Scope::Device } else { Scope::Block };
+        let scope = if opts.demote_scopes {
+            Scope::Device
+        } else {
+            Scope::Block
+        };
         b.while_loop(
             |b| {
                 let v = match opts.model {
                     ModelKind::Sbrp => b.pacq(flag_addr, scope),
                     // GPM-style spins must bypass the non-coherent L1.
-                    ModelKind::Epoch | ModelKind::Gpm => {
-                        b.ld_volatile(flag_addr, 0, MemWidth::W4)
-                    }
+                    ModelKind::Epoch | ModelKind::Gpm => b.ld_volatile(flag_addr, 0, MemWidth::W4),
                 };
                 b.lt(v, target)
             },
@@ -153,7 +159,10 @@ impl Workload for Scan {
         self.init_volatile(gpu);
         gpu.load_nvm(self.a_ping, &vec![0u8; (self.n * 8) as usize]);
         gpu.load_nvm(self.a_pong, &vec![0u8; (self.n * 8) as usize]);
-        gpu.load_nvm(self.a_iter, &vec![0u8; (u64::from(self.blocks()) * 8) as usize]);
+        gpu.load_nvm(
+            self.a_iter,
+            &vec![0u8; (u64::from(self.blocks()) * 8) as usize],
+        );
     }
 
     fn init_volatile(&self, gpu: &mut Gpu) {

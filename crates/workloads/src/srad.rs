@@ -121,7 +121,13 @@ impl Workload for Srad {
 
     fn kernel(&self, opts: BuildOpts) -> Launchable {
         let mut b = KernelBuilder::new();
-        b.set_params(vec![self.a_img, self.a_c, self.a_out, self.side, self.pixels]);
+        b.set_params(vec![
+            self.a_img,
+            self.a_c,
+            self.a_out,
+            self.side,
+            self.pixels,
+        ]);
         let img = b.param(0);
         let carr = b.param(1);
         let out = b.param(2);
@@ -250,7 +256,10 @@ mod tests {
     fn expected_math_is_self_consistent() {
         let s = Srad::new(300);
         let p = 17;
-        assert_eq!(s.expected_out(p), s.image[p as usize] + (s.expected_c(p) >> 1));
+        assert_eq!(
+            s.expected_out(p),
+            s.image[p as usize] + (s.expected_c(p) >> 1)
+        );
     }
 
     #[test]

@@ -105,7 +105,8 @@ fn reduction_demoted_scopes_still_correct() {
     w.init(&mut gpu);
     gpu.launch(&l.kernel, l.launch);
     gpu.run(LIMIT).expect("completes");
-    w.verify_complete(&gpu).expect("demotion widens scopes: still correct");
+    w.verify_complete(&gpu)
+        .expect("demotion widens scopes: still correct");
 }
 
 #[test]

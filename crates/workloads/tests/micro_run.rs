@@ -36,7 +36,7 @@ fn coalesce_stress_coalesces_under_sbrp() {
         "a full-warp store is one engine event, not 32: got {} coalesces",
         stats.pb.coalesced
     );
-    assert_eq!(stats.pb.entries as u64, stats.persist_flushes);
+    assert_eq!(stats.pb.entries, stats.persist_flushes);
 }
 
 #[test]

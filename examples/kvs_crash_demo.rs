@@ -36,13 +36,14 @@ fn main() {
     w.init_volatile(&mut rgpu);
     let rec = w.recovery(opts).expect("gpKVS recovers via logging");
     rgpu.launch(&rec.kernel, rec.launch);
-    let rec_cycles = rgpu.run(1_000_000_000).expect("completes").cycles - 0;
+    let rec_cycles = rgpu.run(1_000_000_000).expect("completes").cycles;
     println!("log replay took {rec_cycles} cycles");
 
     // Re-run the batch (idempotent): committed inserts are skipped.
     let l = w.kernel(opts);
     rgpu.launch(&l.kernel, l.launch);
     rgpu.run(1_000_000_000).expect("completes");
-    w.verify_complete(&rgpu).expect("all pairs inserted exactly once");
+    w.verify_complete(&rgpu)
+        .expect("all pairs inserted exactly once");
     println!("batch completed after recovery ✓");
 }

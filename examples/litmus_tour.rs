@@ -13,7 +13,12 @@ fn main() {
     println!("{:<28} {:>6}  description", "litmus", "checks");
     for l in litmus::all() {
         l.check().expect("litmus holds");
-        println!("{:<28} {:>6}  {}", l.name, l.expectations.len(), l.description);
+        println!(
+            "{:<28} {:>6}  {}",
+            l.name,
+            l.expectations.len(),
+            l.description
+        );
     }
 
     // The §5.3 bug, caught by the detector: block-scoped release/acquire

@@ -14,7 +14,10 @@ fn main() {
         .map(|s| s.parse().expect("scale must be an integer"))
         .unwrap_or(8192);
     println!("Reduction, {scale} elements, scaled-down GPU\n");
-    println!("{:<12} {:>10} {:>12} {:>14}", "config", "cycles", "speedup", "PM rd misses");
+    println!(
+        "{:<12} {:>10} {:>12} {:>14}",
+        "config", "cycles", "speedup", "PM rd misses"
+    );
     let mut baseline = None;
     for (model, system) in [
         (ModelKind::Gpm, SystemDesign::PmFar),

@@ -62,6 +62,8 @@ fn main() {
         }
         println!("all 256 checkpointed values verified ✓");
     } else {
-        println!("checkpoint incomplete; values may be partial (that's what the epoch mark is for)");
+        println!(
+            "checkpoint incomplete; values may be partial (that's what the epoch mark is for)"
+        );
     }
 }

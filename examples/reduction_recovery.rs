@@ -31,7 +31,8 @@ fn main() {
     let r = gpu.run_until(crash_at).expect("no deadlock");
     assert_eq!(r.outcome, RunOutcome::Crashed);
     let image = gpu.durable_image();
-    w.verify_crash_consistent(&image).expect("recoverable image");
+    w.verify_crash_consistent(&image)
+        .expect("recoverable image");
     println!("crashed at cycle {crash_at}; durable image is consistent");
 
     // Native recovery: boot from the image, reload volatile inputs,
@@ -41,6 +42,7 @@ fn main() {
     let l = w.kernel(opts);
     rgpu.launch(&l.kernel, l.launch);
     let resumed = rgpu.run(1_000_000_000).expect("completes").cycles;
-    w.verify_complete(&rgpu).expect("recovered to the correct sum");
+    w.verify_complete(&rgpu)
+        .expect("recovered to the correct sum");
     println!("resumed run finished in {resumed} cycles and verified ✓");
 }

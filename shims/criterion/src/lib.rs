@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the workspace vendors the benchmarking API subset its
+//! benches use: [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`Throughput`], [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then a fixed
+//! number of timed iterations reported as mean wall-clock time per
+//! iteration. There is no statistical analysis, outlier rejection, or
+//! HTML report — the point is that `cargo bench` still produces usable
+//! relative numbers offline.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Prevents the optimizer from deleting a benchmark result.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Work-per-iteration metadata (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, running a warm-up pass then `iters` measured passes.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let total = start.elapsed().as_nanos() as f64;
+        self.ns_per_iter = total / self.iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets measured iterations per benchmark (criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Declares work per iteration for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 * 1e3 / b.ns_per_iter)
+            }
+            Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+                format!("  ({:.1} MB/s)", n as f64 * 1e3 / b.ns_per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<40} {:>12.0} ns/iter{}",
+            self.name, id, b.ns_per_iter, rate
+        );
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let id = id.to_string();
+        self.run_one(&id, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.to_string();
+        self.run_one(&id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream parity; nothing to flush here).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let name = id.to_string();
+        let mut g = self.benchmark_group(&name);
+        g.run_one("", f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            });
+        });
+        g.finish();
+        // 1 warm-up + 3 measured.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {
+            b.iter(|| x * x);
+        });
+    }
+}

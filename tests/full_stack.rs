@@ -31,7 +31,11 @@ fn figure6_matrix_smoke() {
 /// Crash-recovery timing measurement works for every workload.
 #[test]
 fn recovery_measurement_smoke() {
-    for kind in [WorkloadKind::Gpkvs, WorkloadKind::Reduction, WorkloadKind::Scan] {
+    for kind in [
+        WorkloadKind::Gpkvs,
+        WorkloadKind::Reduction,
+        WorkloadKind::Scan,
+    ] {
         for model in [ModelKind::Epoch, ModelKind::Sbrp] {
             let out = run_recovery(
                 &RunSpec {
