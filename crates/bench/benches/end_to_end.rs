@@ -26,6 +26,7 @@ fn bench_small_kernels(c: &mut Criterion) {
                         scale: 512,
                         ..RunSpec::default()
                     })
+                    .expect("cell runs")
                     .cycles
                 });
             });

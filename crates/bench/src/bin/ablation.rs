@@ -51,6 +51,7 @@ fn main() {
                 model: ModelKind::Epoch,
                 ..base.clone()
             })
+            .expect("cell runs")
             .cycles as f64;
             let speedups: Vec<f64> = variants
                 .iter()
@@ -60,7 +61,7 @@ fn main() {
                         ..base.clone()
                     };
                     tweak(&mut spec);
-                    let out = run_workload(&spec);
+                    let out = run_workload(&spec).expect("cell runs");
                     assert!(out.verified, "{kind} ablation failed verification");
                     epoch / out.cycles as f64
                 })

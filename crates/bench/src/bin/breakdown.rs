@@ -1,0 +1,71 @@
+//! Stall-cycle breakdown: where do warps spend their stalled cycles,
+//! per workload × persistency model × system design? This is the
+//! Fig. 6-style stacked-bar companion data — each row is one bar, each
+//! stall column one segment of the stack.
+//!
+//! With `--trace-out FILE`, additionally re-runs the first cell with the
+//! timeline tracer enabled and writes a Chrome-trace JSON you can load
+//! in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+
+use sbrp_bench::Cli;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::SystemDesign;
+use sbrp_harness::report::{stall_cells, stall_headers, Table};
+use sbrp_harness::{run_workload, run_workload_traced, RunSpec};
+use sbrp_workloads::WorkloadKind;
+
+/// The workload subset: the three applications with the most distinct
+/// persist behaviour (log-append, tree-reduce, chained scan).
+const WORKLOADS: [WorkloadKind; 3] = [
+    WorkloadKind::Gpkvs,
+    WorkloadKind::Reduction,
+    WorkloadKind::Scan,
+];
+const MODELS: [ModelKind; 2] = [ModelKind::Epoch, ModelKind::Sbrp];
+const SYSTEMS: [SystemDesign; 2] = [SystemDesign::PmFar, SystemDesign::PmNear];
+
+fn main() {
+    let cli = Cli::parse();
+    let mut headers: Vec<&str> = vec!["app", "model", "system", "cycles"];
+    headers.extend(stall_headers());
+    let mut table = Table::new("Stall-cycle breakdown by cause", &headers);
+
+    let mut traced = false;
+    for kind in WORKLOADS {
+        let scale = cli.scale_for(kind);
+        for model in MODELS {
+            for system in SYSTEMS {
+                let spec = RunSpec {
+                    workload: kind,
+                    model,
+                    system,
+                    scale,
+                    small_gpu: cli.small,
+                    ..RunSpec::default()
+                };
+                let out = run_workload(&spec).expect("cell runs");
+                assert!(out.verified, "{kind}/{model}/{system} failed verification");
+                assert_eq!(
+                    out.stats.stall.bucket_sum(),
+                    out.stats.stall.total,
+                    "{kind}/{model}/{system}: stall buckets must sum to total"
+                );
+                let mut cells = vec![
+                    kind.label().to_string(),
+                    model.to_string(),
+                    system.to_string(),
+                    out.cycles.to_string(),
+                ];
+                cells.extend(stall_cells(&out.stats));
+                table.row(cells);
+
+                if !traced && cli.trace_out.is_some() {
+                    traced = true;
+                    let (_, timeline) = run_workload_traced(&spec, true).expect("traced cell runs");
+                    cli.write_trace(&timeline.expect("tracing was enabled"));
+                }
+            }
+        }
+    }
+    cli.emit(&table);
+}

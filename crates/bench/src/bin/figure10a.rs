@@ -29,6 +29,7 @@ fn main() {
             model: ModelKind::Epoch,
             ..base.clone()
         })
+        .expect("cell runs")
         .cycles as f64;
         let speedups: Vec<f64> = coverages
             .iter()
@@ -38,6 +39,7 @@ fn main() {
                     pb_coverage: Some(f),
                     ..base.clone()
                 })
+                .expect("cell runs")
                 .cycles as f64;
                 epoch / sbrp
             })

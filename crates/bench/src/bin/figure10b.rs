@@ -33,11 +33,13 @@ fn main() {
                     model: ModelKind::Epoch,
                     ..base.clone()
                 })
+                .expect("cell runs")
                 .cycles as f64;
                 let sbrp = run_workload(&RunSpec {
                     model: ModelKind::Sbrp,
                     ..base.clone()
                 })
+                .expect("cell runs")
                 .cycles as f64;
                 epoch / sbrp
             })

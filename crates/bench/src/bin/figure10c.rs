@@ -29,6 +29,7 @@ fn main() {
             model: ModelKind::Epoch,
             ..base.clone()
         })
+        .expect("cell runs")
         .cycles as f64;
         let speedups: Vec<f64> = windows
             .iter()
@@ -38,6 +39,7 @@ fn main() {
                     window: Some(w),
                     ..base.clone()
                 })
+                .expect("cell runs")
                 .cycles as f64;
                 epoch / sbrp
             })

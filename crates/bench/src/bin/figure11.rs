@@ -32,14 +32,16 @@ fn main() {
                 ..base.clone()
             },
             0.9,
-        );
+        )
+        .expect("recovery cell runs");
         let sbrp = run_recovery(
             &RunSpec {
                 model: ModelKind::Sbrp,
                 ..base.clone()
             },
             0.9,
-        );
+        )
+        .expect("recovery cell runs");
         assert!(epoch.verified && sbrp.verified, "{kind}: recovery failed");
         let norm = sbrp.recovery_cycles as f64 / epoch.recovery_cycles.max(1) as f64;
         ratios.push(norm);

@@ -27,7 +27,8 @@ fn main() {
                     scale,
                     small_gpu: cli.small,
                     ..RunSpec::default()
-                });
+                })
+                .expect("cell runs");
                 assert!(out.verified, "{kind}/{} failed verification", bar.label());
                 out.cycles
             })

@@ -35,17 +35,20 @@ fn main() {
                 model: ModelKind::Epoch,
                 ..base.clone()
             })
+            .expect("cell runs")
             .cycles as f64;
             let sbrp = run_workload(&RunSpec {
                 model: ModelKind::Sbrp,
                 ..base.clone()
             })
+            .expect("cell runs")
             .cycles as f64;
             let demoted = run_workload(&RunSpec {
                 model: ModelKind::Sbrp,
                 demote_scopes: true,
                 ..base.clone()
             })
+            .expect("cell runs")
             .cycles as f64;
             // Speedups over epoch: full SBRP vs buffers-only (demoted).
             let full = epoch / sbrp;

@@ -37,6 +37,7 @@ fn main() {
                     small_gpu: cli.small,
                     ..RunSpec::default()
                 })
+                .expect("cell runs")
                 .stats
                 .l1_pm_read_misses
             })

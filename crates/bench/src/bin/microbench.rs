@@ -11,6 +11,7 @@ use sbrp_workloads::{BuildOpts, Micro};
 fn main() {
     let cli = Cli::parse();
     let iters = cli.scale.unwrap_or(16);
+    let mut traced = false;
     for system in [SystemDesign::PmNear, SystemDesign::PmFar] {
         let mut table = Table::new(
             format!("Microbenchmarks on PM-{system} (cycles; epoch=1.0)"),
@@ -19,16 +20,23 @@ fn main() {
         for micro in Micro::ALL {
             let mut cycles = Vec::new();
             for model in [ModelKind::Epoch, ModelKind::Sbrp] {
-                let cfg = if cli.small {
+                let mut cfg = if cli.small {
                     GpuConfig::small(model, system)
                 } else {
                     GpuConfig::table1(model, system)
                 };
+                // Trace the first SBRP cell if --trace-out was given.
+                let trace_this = !traced && cli.trace_out.is_some() && model == ModelKind::Sbrp;
+                cfg.timeline = trace_this;
                 let l = micro.kernel(BuildOpts::for_model(model), iters);
                 let mut gpu = Gpu::new(&cfg);
                 gpu.launch(&l.kernel, l.launch);
                 gpu.run(10_000_000_000).expect("completes");
                 cycles.push(gpu.cycle());
+                if trace_this {
+                    traced = true;
+                    cli.write_trace(&gpu.take_timeline().expect("tracing was enabled"));
+                }
             }
             table.row(vec![
                 micro.label().into(),

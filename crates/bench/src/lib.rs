@@ -10,7 +10,11 @@
 //! * `--scale N` — override the per-workload default size;
 //! * `--small` — simulate a scaled-down 4-SM GPU instead of the paper's
 //!   30-SM Table 1 machine (faster, same qualitative shapes);
-//! * `--csv` — emit CSV instead of an aligned text table.
+//! * `--csv` — emit CSV instead of an aligned text table;
+//! * `--json` — emit JSON instead of an aligned text table;
+//! * `--trace-out FILE` — also write a Chrome-trace JSON timeline
+//!   (load it in Perfetto / `chrome://tracing`) for a representative
+//!   cell; binaries that don't trace ignore it.
 //!
 //! Run one with e.g. `cargo run -p sbrp-bench --release --bin figure6`.
 
@@ -26,6 +30,10 @@ pub struct Cli {
     pub small: bool,
     /// Emit CSV instead of text.
     pub csv: bool,
+    /// Emit JSON instead of text.
+    pub json: bool,
+    /// Write a Chrome-trace timeline of one representative cell here.
+    pub trace_out: Option<String>,
 }
 
 impl Cli {
@@ -46,8 +54,15 @@ impl Cli {
                 }
                 "--small" => cli.small = true,
                 "--csv" => cli.csv = true,
+                "--json" => cli.json = true,
+                "--trace-out" => {
+                    cli.trace_out = Some(args.next().expect("--trace-out needs a file path"));
+                }
                 "--help" | "-h" => {
-                    println!("usage: <figure-bin> [--scale N] [--small] [--csv]");
+                    println!(
+                        "usage: <figure-bin> [--scale N] [--small] [--csv] [--json] \
+                         [--trace-out FILE]"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}; try --help"),
@@ -67,8 +82,22 @@ impl Cli {
     pub fn emit(&self, table: &Table) {
         if self.csv {
             print!("{}", table.to_csv());
+        } else if self.json {
+            print!("{}", table.to_json());
         } else {
             print!("{}", table.to_text());
+        }
+    }
+
+    /// Writes a timeline as Chrome-trace JSON to `--trace-out`, if set.
+    ///
+    /// # Panics
+    /// Panics if the file cannot be written.
+    pub fn write_trace(&self, timeline: &sbrp_gpu_sim::Timeline) {
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, timeline.to_chrome_json())
+                .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+            eprintln!("wrote Chrome-trace timeline to {path} (open in Perfetto)");
         }
     }
 }

@@ -51,6 +51,8 @@ pub mod formal;
 pub mod ops;
 pub mod pbuffer;
 pub mod scope;
+pub mod stall;
 
 pub use ops::{ModelKind, PersistOpKind};
 pub use scope::{BlockId, LaneId, Scope, ThreadPos, WarpSlot};
+pub use stall::{StallBreakdown, StallCause};

@@ -12,6 +12,7 @@ use super::entry::{EntryKind, LineIdx};
 use super::masks::WarpMask;
 use super::policy::DrainPolicy;
 use crate::scope::{Scope, WarpSlot, MAX_WARPS_PER_SM};
+use crate::stall::StallCause;
 use std::collections::HashMap;
 
 /// Configuration of one SM's persist buffer.
@@ -129,7 +130,10 @@ pub enum DrainAction {
 /// Counters exposed for the evaluation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PbStats {
-    /// Persist stores presented.
+    /// Persist stores *accepted* (coalesced or newly buffered). A
+    /// stalled store is counted under its stall bucket instead and
+    /// counts here only once its retry is accepted, so
+    /// `stores == coalesced + entries` holds by construction.
     pub stores: u64,
     /// Stores that coalesced into an existing entry.
     pub coalesced: u64,
@@ -197,6 +201,9 @@ pub struct PersistUnit {
     /// window, only on `actr`/FSM.
     inflight: u32,
     blocked: [Option<BlockReason>; MAX_WARPS_PER_SM],
+    /// Per blocked warp: the stall cause the timing simulator should
+    /// charge its wait cycles to.
+    stall_cause: [Option<StallCause>; MAX_WARPS_PER_SM],
     /// Warps awaiting ACTR==0 after their stalling entry drained.
     await_actr: WarpMask,
     /// Warps blocked until a specific line's flush is acknowledged.
@@ -237,6 +244,7 @@ impl PersistUnit {
             actr: 0,
             inflight: 0,
             blocked: [None; MAX_WARPS_PER_SM],
+            stall_cause: [None; MAX_WARPS_PER_SM],
             await_actr: WarpMask::EMPTY,
             waiting_line: HashMap::new(),
             outstanding_line: HashMap::new(),
@@ -291,12 +299,13 @@ impl PersistUnit {
         (self.odm, self.edm, self.fsm)
     }
 
-    fn block(&mut self, warp: WarpSlot, reason: BlockReason) {
+    fn block(&mut self, warp: WarpSlot, reason: BlockReason, cause: StallCause) {
         debug_assert!(
             self.blocked[warp.index()].is_none(),
             "{warp} double-blocked"
         );
         self.blocked[warp.index()] = Some(reason);
+        self.stall_cause[warp.index()] = Some(cause);
         match reason {
             BlockReason::OpDone => self.odm.set(warp),
             _ => self.edm.set(warp),
@@ -305,10 +314,18 @@ impl PersistUnit {
 
     fn resume(&mut self, warp: WarpSlot) {
         if let Some(reason) = self.blocked[warp.index()].take() {
+            self.stall_cause[warp.index()] = None;
             self.odm.clear(warp);
             self.edm.clear(warp);
             self.resumable.push((warp, reason));
         }
+    }
+
+    /// The stall cause of a warp this unit currently blocks (for
+    /// per-cycle attribution by the timing simulator).
+    #[must_use]
+    pub fn stall_cause(&self, warp: WarpSlot) -> Option<StallCause> {
+        self.stall_cause[warp.index()]
     }
 
     fn resume_mask(&mut self, mask: WarpMask) {
@@ -430,11 +447,10 @@ impl PersistUnit {
         line: LineIdx,
         tokens: &[u64],
     ) -> StoreOutcome {
-        self.stats.stores += 1;
         if let Some(seq) = self.buf.line_entry(line) {
             if self.buf.warp_has_ordering_after(warp, seq) {
                 self.stats.stall_ordered += 1;
-                self.block(warp, BlockReason::RetryStore);
+                self.block(warp, BlockReason::RetryStore, StallCause::PbOrdered);
                 self.waiting_line.entry(line).or_default().set(warp);
                 return StoreOutcome::StallOrdered;
             }
@@ -446,6 +462,7 @@ impl PersistUnit {
                     .tokens
                     .extend_from_slice(tokens);
             }
+            self.stats.stores += 1;
             self.stats.coalesced += 1;
             StoreOutcome::Coalesced
         } else {
@@ -458,12 +475,13 @@ impl PersistUnit {
                             .tokens
                             .extend_from_slice(tokens);
                     }
+                    self.stats.stores += 1;
                     self.stats.entries += 1;
                     StoreOutcome::NewEntry
                 }
                 None => {
                     self.stats.stall_full += 1;
-                    self.block(warp, BlockReason::RetryFull);
+                    self.block(warp, BlockReason::RetryFull, StallCause::PbFull);
                     self.waiting_space.set(warp);
                     StoreOutcome::StallFull
                 }
@@ -486,7 +504,7 @@ impl PersistUnit {
             Some(seq) => Some(seq),
             None => {
                 self.stats.stall_full += 1;
-                self.block(warp, BlockReason::RetryFull);
+                self.block(warp, BlockReason::RetryFull, StallCause::PbFull);
                 self.waiting_space.set(warp);
                 None
             }
@@ -535,7 +553,7 @@ impl PersistUnit {
                 // "Once the bitmask is set, we flush the persists": drain
                 // everything up to the release without window pacing.
                 self.force_until = Some(self.force_until.map_or(seq, |f| f.max(seq)));
-                self.block(warp, BlockReason::OpDone);
+                self.block(warp, BlockReason::OpDone, StallCause::PAcqRel);
                 OpOutcome::StallUntilDone
             }
         }
@@ -549,7 +567,7 @@ impl PersistUnit {
         };
         self.stats.dfences += 1;
         self.force_until = Some(self.force_until.map_or(seq, |f| f.max(seq)));
-        self.block(warp, BlockReason::OpDone);
+        self.block(warp, BlockReason::OpDone, StallCause::DFence);
         OpOutcome::StallUntilDone
     }
 
@@ -564,7 +582,7 @@ impl PersistUnit {
             || !self.fsm_clear_satisfied(entry_warps)
         {
             self.stats.stall_evict += 1;
-            self.block(warp, BlockReason::RetryEvict);
+            self.block(warp, BlockReason::RetryEvict, StallCause::PbOrdered);
             // Accelerate the drain up to the blocked entry so the stalled
             // eviction's prerequisites (the ordering entries before it and
             // their persists) clear as fast as the path allows.

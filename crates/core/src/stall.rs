@@ -1,0 +1,221 @@
+//! Stall-cycle attribution taxonomy.
+//!
+//! Every cycle a resident warp spends unable to issue is charged to
+//! exactly one [`StallCause`], per SM and per warp, accumulated in a
+//! [`StallBreakdown`]. The taxonomy is the one the paper's analysis
+//! figures need (runtime split into fence stalls, persist-buffer
+//! pressure, cache misses, and PCIe/NVM occupancy): hardware-agnostic
+//! cause names live here in `sbrp-core`; the timing simulator decides
+//! which cause a blocked warp is experiencing each cycle.
+//!
+//! Invariant: the per-cause buckets of a breakdown sum exactly to its
+//! `total` — maintained at charge time and by the exhaustive-destructure
+//! [`StallBreakdown::merge`], and asserted by the simulator's tests.
+
+/// Why a warp could not issue this cycle. One cause per warp-cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Waiting at an `oFence` (epoch engines serialize the warp; an
+    /// SBRP oFence only stalls when re-issued against a full buffer,
+    /// which is charged to [`StallCause::PbFull`]).
+    OFence,
+    /// Waiting for a `dFence` / epoch barrier's durability round-trip.
+    DFence,
+    /// Waiting for a scoped `pAcq`/`pRel` (device/system scope) to take
+    /// effect.
+    PAcqRel,
+    /// Waiting on outstanding L1 fills or atomics.
+    L1Miss,
+    /// Stalled because the persist buffer was full.
+    PbFull,
+    /// Stalled on a persist-buffer ordering hazard (`StallOrdered`
+    /// store rewrites, ordered evictions).
+    PbOrdered,
+    /// A durability wait whose buffered work has fully drained: the
+    /// warp is waiting only on the memory-controller WPQ round-trip.
+    WpqBackpressure,
+    /// Waiting while the PCIe link is in fault-retry backoff.
+    PcieBackoff,
+    /// Pipeline/scheduler latency: compute sleeps, L1-hit latency,
+    /// `__syncthreads` waits.
+    Scoreboard,
+}
+
+impl StallCause {
+    /// Every cause, in reporting order.
+    pub const ALL: [StallCause; 9] = [
+        StallCause::OFence,
+        StallCause::DFence,
+        StallCause::PAcqRel,
+        StallCause::L1Miss,
+        StallCause::PbFull,
+        StallCause::PbOrdered,
+        StallCause::WpqBackpressure,
+        StallCause::PcieBackoff,
+        StallCause::Scoreboard,
+    ];
+
+    /// Short label for tables, CSV headers, and timeline slice names.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::OFence => "ofence",
+            StallCause::DFence => "dfence",
+            StallCause::PAcqRel => "pacqrel",
+            StallCause::L1Miss => "l1_miss",
+            StallCause::PbFull => "pb_full",
+            StallCause::PbOrdered => "pb_ordered",
+            StallCause::WpqBackpressure => "wpq_backpressure",
+            StallCause::PcieBackoff => "pcie_backoff",
+            StallCause::Scoreboard => "scoreboard",
+        }
+    }
+}
+
+impl std::fmt::Display for StallCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Warp-stall cycles bucketed by [`StallCause`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Cycles stalled at oFences.
+    pub ofence: u64,
+    /// Cycles stalled at dFences / epoch barriers.
+    pub dfence: u64,
+    /// Cycles stalled at scoped acquires/releases.
+    pub pacqrel: u64,
+    /// Cycles stalled on L1 fills/atomics.
+    pub l1_miss: u64,
+    /// Cycles stalled on a full persist buffer.
+    pub pb_full: u64,
+    /// Cycles stalled on persist-buffer ordering hazards.
+    pub pb_ordered: u64,
+    /// Cycles stalled only on WPQ durability round-trips.
+    pub wpq_backpressure: u64,
+    /// Cycles stalled behind PCIe fault-retry backoff.
+    pub pcie_backoff: u64,
+    /// Cycles of pipeline latency (sleeps, hit latency, barriers).
+    pub scoreboard: u64,
+    /// Total warp-stall cycles. Always equals the bucket sum.
+    pub total: u64,
+}
+
+impl StallBreakdown {
+    /// Charges `cycles` to `cause` (and to the total).
+    pub fn charge(&mut self, cause: StallCause, cycles: u64) {
+        *self.bucket_mut(cause) += cycles;
+        self.total += cycles;
+    }
+
+    fn bucket_mut(&mut self, cause: StallCause) -> &mut u64 {
+        match cause {
+            StallCause::OFence => &mut self.ofence,
+            StallCause::DFence => &mut self.dfence,
+            StallCause::PAcqRel => &mut self.pacqrel,
+            StallCause::L1Miss => &mut self.l1_miss,
+            StallCause::PbFull => &mut self.pb_full,
+            StallCause::PbOrdered => &mut self.pb_ordered,
+            StallCause::WpqBackpressure => &mut self.wpq_backpressure,
+            StallCause::PcieBackoff => &mut self.pcie_backoff,
+            StallCause::Scoreboard => &mut self.scoreboard,
+        }
+    }
+
+    /// Cycles charged to `cause`.
+    #[must_use]
+    pub fn get(&self, cause: StallCause) -> u64 {
+        match cause {
+            StallCause::OFence => self.ofence,
+            StallCause::DFence => self.dfence,
+            StallCause::PAcqRel => self.pacqrel,
+            StallCause::L1Miss => self.l1_miss,
+            StallCause::PbFull => self.pb_full,
+            StallCause::PbOrdered => self.pb_ordered,
+            StallCause::WpqBackpressure => self.wpq_backpressure,
+            StallCause::PcieBackoff => self.pcie_backoff,
+            StallCause::Scoreboard => self.scoreboard,
+        }
+    }
+
+    /// Sum of the cause buckets (excludes `total`); the invariant is
+    /// `bucket_sum() == total`.
+    #[must_use]
+    pub fn bucket_sum(&self) -> u64 {
+        StallCause::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// (cause, cycles) pairs in reporting order.
+    pub fn iter(&self) -> impl Iterator<Item = (StallCause, u64)> + '_ {
+        StallCause::ALL.into_iter().map(|c| (c, self.get(c)))
+    }
+
+    /// Adds `other` into `self`. Destructures exhaustively so a newly
+    /// added bucket cannot be silently dropped from aggregates.
+    pub fn merge(&mut self, other: StallBreakdown) {
+        let StallBreakdown {
+            ofence,
+            dfence,
+            pacqrel,
+            l1_miss,
+            pb_full,
+            pb_ordered,
+            wpq_backpressure,
+            pcie_backoff,
+            scoreboard,
+            total,
+        } = other;
+        self.ofence += ofence;
+        self.dfence += dfence;
+        self.pacqrel += pacqrel;
+        self.l1_miss += l1_miss;
+        self.pb_full += pb_full;
+        self.pb_ordered += pb_ordered;
+        self.wpq_backpressure += wpq_backpressure;
+        self.pcie_backoff += pcie_backoff;
+        self.scoreboard += scoreboard;
+        self.total += total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_maintains_bucket_sum() {
+        let mut b = StallBreakdown::default();
+        for (i, &c) in StallCause::ALL.iter().enumerate() {
+            b.charge(c, (i as u64 + 1) * 3);
+        }
+        assert_eq!(b.bucket_sum(), b.total);
+        assert_eq!(b.get(StallCause::OFence), 3);
+        assert_eq!(b.get(StallCause::Scoreboard), 27);
+    }
+
+    #[test]
+    fn merge_accumulates_every_bucket() {
+        let mut a = StallBreakdown::default();
+        let mut b = StallBreakdown::default();
+        for &c in &StallCause::ALL {
+            a.charge(c, 1);
+            b.charge(c, 2);
+        }
+        a.merge(b);
+        assert_eq!(a.total, 27);
+        assert_eq!(a.bucket_sum(), a.total);
+        for &c in &StallCause::ALL {
+            assert_eq!(a.get(c), 3);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &c in &StallCause::ALL {
+            assert!(seen.insert(c.label()), "duplicate label {}", c.label());
+        }
+    }
+}

@@ -14,11 +14,51 @@ pub mod report;
 use sbrp_core::ModelKind;
 use sbrp_gpu_sim::config::{GpuConfig, SystemDesign};
 use sbrp_gpu_sim::stats::SimStats;
-use sbrp_gpu_sim::{Gpu, RunOutcome};
+use sbrp_gpu_sim::{Gpu, RunOutcome, SimError, Timeline};
 use sbrp_workloads::{BuildOpts, WorkloadKind};
 
 /// Cycle budget for any single simulated kernel.
 pub const CYCLE_LIMIT: u64 = 20_000_000_000;
+
+/// Typed failure of a harness run. Carries enough context to identify
+/// the failing cell; campaign sweeps record these and continue instead
+/// of aborting the whole matrix.
+#[derive(Clone, Debug)]
+pub enum HarnessError {
+    /// The simulator failed (deadlock, timeout, protocol violation).
+    Sim {
+        /// `workload model/system` of the failing cell.
+        cell: String,
+        /// The underlying simulator error.
+        source: SimError,
+    },
+    /// A run ended in an outcome the measurement cannot use (e.g. a
+    /// crash point that fell outside the run).
+    Outcome {
+        /// `workload model/system` of the failing cell.
+        cell: String,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Sim { cell, source } => write!(f, "{cell}: {source}"),
+            HarnessError::Outcome { cell, detail } => write!(f, "{cell}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Sim { source, .. } => Some(source),
+            HarnessError::Outcome { .. } => None,
+        }
+    }
+}
 
 /// Everything needed to run one experiment cell.
 #[derive(Clone, Debug)]
@@ -113,6 +153,12 @@ impl RunSpec {
             demote_scopes: self.demote_scopes,
         }
     }
+
+    /// `workload model/system` — how errors and reports name this cell.
+    #[must_use]
+    pub fn cell_name(&self) -> String {
+        format!("{} {:?}/{}", self.workload, self.model, self.system)
+    }
 }
 
 /// Result of one experiment cell.
@@ -128,25 +174,42 @@ pub struct RunOutput {
 
 /// Runs one cell to completion.
 ///
-/// # Panics
-/// Panics if the simulation deadlocks or exceeds [`CYCLE_LIMIT`] — both
-/// indicate a harness bug, not a measurement.
-#[must_use]
-pub fn run_workload(spec: &RunSpec) -> RunOutput {
-    let cfg = spec.config();
+/// # Errors
+/// [`HarnessError::Sim`] if the simulation deadlocks, times out at
+/// [`CYCLE_LIMIT`], or hits a completion-protocol violation. Callers
+/// that sweep a matrix record the error and continue; one-shot callers
+/// typically `expect` it.
+pub fn run_workload(spec: &RunSpec) -> Result<RunOutput, HarnessError> {
+    run_workload_traced(spec, false).map(|(out, _)| out)
+}
+
+/// Like [`run_workload`], but with `timeline: true` also records a
+/// [`Timeline`] of warp states and memory events for Chrome-trace
+/// export (the `--trace-out` flag of the bench binaries).
+///
+/// # Errors
+/// As [`run_workload`].
+pub fn run_workload_traced(
+    spec: &RunSpec,
+    timeline: bool,
+) -> Result<(RunOutput, Option<Timeline>), HarnessError> {
+    let mut cfg = spec.config();
+    cfg.timeline = timeline;
     let w = spec.workload.instantiate(spec.scale, spec.seed);
     let l = w.kernel(spec.build_opts());
     let mut gpu = Gpu::new(&cfg);
     w.init(&mut gpu);
     gpu.launch(&l.kernel, l.launch);
-    let report = gpu
-        .run(CYCLE_LIMIT)
-        .unwrap_or_else(|e| panic!("{} {:?}/{}: {e}", spec.workload, spec.model, spec.system));
-    RunOutput {
+    let report = gpu.run(CYCLE_LIMIT).map_err(|source| HarnessError::Sim {
+        cell: spec.cell_name(),
+        source,
+    })?;
+    let out = RunOutput {
         cycles: report.cycles,
         stats: gpu.stats(),
         verified: w.verify_complete(&gpu).is_ok(),
-    }
+    };
+    Ok((out, gpu.take_timeline()))
 }
 
 /// Result of a crash + recovery measurement (Fig. 11).
@@ -168,13 +231,18 @@ pub struct RecoveryOutput {
 /// each application at its worst-case point, e.g. gpKVS just before the
 /// transaction completes).
 ///
-/// # Panics
-/// Panics on simulator deadlock or timeout.
-#[must_use]
-pub fn run_recovery(spec: &RunSpec, fraction: f64) -> RecoveryOutput {
+/// # Errors
+/// [`HarnessError::Sim`] on simulator deadlock/timeout/protocol
+/// violation in any of the three runs, [`HarnessError::Outcome`] if the
+/// crash point fell outside the run.
+pub fn run_recovery(spec: &RunSpec, fraction: f64) -> Result<RecoveryOutput, HarnessError> {
+    let sim_err = |source| HarnessError::Sim {
+        cell: spec.cell_name(),
+        source,
+    };
     let cfg = spec.config();
     let opts = spec.build_opts();
-    let crash_free = run_workload(spec).cycles;
+    let crash_free = run_workload(spec)?.cycles;
     let crash_cycle = ((crash_free as f64) * fraction) as u64;
 
     let w = spec.workload.instantiate(spec.scale, spec.seed);
@@ -182,12 +250,16 @@ pub fn run_recovery(spec: &RunSpec, fraction: f64) -> RecoveryOutput {
     let mut gpu = Gpu::new(&cfg);
     w.init(&mut gpu);
     gpu.launch(&l.kernel, l.launch);
-    let report = gpu.run_until(crash_cycle).expect("no deadlock");
-    assert_eq!(
-        report.outcome,
-        RunOutcome::Crashed,
-        "crash point inside the run"
-    );
+    let report = gpu.run_until(crash_cycle).map_err(sim_err)?;
+    if report.outcome != RunOutcome::Crashed {
+        return Err(HarnessError::Outcome {
+            cell: spec.cell_name(),
+            detail: format!(
+                "crash point {crash_cycle} fell outside the run ({} cycles)",
+                report.cycles
+            ),
+        });
+    }
     let image = gpu.durable_image();
 
     let mut rgpu = Gpu::from_image(&cfg, &image);
@@ -195,17 +267,17 @@ pub fn run_recovery(spec: &RunSpec, fraction: f64) -> RecoveryOutput {
     let start = rgpu.cycle();
     if let Some(r) = w.recovery(opts) {
         rgpu.launch(&r.kernel, r.launch);
-        rgpu.run(CYCLE_LIMIT).expect("recovery kernel completes");
+        rgpu.run(CYCLE_LIMIT).map_err(sim_err)?;
     }
     let l2 = w.kernel(opts);
     rgpu.launch(&l2.kernel, l2.launch);
-    rgpu.run(CYCLE_LIMIT).expect("resumed kernel completes");
-    RecoveryOutput {
+    rgpu.run(CYCLE_LIMIT).map_err(sim_err)?;
+    Ok(RecoveryOutput {
         crash_cycle,
         recovery_cycles: rgpu.cycle() - start,
         crash_free_cycles: crash_free,
         verified: w.verify_complete(&rgpu).is_ok(),
-    }
+    })
 }
 
 /// The five bars of Figure 6, in paper order.
@@ -327,8 +399,14 @@ mod tests {
             workload: WorkloadKind::Gpkvs,
             scale: 128,
             ..RunSpec::default()
-        });
+        })
+        .expect("run completes");
         assert!(out.verified);
         assert!(out.cycles > 0);
+        assert_eq!(
+            out.stats.stall.bucket_sum(),
+            out.stats.stall.total,
+            "stall buckets sum to total"
+        );
     }
 }

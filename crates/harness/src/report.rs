@@ -1,7 +1,29 @@
 //! Table rendering for the figure binaries: fixed-width text for the
-//! terminal plus CSV, mirroring the artifact's `*_output.txt` files.
+//! terminal plus CSV and JSON, mirroring the artifact's `*_output.txt`
+//! files. Also the shared column scheme for stall-breakdown tables
+//! (the `breakdown` binary's Fig. 6-style stacked-bar data).
 
+use sbrp_core::stall::StallCause;
+use sbrp_gpu_sim::stats::SimStats;
 use std::fmt::Write as _;
+
+/// Column headers for a stall-breakdown table: total stall cycles, then
+/// one column per [`StallCause`] in reporting order. Prepend your
+/// identifying columns (app/model/system/cycles).
+#[must_use]
+pub fn stall_headers() -> Vec<&'static str> {
+    let mut h = vec!["stall_total"];
+    h.extend(StallCause::ALL.iter().map(|c| c.label()));
+    h
+}
+
+/// The cells matching [`stall_headers`] for one run's stats.
+#[must_use]
+pub fn stall_cells(stats: &SimStats) -> Vec<String> {
+    let mut cells = vec![stats.stall.total.to_string()];
+    cells.extend(stats.stall.iter().map(|(_, v)| v.to_string()));
+    cells
+}
 
 /// A simple column-oriented table of figure results.
 #[derive(Clone, Debug, Default)]
@@ -90,6 +112,45 @@ impl Table {
         }
         out
     }
+
+    /// Renders as JSON: `{"title", "headers", "rows"}` with every cell
+    /// a string (deterministic; no float re-formatting).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn quote(s: &str) -> String {
+            let mut q = String::with_capacity(s.len() + 2);
+            q.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => q.push_str("\\\""),
+                    '\\' => q.push_str("\\\\"),
+                    '\n' => q.push_str("\\n"),
+                    c => q.push(c),
+                }
+            }
+            q.push('"');
+            q
+        }
+        let list = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"title\": {},", quote(&self.title));
+        let _ = writeln!(out, "  \"headers\": [{}],", list(&self.headers));
+        let _ = writeln!(out, "  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            let _ = writeln!(out, "    [{}]{comma}", list(row));
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +178,28 @@ mod tests {
     fn ragged_rows_rejected() {
         let mut t = Table::new("t", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn render_json() {
+        let mut t = Table::new("Fig \"J\"", &["app", "x"]);
+        t.row(vec!["Red".into(), "1".into()]);
+        t.row(vec!["MQ".into(), "2".into()]);
+        let json = t.to_json();
+        assert!(json.contains("\"title\": \"Fig \\\"J\\\"\""));
+        assert!(json.contains("\"headers\": [\"app\", \"x\"]"));
+        assert!(json.contains("[\"Red\", \"1\"],"));
+        assert!(json.contains("[\"MQ\", \"2\"]\n"));
+    }
+
+    #[test]
+    fn stall_columns_line_up() {
+        let headers = stall_headers();
+        let stats = SimStats::default();
+        let cells = stall_cells(&stats);
+        assert_eq!(headers.len(), cells.len());
+        assert_eq!(headers[0], "stall_total");
+        assert_eq!(headers.len(), 1 + StallCause::ALL.len());
+        assert!(cells.iter().all(|c| c == "0"));
     }
 }

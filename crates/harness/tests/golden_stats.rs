@@ -1,0 +1,56 @@
+//! Golden-stats snapshots: the full `SimStats` JSON of fixed cells is
+//! checked bit-for-bit against snapshots under `tests/golden/`. Any
+//! timing or accounting change — intended or not — shows up as a diff
+//! here before it silently shifts the paper's figures.
+//!
+//! Regenerate after an intended change with
+//! `SBRP_UPDATE_GOLDEN=1 cargo test -p sbrp-harness --test golden_stats`
+//! and review the snapshot diff like any other code change.
+
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::config::SystemDesign;
+use sbrp_harness::{run_workload, RunSpec};
+use sbrp_workloads::WorkloadKind;
+use std::path::PathBuf;
+
+fn check(name: &str, model: ModelKind, system: SystemDesign) {
+    let out = run_workload(&RunSpec {
+        workload: WorkloadKind::Gpkvs,
+        model,
+        system,
+        scale: 128,
+        small_gpu: true,
+        ..RunSpec::default()
+    })
+    .expect("run completes");
+    assert!(out.verified);
+    let json = out.stats.to_json();
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let path = dir.join(format!("{name}.json"));
+    if std::env::var_os("SBRP_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(&dir).expect("golden dir");
+        std::fs::write(&path, &json).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {}: {e}; regenerate with SBRP_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json, expected,
+        "stats for {name} drifted from the golden snapshot; if the change \
+         is intended, regenerate with SBRP_UPDATE_GOLDEN=1 and commit the diff"
+    );
+}
+
+#[test]
+fn gpkvs_sbrp_near_matches_golden() {
+    check("gpkvs_sbrp_near_128", ModelKind::Sbrp, SystemDesign::PmNear);
+}
+
+#[test]
+fn gpkvs_epoch_far_matches_golden() {
+    check("gpkvs_epoch_far_128", ModelKind::Epoch, SystemDesign::PmFar);
+}

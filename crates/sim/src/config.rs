@@ -90,6 +90,10 @@ pub struct GpuConfig {
     /// Record persist events for the formal checker (tests only; slows
     /// simulation and grows memory with trace length).
     pub trace: bool,
+    /// Record warp-state intervals and memory-subsystem events into a
+    /// [`crate::timeline::Timeline`] (Chrome-trace export; grows memory
+    /// with run length).
+    pub timeline: bool,
 }
 
 impl GpuConfig {
@@ -127,6 +131,7 @@ impl GpuConfig {
                 ..PbConfig::default()
             },
             trace: false,
+            timeline: false,
         }
     }
 

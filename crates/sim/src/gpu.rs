@@ -40,6 +40,17 @@ pub enum SimError {
         /// The limit that was hit.
         limit: u64,
     },
+    /// A completion-protocol violation: a memory-system event routed to
+    /// a component that cannot accept it (unknown persist ack, fill for
+    /// a warp with no memory op, ack delivered to the wrong engine
+    /// kind). Reported instead of panicking so campaign sweeps can
+    /// record the cell as failed and continue.
+    Protocol {
+        /// Cycle at which the violation was detected.
+        cycle: u64,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -47,6 +58,12 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Deadlock { cycle } => write!(f, "simulation deadlocked at cycle {cycle}"),
             SimError::Timeout { limit } => write!(f, "simulation exceeded {limit} cycles"),
+            SimError::Protocol { cycle, detail } => {
+                write!(
+                    f,
+                    "completion-protocol violation at cycle {cycle}: {detail}"
+                )
+            }
         }
     }
 }
@@ -204,15 +221,20 @@ impl Gpu {
         }
     }
 
-    fn route_completions(&mut self) {
+    fn route_completions(&mut self) -> Result<(), SimError> {
+        let protocol = |cycle: u64, detail: String| SimError::Protocol { cycle, detail };
         for c in self.ms.poll(self.cycle) {
             match c.tag {
                 ReqTag::LoadFill { sm, token } | ReqTag::Atomic { sm, token } => {
-                    self.sms[sm as usize].on_fill(token as usize, &mut self.tracer, &self.ms);
+                    self.sms[sm as usize]
+                        .on_fill(token as usize, &mut self.tracer, &self.ms)
+                        .map_err(|d| protocol(c.at, d))?;
                 }
                 ReqTag::PersistAck { ack_id } => {
                     let suppressed = self.ms.fault_ack_suppressed(ack_id);
-                    let (dest, tokens) = self.ms.take_persist_dest(ack_id);
+                    let Some((dest, tokens)) = self.ms.take_persist_dest(ack_id) else {
+                        return Err(protocol(c.at, format!("unknown persist ack {ack_id}")));
+                    };
                     // A dropped/torn commit still acks (the machine is
                     // lied to), but the trace records the truth: these
                     // persists never became durable.
@@ -223,10 +245,14 @@ impl Gpu {
                     }
                     match dest {
                         PersistDest::Sbrp { sm, line } => {
-                            self.sms[sm as usize].on_persist_ack(line);
+                            self.sms[sm as usize]
+                                .on_persist_ack(line)
+                                .map_err(|d| protocol(c.at, d))?;
                         }
                         PersistDest::Epoch { sm } => {
-                            self.sms[sm as usize].on_epoch_ack(&mut self.ms, c.at);
+                            self.sms[sm as usize]
+                                .on_epoch_ack(&mut self.ms, c.at)
+                                .map_err(|d| protocol(c.at, d))?;
                         }
                         PersistDest::Detached => {}
                     }
@@ -235,11 +261,14 @@ impl Gpu {
                     self.sms[sm as usize].on_flush_accepted();
                 }
                 ReqTag::EpochVol { sm } => {
-                    self.sms[sm as usize].on_epoch_ack(&mut self.ms, c.at);
+                    self.sms[sm as usize]
+                        .on_epoch_ack(&mut self.ms, c.at)
+                        .map_err(|d| protocol(c.at, d))?;
                 }
                 ReqTag::None => {}
             }
         }
+        Ok(())
     }
 
     /// Whether the active launch (if any) has fully completed and
@@ -296,7 +325,7 @@ impl Gpu {
                 );
             }
         }
-        self.route_completions();
+        self.route_completions()?;
         let mut progress = false;
         for sm in &mut self.sms {
             progress |= sm.tick(self.cycle, &mut self.ms, &mut self.tracer);
@@ -478,18 +507,44 @@ impl Gpu {
             ..SimStats::default()
         };
         for sm in &self.sms {
-            let c = sm.counters();
-            s.instructions += c.instructions;
-            s.l1_pm_reads += c.pm_reads;
-            s.l1_pm_read_misses += c.pm_read_misses;
-            s.persist_flushes += c.persist_flushes;
-            s.volatile_writebacks += c.volatile_writebacks;
-            s.dfence_waits += c.dfence_waits;
-            s.l1_hits += c.reads - c.read_misses;
-            s.l1_misses += c.read_misses;
+            s.merge_sm(sm.counters());
+            s.merge_stall(sm.stall_breakdown());
             s.epoch_rounds += sm.epoch_rounds();
             s.merge_pb(sm.pb_stats());
         }
         s
+    }
+
+    /// Per-SM stall breakdowns (index = SM id).
+    #[must_use]
+    pub fn sm_stall_breakdowns(&self) -> Vec<sbrp_core::stall::StallBreakdown> {
+        self.sms.iter().map(|sm| sm.stall_breakdown()).collect()
+    }
+
+    /// Per-warp-slot stall breakdowns of SM `sm`.
+    #[must_use]
+    pub fn warp_stall_breakdowns(&self, sm: usize) -> &[sbrp_core::stall::StallBreakdown] {
+        self.sms[sm].warp_stall_breakdowns()
+    }
+
+    /// Takes the recorded timeline, closing all open intervals at the
+    /// current cycle. `None` unless the configuration set
+    /// [`GpuConfig::timeline`].
+    pub fn take_timeline(&mut self) -> Option<crate::timeline::Timeline> {
+        if !self.cfg.timeline {
+            return None;
+        }
+        let now = self.cycle;
+        let mut slices = Vec::new();
+        for sm in &mut self.sms {
+            slices.extend(sm.take_timeline(now));
+        }
+        slices.extend(self.ms.take_timeline_slices());
+        slices.sort_by_key(|s| (s.pid, s.tid, s.start));
+        Some(crate::timeline::Timeline {
+            slices,
+            cycles: now,
+            num_sms: self.cfg.num_sms,
+        })
     }
 }

@@ -66,6 +66,9 @@ pub mod mem;
 pub mod pmem;
 mod sm;
 pub mod stats;
+pub mod timeline;
 pub mod trace;
 
 pub use gpu::{Gpu, RunOutcome, RunReport, SimError};
+pub use sm::SmCounters;
+pub use timeline::Timeline;

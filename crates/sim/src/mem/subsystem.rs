@@ -143,6 +143,13 @@ pub struct MemSubsystem {
     persist_dests: std::collections::HashMap<u64, (PersistDest, Vec<u64>)>,
     next_ack_id: u64,
     fault: FaultState,
+    /// Latest cycle up to which the PCIe link is busy retransmitting
+    /// after injected transient faults (for stall attribution).
+    backoff_until: u64,
+    /// Flush lifetime recording (submit → durable) when tracing is on:
+    /// `ack_id → submit cycle`, drained into `mem_slices`.
+    flush_starts: Option<std::collections::HashMap<u64, u64>>,
+    mem_slices: Vec<crate::timeline::Slice>,
 }
 
 impl std::fmt::Debug for MemSubsystem {
@@ -184,6 +191,9 @@ impl MemSubsystem {
             persist_dests: std::collections::HashMap::new(),
             next_ack_id: 0,
             fault: FaultState::default(),
+            backoff_until: 0,
+            flush_starts: cfg.timeline.then(std::collections::HashMap::new),
+            mem_slices: Vec::new(),
         }
     }
 
@@ -249,7 +259,25 @@ impl MemSubsystem {
             accept = a;
             done = d;
         }
+        self.backoff_until = self.backoff_until.max(done);
+        if self.flush_starts.is_some() && done > now {
+            self.mem_slices.push(crate::timeline::Slice {
+                pid: crate::timeline::MEM_PID,
+                tid: crate::timeline::MEM_LANES as u32,
+                name: "pcie_retry",
+                start: now,
+                end: done,
+            });
+        }
         (accept, done)
+    }
+
+    /// Whether the PCIe link is (still) in fault-retry backoff at
+    /// `now` — warps waiting on memory or durability during such a
+    /// window are charged to [`sbrp_core::stall::StallCause::PcieBackoff`].
+    #[must_use]
+    pub fn pcie_backoff_active(&self, now: u64) -> bool {
+        now < self.backoff_until
     }
 
     fn schedule(&mut self, at: u64, kind: EventKind) {
@@ -351,6 +379,9 @@ impl MemSubsystem {
         self.fault.on_pb_drain();
         let ack_id = self.next_ack_id;
         self.next_ack_id += 1;
+        if let Some(starts) = self.flush_starts.as_mut() {
+            starts.insert(ack_id, now);
+        }
         let sbrp_sm = match dest {
             PersistDest::Sbrp { sm, .. } => Some(sm),
             _ => None,
@@ -392,14 +423,18 @@ impl MemSubsystem {
     }
 
     /// Resolves (and removes) a persist ack's destination and tokens.
-    ///
-    /// # Panics
-    /// Panics if `ack_id` was not issued by
-    /// [`MemSubsystem::submit_persist_flush`] or was already taken.
-    pub fn take_persist_dest(&mut self, ack_id: u64) -> (PersistDest, Vec<u64>) {
-        self.persist_dests
-            .remove(&ack_id)
-            .unwrap_or_else(|| panic!("unknown persist ack {ack_id}"))
+    /// `None` means the ack was never issued by
+    /// [`MemSubsystem::submit_persist_flush`] or was already taken — a
+    /// completion-protocol violation the GPU reports as a typed error
+    /// rather than a panic.
+    pub fn take_persist_dest(&mut self, ack_id: u64) -> Option<(PersistDest, Vec<u64>)> {
+        self.persist_dests.remove(&ack_id)
+    }
+
+    /// Drains the flush-lifetime / PCIe-retry slices recorded while
+    /// timeline tracing is on (empty otherwise).
+    pub fn take_timeline_slices(&mut self) -> Vec<crate::timeline::Slice> {
+        std::mem::take(&mut self.mem_slices)
     }
 
     /// Submits a volatile L1 writeback (dirty line to L2). The tag is
@@ -440,6 +475,17 @@ impl MemSubsystem {
                         ReqTag::PersistAck { ack_id } => Some(ack_id),
                         _ => None,
                     };
+                    if let (Some(starts), Some(id)) = (self.flush_starts.as_mut(), ack_id) {
+                        if let Some(start) = starts.remove(&id) {
+                            self.mem_slices.push(crate::timeline::Slice {
+                                pid: crate::timeline::MEM_PID,
+                                tid: (id % crate::timeline::MEM_LANES) as u32,
+                                name: "flush",
+                                start,
+                                end: e.at.max(start + 1),
+                            });
+                        }
+                    }
                     match self.fault.on_wpq_accept(ack_id) {
                         DurableAction::Commit => {
                             for (addr, data) in segments {
@@ -594,9 +640,10 @@ mod tests {
         let t = drain_until(&mut ms, ReqTag::PersistAck { ack_id: id });
         assert!(t > 0);
         assert_eq!(ms.nvm_durable.read_u64(PM_BASE), 42, "durable at ack");
-        let (dest, tokens) = ms.take_persist_dest(id);
+        let (dest, tokens) = ms.take_persist_dest(id).expect("ack registered");
         assert_eq!(dest, PersistDest::Detached);
         assert_eq!(tokens, vec![7]);
+        assert_eq!(ms.take_persist_dest(id), None, "acks resolve once");
     }
 
     #[test]

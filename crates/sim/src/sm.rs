@@ -3,6 +3,7 @@
 
 use crate::config::{is_pm, GpuConfig};
 use crate::mem::{MemSubsystem, PersistDest, ReqTag};
+use crate::timeline::{SmTimeline, WarpState};
 use crate::trace::TraceCapture;
 use sbrp_core::epoch::{EpochAck, EpochEngine, FlushScope};
 use sbrp_core::formal::EventId;
@@ -11,6 +12,7 @@ use sbrp_core::pbuffer::{
     BlockReason, DrainAction, EvictOutcome, LineIdx, OpOutcome, PersistUnit, StoreOutcome,
 };
 use sbrp_core::scope::{Scope, ThreadPos, WarpSlot};
+use sbrp_core::stall::{StallBreakdown, StallCause};
 use sbrp_core::ModelKind;
 use sbrp_isa::{
     AccessKind, FenceAccess, Kernel, LaneAccess, LaunchConfig, MemWidth, StepResult, WarpInterp,
@@ -90,6 +92,12 @@ struct WarpCtx {
     blocked: Option<Blocked>,
     op: Option<WaitingOp>,
     done: bool,
+    /// The interpreter will re-present an already-counted instruction
+    /// (engine-stall retry): don't count it again.
+    retried: bool,
+    /// Which fence put this warp into `Blocked::EpochWait`, for stall
+    /// attribution.
+    fence_cause: Option<StallCause>,
 }
 
 struct ResidentBlock {
@@ -141,6 +149,15 @@ pub struct Sm {
     /// Blocks completed on this SM.
     pub completed_blocks: u64,
     counters: SmCounters,
+    /// Stall cycles charged by cause, whole SM.
+    stall: StallBreakdown,
+    /// Stall cycles charged by cause, per warp slot.
+    warp_stalls: Vec<StallBreakdown>,
+    /// Last cycle stalls were charged up to (ticks can jump when the
+    /// GPU fast-forwards; the gap is charged in one delta).
+    last_charge: u64,
+    /// Warp-state interval recorder (None unless tracing is on).
+    timeline: Option<SmTimeline>,
 }
 
 impl Sm {
@@ -167,6 +184,10 @@ impl Sm {
             line_bytes: cfg.line_bytes,
             completed_blocks: 0,
             counters: SmCounters::default(),
+            stall: StallBreakdown::default(),
+            warp_stalls: vec![StallBreakdown::default(); slots],
+            last_charge: 0,
+            timeline: cfg.timeline.then(|| SmTimeline::new(id, slots)),
         }
     }
 
@@ -174,6 +195,26 @@ impl Sm {
     #[must_use]
     pub fn counters(&self) -> SmCounters {
         self.counters
+    }
+
+    /// SM-wide stall cycles by cause.
+    #[must_use]
+    pub fn stall_breakdown(&self) -> StallBreakdown {
+        self.stall
+    }
+
+    /// Per-warp-slot stall cycles by cause.
+    #[must_use]
+    pub fn warp_stall_breakdowns(&self) -> &[StallBreakdown] {
+        &self.warp_stalls
+    }
+
+    /// Closes and drains the timeline recorder (empty if tracing off).
+    pub fn take_timeline(&mut self, now: u64) -> Vec<crate::timeline::Slice> {
+        match self.timeline.as_mut() {
+            Some(tl) => tl.finish(now),
+            None => Vec::new(),
+        }
     }
 
     /// Persist-buffer stats (zero for epoch engines).
@@ -266,6 +307,8 @@ impl Sm {
                 blocked: None,
                 op: None,
                 done: false,
+                retried: false,
+                fence_cause: None,
             });
         }
         self.blocks[block_slot] = Some(ResidentBlock {
@@ -399,11 +442,24 @@ impl Sm {
     // ------------------------------------------------------------------
 
     /// A line fill (or atomic response) for warp `slot` arrived.
-    pub fn on_fill(&mut self, slot: usize, tracer: &mut Option<TraceCapture>, ms: &MemSubsystem) {
+    ///
+    /// # Errors
+    ///
+    /// A fill routed to a warp with no in-flight memory op is a
+    /// completion-protocol violation, reported instead of panicking so
+    /// campaign runs can record the cell as failed and continue.
+    pub fn on_fill(
+        &mut self,
+        slot: usize,
+        tracer: &mut Option<TraceCapture>,
+        ms: &MemSubsystem,
+    ) -> Result<(), String> {
         let finish = {
-            let ctx = self.warps[slot].as_mut().expect("warp present");
+            let Some(ctx) = self.warps[slot].as_mut() else {
+                return Err(format!("fill for vacant warp slot {slot}"));
+            };
             let Some(WaitingOp::Mem(op)) = ctx.op.as_mut() else {
-                panic!("fill for a warp with no memory op");
+                return Err(format!("fill for warp slot {slot} with no memory op"));
             };
             op.outstanding -= 1;
             op.outstanding == 0 && op.next == op.groups.len()
@@ -411,6 +467,7 @@ impl Sm {
         if finish {
             self.finish_mem(slot, tracer, ms);
         }
+        Ok(())
     }
 
     /// The L2 accepted one of this SM's persist flushes (window credit).
@@ -421,20 +478,36 @@ impl Sm {
     }
 
     /// A durability ack for an SBRP flush of `line`.
-    pub fn on_persist_ack(&mut self, line: u32) {
+    ///
+    /// # Errors
+    ///
+    /// Delivering an SBRP ack to an epoch SM is a completion-protocol
+    /// violation.
+    pub fn on_persist_ack(&mut self, line: u32) -> Result<(), String> {
         match &mut self.engine {
-            Engine::Sbrp(unit) => unit.ack_persist(LineIdx(line)),
-            Engine::Epoch(_) => panic!("SBRP ack delivered to an epoch SM"),
+            Engine::Sbrp(unit) => {
+                unit.ack_persist(LineIdx(line));
+                Ok(())
+            }
+            Engine::Epoch(_) => Err(format!("SBRP ack delivered to epoch SM {}", self.id)),
         }
     }
 
     /// An epoch barrier writeback (PM or volatile) completed.
-    pub fn on_epoch_ack(&mut self, ms: &mut MemSubsystem, now: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Delivering an epoch ack to an SBRP SM is a completion-protocol
+    /// violation.
+    pub fn on_epoch_ack(&mut self, ms: &mut MemSubsystem, now: u64) -> Result<(), String> {
         let ack = match &mut self.engine {
             Engine::Epoch(e) => e.ack(),
-            Engine::Sbrp(_) => panic!("epoch ack delivered to an SBRP SM"),
+            Engine::Sbrp(_) => {
+                return Err(format!("epoch ack delivered to SBRP SM {}", self.id));
+            }
         };
         self.handle_epoch_ack(ack, ms, now);
+        Ok(())
     }
 
     fn handle_epoch_ack(&mut self, ack: EpochAck, ms: &mut MemSubsystem, now: u64) {
@@ -443,6 +516,7 @@ impl Sm {
             if let Some(ctx) = self.warps[slot].as_mut() {
                 debug_assert_eq!(ctx.blocked, Some(Blocked::EpochWait));
                 ctx.blocked = None;
+                ctx.fence_cause = None;
                 ctx.interp.complete();
             }
         }
@@ -500,6 +574,7 @@ impl Sm {
         ms: &mut MemSubsystem,
         tracer: &mut Option<TraceCapture>,
     ) -> bool {
+        self.charge_stalls(cycle, ms);
         let mut progress = self.engine_tick(cycle, ms, tracer);
 
         // Wake sleepers.
@@ -542,6 +617,96 @@ impl Sm {
         }
         self.rr = (self.rr + 1) % n;
         progress | (issued > 0)
+    }
+
+    /// Attributes every warp-stall cycle since the last charge to one
+    /// [`StallCause`], per SM and per warp. Runs before wakeups and
+    /// issue so an interval that ends this cycle is still charged up to
+    /// it; `last_charge` makes fast-forward jumps cost one delta.
+    fn charge_stalls(&mut self, cycle: u64, ms: &MemSubsystem) {
+        let delta = cycle.saturating_sub(self.last_charge);
+        if delta == 0 && self.timeline.is_none() {
+            return;
+        }
+        let backoff = ms.pcie_backoff_active(cycle);
+        for slot in 0..self.warps.len() {
+            let state = match self.warps[slot].as_ref() {
+                None => None,
+                Some(ctx) if ctx.done => None,
+                Some(ctx) => match ctx.blocked {
+                    None => Some(WarpState::Running),
+                    Some(b) => Some(WarpState::Stalled(Self::stall_cause_of(
+                        &self.engine,
+                        ctx,
+                        b,
+                        backoff,
+                        slot,
+                    ))),
+                },
+            };
+            if delta > 0 {
+                if let Some(WarpState::Stalled(cause)) = state {
+                    self.stall.charge(cause, delta);
+                    self.warp_stalls[slot].charge(cause, delta);
+                }
+            }
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.observe(slot, state, cycle);
+            }
+        }
+        self.last_charge = cycle;
+    }
+
+    /// Which cause a blocked warp is experiencing *right now*. Engine
+    /// blocks refine dynamically: a durability wait whose buffer has
+    /// fully drained is WPQ backpressure, and any durability or memory
+    /// wait during PCIe fault-retry backoff is charged to the link.
+    fn stall_cause_of(
+        engine: &Engine,
+        ctx: &WarpCtx,
+        blocked: Blocked,
+        backoff: bool,
+        slot: usize,
+    ) -> StallCause {
+        match blocked {
+            Blocked::Sleep(_) | Blocked::Barrier => StallCause::Scoreboard,
+            Blocked::Mem => {
+                if backoff {
+                    StallCause::PcieBackoff
+                } else {
+                    StallCause::L1Miss
+                }
+            }
+            Blocked::EpochWait => {
+                let cause = ctx.fence_cause.unwrap_or(StallCause::DFence);
+                if backoff {
+                    StallCause::PcieBackoff
+                } else {
+                    cause
+                }
+            }
+            Blocked::Engine => match engine {
+                Engine::Sbrp(unit) => {
+                    let cause = unit
+                        .stall_cause(WarpSlot::new(slot))
+                        .unwrap_or(StallCause::Scoreboard);
+                    match cause {
+                        StallCause::DFence | StallCause::PAcqRel => {
+                            if backoff {
+                                StallCause::PcieBackoff
+                            } else if unit.buffered() == 0 && unit.outstanding() > 0 {
+                                StallCause::WpqBackpressure
+                            } else {
+                                cause
+                            }
+                        }
+                        other => other,
+                    }
+                }
+                // Epoch engines never produce `Blocked::Engine`.
+                Engine::Epoch(_) => StallCause::Scoreboard,
+            },
+        }
     }
 
     fn engine_tick(
@@ -589,7 +754,10 @@ impl Sm {
                 BlockReason::RetryStore | BlockReason::RetryFull | BlockReason::RetryEvict => {
                     if ctx.op.is_none() {
                         // A fence refused for lack of space: re-issue it.
+                        // The re-issue is the same dynamic instruction,
+                        // so it must not be counted again.
                         ctx.interp.retry();
+                        ctx.retried = true;
                     }
                     // Otherwise the in-flight MemOp resumes where it was.
                 }
@@ -631,13 +799,25 @@ impl Sm {
         ms: &mut MemSubsystem,
         tracer: &mut Option<TraceCapture>,
     ) {
-        self.counters.instructions += 1;
         if matches!(
             self.warps[slot].as_ref().and_then(|c| c.op.as_ref()),
             Some(WaitingOp::Mem(_))
         ) {
+            // Continuation of an in-flight memory instruction (further
+            // coalesced groups, or resumption after an engine stall):
+            // the instruction was counted when it first issued.
             self.progress_mem(slot, cycle, ms, tracer);
             return;
+        }
+        // Count each dynamic instruction exactly once: a fence that the
+        // engine refused and re-presents via `retry()` is the same
+        // instruction, not a new one.
+        let retried = {
+            let ctx = self.warps[slot].as_mut().expect("warp");
+            std::mem::take(&mut ctx.retried)
+        };
+        if !retried {
+            self.counters.instructions += 1;
         }
         let result = self.warps[slot].as_mut().expect("warp").interp.step();
         match result {
@@ -1076,7 +1256,7 @@ impl Sm {
                         }
                     }
                 }
-                Engine::Epoch(_) => self.epoch_barrier(slot, ms, tracer, cycle),
+                Engine::Epoch(_) => self.epoch_barrier(slot, ms, tracer, cycle, StallCause::OFence),
             },
             FenceAccess::DFence => match &mut self.engine {
                 Engine::Sbrp(unit) => match unit.dfence(WarpSlot::new(slot)) {
@@ -1095,13 +1275,13 @@ impl Sm {
                         self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Engine);
                     }
                 },
-                Engine::Epoch(_) => self.epoch_barrier(slot, ms, tracer, cycle),
+                Engine::Epoch(_) => self.epoch_barrier(slot, ms, tracer, cycle, StallCause::DFence),
             },
             FenceAccess::EpochBarrier => match &self.engine {
                 // Under SBRP an epoch barrier degrades to the strongest
                 // primitive, a dFence.
                 Engine::Sbrp(_) => self.handle_fence(slot, FenceAccess::DFence, cycle, ms, tracer),
-                Engine::Epoch(_) => self.epoch_barrier(slot, ms, tracer, cycle),
+                Engine::Epoch(_) => self.epoch_barrier(slot, ms, tracer, cycle, StallCause::DFence),
             },
             FenceAccess::PAcq { scope, lanes } => {
                 if let Engine::Sbrp(unit) = &mut self.engine {
@@ -1199,10 +1379,15 @@ impl Sm {
         ms: &mut MemSubsystem,
         tracer: &mut Option<TraceCapture>,
         cycle: u64,
+        cause: StallCause,
     ) {
         self.trace_fence_all_lanes(slot, tracer, PersistOpKind::EpochBarrier);
         self.counters.dfence_waits += 1;
-        self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::EpochWait);
+        {
+            let ctx = self.warps[slot].as_mut().expect("warp");
+            ctx.blocked = Some(Blocked::EpochWait);
+            ctx.fence_cause = Some(cause);
+        }
         let starts = match &mut self.engine {
             Engine::Epoch(e) => e.barrier(WarpSlot::new(slot)),
             Engine::Sbrp(_) => unreachable!("epoch barrier on an SBRP SM"),

@@ -1,6 +1,9 @@
 //! Aggregate simulation statistics.
 
+use crate::sm::SmCounters;
 use sbrp_core::pbuffer::PbStats;
+use sbrp_core::stall::StallBreakdown;
+use std::fmt::Write as _;
 
 /// Counters collected over a run; the evaluation figures are computed
 /// from these.
@@ -8,8 +11,11 @@ use sbrp_core::pbuffer::PbStats;
 pub struct SimStats {
     /// Total cycles simulated (runtime — Figs. 6/7/9/10/11).
     pub cycles: u64,
-    /// Dynamic warp instructions retired.
+    /// Dynamic warp instructions retired (each instruction once —
+    /// engine-stall retries and multi-group continuations don't count).
     pub instructions: u64,
+    /// L1 read accesses, all spaces (`l1_hits + l1_misses`).
+    pub l1_reads: u64,
     /// L1 hits, all accesses.
     pub l1_hits: u64,
     /// L1 misses, all accesses.
@@ -40,6 +46,9 @@ pub struct SimStats {
     pub pcie_backoff_cycles: u64,
     /// Aggregated persist-buffer statistics (SBRP runs).
     pub pb: PbStats,
+    /// Warp-stall cycles attributed by cause (see
+    /// [`sbrp_core::stall::StallCause`]).
+    pub stall: StallBreakdown,
 }
 
 impl SimStats {
@@ -54,27 +63,186 @@ impl SimStats {
         }
     }
 
-    /// Adds per-SM persist-buffer stats into the aggregate.
+    /// Adds per-SM persist-buffer stats into the aggregate. Destructures
+    /// exhaustively (no `..`): adding a `PbStats` field is a compile
+    /// error here until it is merged, so new counters cannot silently
+    /// vanish from aggregates.
     pub fn merge_pb(&mut self, other: PbStats) {
+        let PbStats {
+            stores,
+            coalesced,
+            entries,
+            stall_ordered,
+            stall_full,
+            stall_evict,
+            flushes,
+            acks,
+            ofences,
+            dfences,
+            pacqs,
+            prels,
+        } = other;
         let a = &mut self.pb;
-        a.stores += other.stores;
-        a.coalesced += other.coalesced;
-        a.entries += other.entries;
-        a.stall_ordered += other.stall_ordered;
-        a.stall_full += other.stall_full;
-        a.stall_evict += other.stall_evict;
-        a.flushes += other.flushes;
-        a.acks += other.acks;
-        a.ofences += other.ofences;
-        a.dfences += other.dfences;
-        a.pacqs += other.pacqs;
-        a.prels += other.prels;
+        a.stores += stores;
+        a.coalesced += coalesced;
+        a.entries += entries;
+        a.stall_ordered += stall_ordered;
+        a.stall_full += stall_full;
+        a.stall_evict += stall_evict;
+        a.flushes += flushes;
+        a.acks += acks;
+        a.ofences += ofences;
+        a.dfences += dfences;
+        a.pacqs += pacqs;
+        a.prels += prels;
+    }
+
+    /// Adds one SM's scalar counters into the aggregate, exhaustively.
+    pub fn merge_sm(&mut self, c: SmCounters) {
+        let SmCounters {
+            instructions,
+            reads,
+            read_misses,
+            pm_reads,
+            pm_read_misses,
+            persist_flushes,
+            volatile_writebacks,
+            dfence_waits,
+        } = c;
+        self.instructions += instructions;
+        self.l1_reads += reads;
+        self.l1_hits += reads - read_misses;
+        self.l1_misses += read_misses;
+        self.l1_pm_reads += pm_reads;
+        self.l1_pm_read_misses += pm_read_misses;
+        self.persist_flushes += persist_flushes;
+        self.volatile_writebacks += volatile_writebacks;
+        self.dfence_waits += dfence_waits;
+    }
+
+    /// Adds a stall breakdown into the aggregate (exhaustive merge in
+    /// [`StallBreakdown::merge`]).
+    pub fn merge_stall(&mut self, other: StallBreakdown) {
+        self.stall.merge(other);
+    }
+
+    /// Deterministic JSON rendering (field declaration order, nested
+    /// `pb` and `stall` objects) — the golden-snapshot format checked
+    /// in CI. Destructures exhaustively so adding a stat field breaks
+    /// the build here until the snapshot format carries it.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let SimStats {
+            cycles,
+            instructions,
+            l1_reads,
+            l1_hits,
+            l1_misses,
+            l1_pm_reads,
+            l1_pm_read_misses,
+            persist_flushes,
+            volatile_writebacks,
+            epoch_rounds,
+            pcie_bytes,
+            nvm_write_bytes,
+            nvm_read_bytes,
+            wpq_accepts,
+            dfence_waits,
+            pcie_retries,
+            pcie_backoff_cycles,
+            pb,
+            stall,
+        } = *self;
+        let PbStats {
+            stores,
+            coalesced,
+            entries,
+            stall_ordered,
+            stall_full,
+            stall_evict,
+            flushes,
+            acks,
+            ofences,
+            dfences,
+            pacqs,
+            prels,
+        } = pb;
+        let StallBreakdown {
+            ofence,
+            dfence,
+            pacqrel,
+            l1_miss,
+            pb_full,
+            pb_ordered,
+            wpq_backpressure,
+            pcie_backoff,
+            scoreboard,
+            total,
+        } = stall;
+        let mut out = String::from("{\n");
+        let mut field = |name: &str, v: u64, indent: &str, last: bool| {
+            let _ = writeln!(
+                out,
+                "{indent}\"{name}\": {v}{}",
+                if last { "" } else { "," }
+            );
+        };
+        field("cycles", cycles, "  ", false);
+        field("instructions", instructions, "  ", false);
+        field("l1_reads", l1_reads, "  ", false);
+        field("l1_hits", l1_hits, "  ", false);
+        field("l1_misses", l1_misses, "  ", false);
+        field("l1_pm_reads", l1_pm_reads, "  ", false);
+        field("l1_pm_read_misses", l1_pm_read_misses, "  ", false);
+        field("persist_flushes", persist_flushes, "  ", false);
+        field("volatile_writebacks", volatile_writebacks, "  ", false);
+        field("epoch_rounds", epoch_rounds, "  ", false);
+        field("pcie_bytes", pcie_bytes, "  ", false);
+        field("nvm_write_bytes", nvm_write_bytes, "  ", false);
+        field("nvm_read_bytes", nvm_read_bytes, "  ", false);
+        field("wpq_accepts", wpq_accepts, "  ", false);
+        field("dfence_waits", dfence_waits, "  ", false);
+        field("pcie_retries", pcie_retries, "  ", false);
+        field("pcie_backoff_cycles", pcie_backoff_cycles, "  ", false);
+        out.push_str("  \"pb\": {\n");
+        let mut field = |name: &str, v: u64, last: bool| {
+            let _ = writeln!(out, "    \"{name}\": {v}{}", if last { "" } else { "," });
+        };
+        field("stores", stores, false);
+        field("coalesced", coalesced, false);
+        field("entries", entries, false);
+        field("stall_ordered", stall_ordered, false);
+        field("stall_full", stall_full, false);
+        field("stall_evict", stall_evict, false);
+        field("flushes", flushes, false);
+        field("acks", acks, false);
+        field("ofences", ofences, false);
+        field("dfences", dfences, false);
+        field("pacqs", pacqs, false);
+        field("prels", prels, true);
+        out.push_str("  },\n  \"stall\": {\n");
+        let mut field = |name: &str, v: u64, last: bool| {
+            let _ = writeln!(out, "    \"{name}\": {v}{}", if last { "" } else { "," });
+        };
+        field("ofence", ofence, false);
+        field("dfence", dfence, false);
+        field("pacqrel", pacqrel, false);
+        field("l1_miss", l1_miss, false);
+        field("pb_full", pb_full, false);
+        field("pb_ordered", pb_ordered, false);
+        field("wpq_backpressure", wpq_backpressure, false);
+        field("pcie_backoff", pcie_backoff, false);
+        field("scoreboard", scoreboard, false);
+        field("total", total, true);
+        out.push_str("  }\n}\n");
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sbrp_core::stall::StallCause;
 
     #[test]
     fn miss_ratio_handles_zero() {
@@ -103,5 +271,42 @@ mod tests {
         assert_eq!(s.pb.stores, 8);
         assert_eq!(s.pb.flushes, 2);
         assert_eq!(s.pb.acks, 1);
+    }
+
+    #[test]
+    fn merge_sm_accumulates_and_splits_hits() {
+        let mut s = SimStats::default();
+        s.merge_sm(SmCounters {
+            instructions: 10,
+            reads: 7,
+            read_misses: 2,
+            pm_reads: 3,
+            pm_read_misses: 1,
+            persist_flushes: 4,
+            volatile_writebacks: 5,
+            dfence_waits: 6,
+        });
+        assert_eq!(s.instructions, 10);
+        assert_eq!(s.l1_reads, 7);
+        assert_eq!(s.l1_hits, 5);
+        assert_eq!(s.l1_misses, 2);
+        assert_eq!(s.l1_hits + s.l1_misses, s.l1_reads);
+        assert_eq!(s.dfence_waits, 6);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_carries_breakdown() {
+        let mut s = SimStats {
+            cycles: 100,
+            ..SimStats::default()
+        };
+        s.stall.charge(StallCause::DFence, 42);
+        let j = s.to_json();
+        assert_eq!(j, s.to_json(), "rendering is deterministic");
+        assert!(j.contains("\"cycles\": 100"));
+        assert!(j.contains("\"dfence\": 42"));
+        assert!(j.contains("\"total\": 42"));
+        assert!(j.starts_with("{\n"));
+        assert!(j.ends_with("}\n"));
     }
 }

@@ -32,7 +32,8 @@ fn main() {
             system,
             scale,
             ..RunSpec::default()
-        });
+        })
+        .expect("cell runs");
         assert!(out.verified);
         let base = *baseline.get_or_insert(out.cycles as f64);
         // Normalize to epoch-far (the second row), as the paper does.

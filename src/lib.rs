@@ -32,7 +32,7 @@
 //!     scale: 1024, // elements; tiny for the doctest
 //!     ..RunSpec::default()
 //! };
-//! let outcome = run_workload(&spec);
+//! let outcome = run_workload(&spec).expect("run completes");
 //! assert!(outcome.verified, "persistent state must be consistent");
 //! ```
 

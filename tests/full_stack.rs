@@ -21,9 +21,16 @@ fn figure6_matrix_smoke() {
                 scale: 512,
                 small_gpu: true,
                 ..RunSpec::default()
-            });
+            })
+            .expect("cell runs");
             assert!(out.verified, "{kind}/{}", bar.label());
             assert!(out.cycles > 0);
+            assert_eq!(
+                out.stats.stall.bucket_sum(),
+                out.stats.stall.total,
+                "{kind}/{}: stall buckets sum to total",
+                bar.label()
+            );
         }
     }
 }
@@ -47,7 +54,8 @@ fn recovery_measurement_smoke() {
                     ..RunSpec::default()
                 },
                 0.6,
-            );
+            )
+            .expect("recovery runs");
             assert!(out.verified, "{kind}/{model}");
             assert!(out.recovery_cycles > 0);
             assert!(out.crash_cycle < out.crash_free_cycles);
@@ -73,7 +81,8 @@ fn sbrp_reports_buffer_activity() {
         scale: 512,
         small_gpu: true,
         ..RunSpec::default()
-    });
+    })
+    .expect("cell runs");
     assert!(out.stats.pb.stores > 0);
     assert!(out.stats.pb.coalesced > 0, "logging coalesces in the PB");
     assert!(out.stats.pb.acks == out.stats.pb.flushes);
@@ -84,7 +93,8 @@ fn sbrp_reports_buffer_activity() {
         scale: 512,
         small_gpu: true,
         ..RunSpec::default()
-    });
+    })
+    .expect("cell runs");
     assert_eq!(epoch.stats.pb.stores, 0, "no PB under the epoch baseline");
     assert!(epoch.stats.epoch_rounds > 0);
 }
