@@ -102,12 +102,23 @@ fn main() {
         let status = if let Some(e) = &cell.baseline_error {
             format!("BASELINE FAILED: {e}")
         } else if cell.violations() == 0 {
-            format!("{} points, all pass", cell.points.len())
+            format!(
+                "{} points, all pass (pmo {}/{}, recovered {}/{})",
+                cell.points.len(),
+                cell.pmo_clean(),
+                cell.points.len(),
+                cell.recovered(),
+                cell.points.len()
+            )
         } else {
             format!(
-                "{} points, {} VIOLATIONS",
+                "{} points, {} VIOLATIONS (pmo {}/{}, recovered {}/{})",
                 cell.points.len(),
-                cell.violations()
+                cell.violations(),
+                cell.pmo_clean(),
+                cell.points.len(),
+                cell.recovered(),
+                cell.points.len()
             )
         };
         eprintln!(

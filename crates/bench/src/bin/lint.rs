@@ -1,0 +1,171 @@
+//! Static persistency linter driver.
+//!
+//! Lints every stock kernel in the repository — the six applications
+//! (main and recovery flavours) and the five microbenchmarks, under
+//! every persistency model — with `sbrp-lint`, and fails the process if
+//! any kernel produces an error-severity diagnostic.
+//!
+//! ```text
+//! cargo run --release -p sbrp-bench --bin lint
+//! ```
+//!
+//! * `--json`     — emit one JSON report per kernel (a JSON array)
+//!   instead of text;
+//! * `--all`      — print clean reports too (default prints only
+//!   kernels with diagnostics);
+//! * `--demoted`  — also lint the SBRP scope-demotion variants
+//!   (the §5.3 experiment kernels);
+//! * `--mutants`  — lint the seeded mutant suite instead of the stock
+//!   kernels and verify every broken mutant is flagged (exits non-zero
+//!   if any seeded bug is missed or a correct mutant is dirty).
+
+use sbrp_core::ModelKind;
+use sbrp_lint::{lint_kernel, LintConfig, LintReport, Severity};
+use sbrp_workloads::{BuildOpts, Launchable, Micro, WorkloadKind};
+
+const MODELS: [ModelKind; 3] = [ModelKind::Sbrp, ModelKind::Epoch, ModelKind::Gpm];
+
+struct Args {
+    json: bool,
+    all: bool,
+    demoted: bool,
+    mutants: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        json: false,
+        all: false,
+        demoted: false,
+        mutants: false,
+    };
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => out.json = true,
+            "--all" => out.all = true,
+            "--demoted" => out.demoted = true,
+            "--mutants" => out.mutants = true,
+            "--help" | "-h" => {
+                println!("usage: lint [--json] [--all] [--demoted] [--mutants]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    out
+}
+
+fn lint_launchable(l: &Launchable) -> LintReport {
+    lint_kernel(&l.kernel, &LintConfig::with_launch(l.launch))
+}
+
+/// Every stock kernel: (context label, report).
+fn stock_reports(demoted: bool) -> Vec<(String, LintReport)> {
+    let mut out = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let w = kind.instantiate(256, 42);
+        for model in MODELS {
+            let opts = BuildOpts::for_model(model);
+            out.push((
+                format!("{kind}/{model:?}/main"),
+                lint_launchable(&w.kernel(opts)),
+            ));
+            if let Some(rec) = w.recovery(opts) {
+                out.push((format!("{kind}/{model:?}/recovery"), lint_launchable(&rec)));
+            }
+        }
+        if demoted {
+            let opts = BuildOpts {
+                model: ModelKind::Sbrp,
+                demote_scopes: true,
+            };
+            out.push((
+                format!("{kind}/Sbrp/demoted"),
+                lint_launchable(&w.kernel(opts)),
+            ));
+        }
+    }
+    for micro in Micro::ALL {
+        for model in MODELS {
+            out.push((
+                format!("micro-{}/{model:?}", micro.label()),
+                lint_launchable(&micro.kernel(BuildOpts::for_model(model), 8)),
+            ));
+        }
+    }
+    out
+}
+
+fn run_stock(args: &Args) -> i32 {
+    let reports = stock_reports(args.demoted);
+    let mut errors = 0usize;
+    let mut diags = 0usize;
+    if args.json {
+        let body: Vec<String> = reports.iter().map(|(_, r)| r.to_json()).collect();
+        println!("[{}]", body.join(","));
+    }
+    for (ctx, r) in &reports {
+        errors += r.count(Severity::Error);
+        diags += r.diags.len();
+        if !args.json && (args.all || !r.diags.is_empty()) {
+            print!("== {ctx}\n{}", r.to_text());
+        }
+    }
+    eprintln!(
+        "lint: {} kernels, {} diagnostics, {} errors",
+        reports.len(),
+        diags,
+        errors
+    );
+    i32::from(errors > 0)
+}
+
+fn run_mutants(args: &Args) -> i32 {
+    let suite = sbrp_lint::mutants::suite(sbrp_gpu_sim::config::PM_BASE);
+    let mut missed = Vec::new();
+    let mut dirty = Vec::new();
+    let mut body = Vec::new();
+    for m in &suite {
+        let mut cfg = LintConfig::with_launch(m.launch);
+        cfg.pm_base = sbrp_gpu_sim::config::PM_BASE;
+        let r = lint_kernel(&m.kernel, &cfg);
+        if args.json {
+            body.push(r.to_json());
+        } else {
+            print!("== {} ({})\n{}", m.name, m.what, r.to_text());
+        }
+        if m.is_broken() {
+            if !m.expect.iter().all(|&c| r.has(c)) {
+                missed.push(m.name);
+            }
+        } else if r.errors() > 0 {
+            dirty.push(m.name);
+        }
+    }
+    if args.json {
+        println!("[{}]", body.join(","));
+    }
+    eprintln!(
+        "lint: {} mutants, {} seeded bugs missed, {} correct kernels dirty",
+        suite.len(),
+        missed.len(),
+        dirty.len()
+    );
+    for n in &missed {
+        eprintln!("MISSED: {n}");
+    }
+    for n in &dirty {
+        eprintln!("FALSE POSITIVE: {n}");
+    }
+    i32::from(!missed.is_empty() || !dirty.is_empty())
+}
+
+fn main() {
+    let args = parse_args();
+    let code = if args.mutants {
+        run_mutants(&args)
+    } else {
+        run_stock(&args)
+    };
+    std::process::exit(code);
+}

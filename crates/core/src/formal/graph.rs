@@ -53,7 +53,7 @@ impl fmt::Display for ScopeBugWarning {
 }
 
 /// Per-thread state used while building the graph.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct ThreadState {
     /// Persists issued since the last ordering node.
     segment: Vec<EventId>,
@@ -84,7 +84,7 @@ struct ThreadState {
 /// assert!(g.pmo_holds(w1, w2));
 /// assert!(!g.pmo_holds(w2, w1));
 /// ```
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct TraceBuilder {
     events: Vec<Event>,
     /// Forward adjacency (edges point PMO-forward).

@@ -312,6 +312,141 @@ pub fn acquire_of_initial_value() -> Litmus {
     }
 }
 
+/// A block-scoped release observed by a *device*-scoped acquire in
+/// another block: the pattern's effective scope is the narrowest
+/// constituent (§2), so widening only the acquire does not repair the
+/// §5.3 bug.
+#[must_use]
+pub fn block_release_observed_device_wide() -> Litmus {
+    let (a, b) = (th(0, 0), th(1, 0));
+    let mut tb = TraceBuilder::new();
+    let w1 = tb.persist(a, 0x1000);
+    let rel = tb.op(a, PersistOpKind::PRel(Scope::Block), Some(0x80));
+    let acq = tb.op(b, PersistOpKind::PAcq(Scope::Device), Some(0x80));
+    let w2 = tb.persist(b, 0x2000);
+    tb.observe(acq, rel);
+    Litmus {
+        name: "MP+block-rel+device-acq (bug)",
+        description: "a block-scoped release observed device-wide still takes the \
+                      narrowest scope — widening one side does not create PMO",
+        graph: tb.finish(),
+        expectations: vec![Expectation {
+            before: w1,
+            after: w2,
+            ordered: false,
+        }],
+    }
+}
+
+/// The symmetric widening: a *system*-scoped acquire reading a
+/// device-scoped release across blocks. Device already includes both
+/// threads, so here the narrowest constituent suffices and PMO holds.
+#[must_use]
+pub fn device_release_observed_system_wide() -> Litmus {
+    let (a, b) = (th(0, 0), th(1, 0));
+    let mut tb = TraceBuilder::new();
+    let w1 = tb.persist(a, 0x1000);
+    let rel = tb.op(a, PersistOpKind::PRel(Scope::Device), Some(0x80));
+    let acq = tb.op(b, PersistOpKind::PAcq(Scope::System), Some(0x80));
+    let w2 = tb.persist(b, 0x2000);
+    tb.observe(acq, rel);
+    Litmus {
+        name: "MP+device-rel+system-acq",
+        description: "mixed device/system scopes: the narrowest constituent (device) \
+                      includes both threads, so the edge exists",
+        graph: tb.finish(),
+        expectations: vec![
+            Expectation {
+                before: w1,
+                after: w2,
+                ordered: true,
+            },
+            Expectation {
+                before: w2,
+                after: w1,
+                ordered: false,
+            },
+        ],
+    }
+}
+
+/// `W1; dFence; W2; oFence; W3` — the two fence kinds compose
+/// transitively within a thread: a dFence-then-oFence chain orders the
+/// first persist before the last even though no single fence separates
+/// them.
+#[must_use]
+pub fn dfence_ofence_transitivity_chain() -> Litmus {
+    let t0 = th(0, 0);
+    let mut tb = TraceBuilder::new();
+    let w1 = tb.persist(t0, 0x1000);
+    tb.op(t0, PersistOpKind::DFence, None);
+    let w2 = tb.persist(t0, 0x2000);
+    tb.op(t0, PersistOpKind::OFence, None);
+    let w3 = tb.persist(t0, 0x3000);
+    Litmus {
+        name: "dFence/oFence chain",
+        description: "dFence and oFence compose transitively: W1 dFence W2 oFence W3 \
+                      orders W1 before W3",
+        graph: tb.finish(),
+        expectations: vec![
+            Expectation {
+                before: w1,
+                after: w2,
+                ordered: true,
+            },
+            Expectation {
+                before: w2,
+                after: w3,
+                ordered: true,
+            },
+            Expectation {
+                before: w1,
+                after: w3,
+                ordered: true,
+            },
+            Expectation {
+                before: w3,
+                after: w1,
+                ordered: false,
+            },
+        ],
+    }
+}
+
+/// A release also covers persists an *earlier* fence already ordered —
+/// crossing a dFence into a block-scoped handoff keeps the whole prefix
+/// released (the "release covers all prior persists" rule of Box 2).
+#[must_use]
+pub fn dfence_prefix_flows_through_release() -> Litmus {
+    let (a, b) = (th(0, 0), th(0, 32));
+    let mut tb = TraceBuilder::new();
+    let w_old = tb.persist(a, 0x1000);
+    tb.op(a, PersistOpKind::DFence, None);
+    tb.persist(a, 0x1800);
+    let rel = tb.op(a, PersistOpKind::PRel(Scope::Block), Some(0x80));
+    let acq = tb.op(b, PersistOpKind::PAcq(Scope::Block), Some(0x80));
+    let w2 = tb.persist(b, 0x2000);
+    tb.observe(acq, rel);
+    Litmus {
+        name: "dFence-prefix+MP",
+        description: "persists ordered by an earlier dFence still flow through a later \
+                      release/acquire handoff",
+        graph: tb.finish(),
+        expectations: vec![
+            Expectation {
+                before: w_old,
+                after: w2,
+                ordered: true,
+            },
+            Expectation {
+                before: w2,
+                after: w_old,
+                ordered: false,
+            },
+        ],
+    }
+}
+
 /// All litmus tests.
 #[must_use]
 pub fn all() -> Vec<Litmus> {
@@ -325,6 +460,10 @@ pub fn all() -> Vec<Litmus> {
         dfence_orders(),
         epoch_barrier_orders(),
         acquire_of_initial_value(),
+        block_release_observed_device_wide(),
+        device_release_observed_system_wide(),
+        dfence_ofence_transitivity_chain(),
+        dfence_prefix_flows_through_release(),
     ]
 }
 
@@ -342,7 +481,7 @@ mod tests {
     #[test]
     fn litmus_set_is_nontrivial() {
         let set = all();
-        assert!(set.len() >= 9);
+        assert!(set.len() >= 13);
         assert!(set.iter().any(|l| l.expectations.iter().any(|e| e.ordered)));
         assert!(set
             .iter()

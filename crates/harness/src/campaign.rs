@@ -33,7 +33,7 @@ use sbrp_gpu_sim::config::SystemDesign;
 use sbrp_gpu_sim::crash::{self, CrashImage};
 use sbrp_gpu_sim::fault::{CrashTrigger, FaultEventCounts, FaultPlan};
 use sbrp_gpu_sim::pmem::Namespace;
-use sbrp_gpu_sim::{Gpu, RunOutcome};
+use sbrp_gpu_sim::{Gpu, RunOutcome, SimError};
 use sbrp_workloads::WorkloadKind;
 use std::collections::BTreeSet;
 
@@ -114,6 +114,25 @@ impl PointOutcome {
     }
 }
 
+/// The full record of one probed crash point.
+#[derive(Clone, Debug)]
+pub struct PointRecord {
+    /// The trigger family.
+    pub family: TriggerFamily,
+    /// The event index (1-based).
+    pub k: u64,
+    /// What happened.
+    pub outcome: PointOutcome,
+    /// The online sanitizer's verdict at this point: no PMO violation in
+    /// the recorded trace (durability order, crash cut, §5.3 scope
+    /// bugs). Stays `true` when a *later* stage (e.g. recovery) failed.
+    pub pmo_clean: bool,
+    /// Whether the crash was actually recovered from: the recovery
+    /// kernel (if any) and the re-run both completed and the final state
+    /// verified. `true` for runs that completed before the crash.
+    pub recovered: bool,
+}
+
 /// A shrunk failure: the minimal event index that still fails.
 #[derive(Clone, Debug)]
 pub struct ShrunkFailure {
@@ -138,8 +157,8 @@ pub struct CellReport {
     pub counts: FaultEventCounts,
     /// Crash-free runtime in cycles.
     pub baseline_cycles: u64,
-    /// Every probed point: (family, event index, outcome).
-    pub points: Vec<(TriggerFamily, u64, PointOutcome)>,
+    /// Every probed point, with its sanitizer and recovery verdicts.
+    pub points: Vec<PointRecord>,
     /// Shrunk minimal failures, one per failing family.
     pub shrunk: Vec<ShrunkFailure>,
     /// Set when the cell could not even run crash-free.
@@ -150,13 +169,25 @@ impl CellReport {
     /// Points that passed.
     #[must_use]
     pub fn passes(&self) -> usize {
-        self.points.iter().filter(|(_, _, o)| o.is_pass()).count()
+        self.points.iter().filter(|p| p.outcome.is_pass()).count()
     }
 
     /// Points that found a violation.
     #[must_use]
     pub fn violations(&self) -> usize {
         self.points.len() - self.passes()
+    }
+
+    /// Points whose trace the online sanitizer found PMO-clean.
+    #[must_use]
+    pub fn pmo_clean(&self) -> usize {
+        self.points.iter().filter(|p| p.pmo_clean).count()
+    }
+
+    /// Points that were recovered from (recovery + re-run + verify).
+    #[must_use]
+    pub fn recovered(&self) -> usize {
+        self.points.iter().filter(|p| p.recovered).count()
     }
 }
 
@@ -198,7 +229,7 @@ impl CampaignReport {
             "Crash-recovery campaign (event-triggered crash points)",
             &[
                 "workload", "model", "system", "wpq", "drain", "dfence", "points", "pass", "viol",
-                "min-fail",
+                "pmo-ok", "recov", "min-fail",
             ],
         );
         for c in &self.cells {
@@ -219,6 +250,8 @@ impl CampaignReport {
                 c.points.len().to_string(),
                 c.passes().to_string(),
                 c.violations().to_string(),
+                format!("{}/{}", c.pmo_clean(), c.points.len()),
+                format!("{}/{}", c.recovered(), c.points.len()),
                 min_fail,
             ]);
         }
@@ -291,11 +324,31 @@ impl CampaignSpec {
     }
 }
 
-/// Probes one fault plan: run → formal check → image checks → recovery
-/// → re-run → final verification.
-fn probe(spec: &RunSpec, plan: FaultPlan) -> PointOutcome {
+/// One probe's verdicts: the staged outcome plus the two orthogonal
+/// per-point bits reported in the cell record.
+struct ProbeVerdict {
+    outcome: PointOutcome,
+    pmo_clean: bool,
+    recovered: bool,
+}
+
+impl ProbeVerdict {
+    fn violation(stage: &'static str, detail: String, pmo_clean: bool) -> Self {
+        ProbeVerdict {
+            outcome: PointOutcome::Violation { stage, detail },
+            pmo_clean,
+            recovered: false,
+        }
+    }
+}
+
+/// Probes one fault plan: run (with the online sanitizer armed) →
+/// formal check → image checks → recovery → re-run → final
+/// verification.
+fn probe(spec: &RunSpec, plan: FaultPlan) -> ProbeVerdict {
     let mut cfg = spec.config();
     cfg.trace = true;
+    cfg.sanitize = true;
     let w = spec.workload.instantiate(spec.scale, spec.seed);
     let opts = spec.build_opts();
     let l = w.kernel(opts);
@@ -305,31 +358,38 @@ fn probe(spec: &RunSpec, plan: FaultPlan) -> PointOutcome {
     gpu.launch(&l.kernel, l.launch);
     let report = match gpu.run_faulted(CYCLE_LIMIT) {
         Ok(r) => r,
+        Err(SimError::PmoViolation { violation, cycle }) => {
+            return ProbeVerdict::violation(
+                "sanitize",
+                format!("at cycle {cycle}: {violation}"),
+                false,
+            );
+        }
         Err(e) => {
-            return PointOutcome::Violation {
-                stage: "run",
-                detail: e.to_string(),
-            };
+            // The run wedged before its end-of-run verdict; record
+            // whatever the sanitizer can still say about the partial
+            // trace alongside the run failure.
+            let pmo_clean = gpu.sanitize_check().is_ok();
+            return ProbeVerdict::violation("run", e.to_string(), pmo_clean);
         }
     };
 
     if report.outcome == RunOutcome::Completed {
         return match w.verify_complete(&gpu) {
-            Ok(()) => PointOutcome::CompletedBeforeCrash,
-            Err(v) => PointOutcome::Violation {
-                stage: "complete",
-                detail: v,
+            Ok(()) => ProbeVerdict {
+                outcome: PointOutcome::CompletedBeforeCrash,
+                pmo_clean: true,
+                recovered: true,
             },
+            Err(v) => ProbeVerdict::violation("complete", v, true),
         };
     }
 
-    // Formal PMO crash-cut check on the recorded trace.
+    // Formal PMO crash-cut check on the recorded trace (the external,
+    // full-trace twin of the online sanitizer's verdict).
     if let Some(trace) = gpu.take_trace() {
         if let Err(v) = trace.check() {
-            return PointOutcome::Violation {
-                stage: "formal",
-                detail: v.to_string(),
-            };
+            return ProbeVerdict::violation("formal", v.to_string(), false);
         }
     }
 
@@ -338,17 +398,11 @@ fn probe(spec: &RunSpec, plan: FaultPlan) -> PointOutcome {
     // namespace table).
     if Namespace::is_formatted(&image) {
         if let Err(e) = Namespace::verify_image(&image) {
-            return PointOutcome::Violation {
-                stage: "pmem",
-                detail: e.to_string(),
-            };
+            return ProbeVerdict::violation("pmem", e.to_string(), true);
         }
     }
     if let Err(v) = w.verify_crash_consistent(&image) {
-        return PointOutcome::Violation {
-            stage: "crash-consistent",
-            detail: v,
-        };
+        return ProbeVerdict::violation("crash-consistent", v, true);
     }
 
     // Recovery: dedicated recovery kernel where the workload has one,
@@ -368,10 +422,7 @@ fn probe(spec: &RunSpec, plan: FaultPlan) -> PointOutcome {
         ) {
             Ok(g) => g,
             Err(e) => {
-                return PointOutcome::Violation {
-                    stage: "recover",
-                    detail: e.to_string(),
-                };
+                return ProbeVerdict::violation("recover", e.to_string(), true);
             }
         }
     } else {
@@ -382,17 +433,15 @@ fn probe(spec: &RunSpec, plan: FaultPlan) -> PointOutcome {
     let l2 = w.kernel(opts);
     rgpu.launch(&l2.kernel, l2.launch);
     if let Err(e) = rgpu.run(CYCLE_LIMIT) {
-        return PointOutcome::Violation {
-            stage: "rerun",
-            detail: e.to_string(),
-        };
+        return ProbeVerdict::violation("rerun", e.to_string(), true);
     }
     match w.verify_complete(&rgpu) {
-        Ok(()) => PointOutcome::Pass,
-        Err(v) => PointOutcome::Violation {
-            stage: "verify",
-            detail: v,
+        Ok(()) => ProbeVerdict {
+            outcome: PointOutcome::Pass,
+            pmo_clean: true,
+            recovered: true,
         },
+        Err(v) => ProbeVerdict::violation("verify", v, true),
     }
 }
 
@@ -476,10 +525,10 @@ fn plan_points(counts: FaultEventCounts, points: usize) -> Vec<(TriggerFamily, u
 fn shrink(spec: &RunSpec, family: TriggerFamily, k_fail: u64) -> ShrunkFailure {
     let mut lo = 1u64;
     let mut hi = k_fail; // invariant: hi fails
-    let mut outcome = probe(spec, FaultPlan::crash_at(family.trigger(hi)));
+    let mut outcome = probe(spec, FaultPlan::crash_at(family.trigger(hi))).outcome;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        let o = probe(spec, FaultPlan::crash_at(family.trigger(mid)));
+        let o = probe(spec, FaultPlan::crash_at(family.trigger(mid))).outcome;
         if o.is_pass() {
             lo = mid + 1;
         } else {
@@ -524,9 +573,15 @@ fn run_cell(
 
     let mut failed_families: BTreeSet<&'static str> = BTreeSet::new();
     for (family, k) in plan_points(counts, spec.points_per_cell) {
-        let outcome = probe(&rs, FaultPlan::crash_at(family.trigger(k)));
-        let failed = !outcome.is_pass();
-        cell.points.push((family, k, outcome));
+        let verdict = probe(&rs, FaultPlan::crash_at(family.trigger(k)));
+        let failed = !verdict.outcome.is_pass();
+        cell.points.push(PointRecord {
+            family,
+            k,
+            outcome: verdict.outcome,
+            pmo_clean: verdict.pmo_clean,
+            recovered: verdict.recovered,
+        });
         if failed && failed_families.insert(family.label()) {
             cell.shrunk.push(shrink(&rs, family, k));
         }
@@ -612,6 +667,16 @@ mod tests {
             cell.points.len()
         );
         assert!(report.ok(), "violations: {:?}", cell.points);
+        assert_eq!(
+            cell.pmo_clean(),
+            cell.points.len(),
+            "every clean point must also be sanitizer-clean"
+        );
+        assert_eq!(
+            cell.recovered(),
+            cell.points.len(),
+            "every clean point must have recovered"
+        );
         assert!(!report.table().is_empty());
     }
 
@@ -624,7 +689,13 @@ mod tests {
         let caught = (1..=8u64).any(|k| {
             let plan = FaultPlan::crash_at(TriggerFamily::WpqAccept.trigger(k + 12))
                 .with_nvm(NvmFault::DropWpqEntry(k));
-            !probe(&rs, plan).is_pass()
+            let verdict = probe(&rs, plan);
+            assert_eq!(
+                verdict.outcome.is_pass(),
+                verdict.pmo_clean && verdict.recovered,
+                "verdict bits must agree with the staged outcome here"
+            );
+            !verdict.outcome.is_pass()
         });
         assert!(
             caught,
@@ -643,8 +714,11 @@ mod tests {
         let rs = spec.run_spec(WorkloadKind::Gpkvs, ModelKind::Sbrp, SystemDesign::PmNear);
         // Every index >= 1 with a dropped first entry fails, so the
         // minimal failing crash index is small and the search converges.
-        let plan_fails =
-            |k: u64| !probe(&rs, FaultPlan::crash_at(CrashTrigger::WpqAccept(k))).is_pass();
+        let plan_fails = |k: u64| {
+            !probe(&rs, FaultPlan::crash_at(CrashTrigger::WpqAccept(k)))
+                .outcome
+                .is_pass()
+        };
         // Clean machine: no failing index — shrink is never called in
         // that case by run_cell, so just sanity-check a couple probes.
         assert!(!plan_fails(1));

@@ -121,6 +121,63 @@ enum Pending {
 }
 
 /// Interpreter state for one warp.
+///
+/// # The step/complete protocol
+///
+/// The interpreter is a coroutine over externally visible actions. The
+/// driver (an SM, or a test) obeys three invariants:
+///
+/// 1. **One action outstanding at a time.** After [`WarpInterp::step`]
+///    returns [`StepResult::Mem`] or [`StepResult::Fence`], exactly one
+///    of [`complete_load`](WarpInterp::complete_load) (value-producing:
+///    loads, `pAcq`, `atomAdd`), [`complete`](WarpInterp::complete)
+///    (stores, non-value fences), or [`retry`](WarpInterp::retry) must
+///    be called before the next `step`. Both `step`-while-outstanding
+///    and `complete`-while-idle panic — the protocol is checked, not
+///    assumed.
+/// 2. **Fences are actions, not hints.** Every `OFence` / `DFence` /
+///    `EpochBarrier` / `PAcq` / `PRel` / `SyncBlock` surfaces as a
+///    [`FenceAccess`] and blocks the warp until completed; the
+///    interpreter itself imposes no persist ordering — that is entirely
+///    the persist engine's job, which is what lets one ISA serve every
+///    persistency model.
+/// 3. **Lockstep divergence.** All 32 lanes share one program counter;
+///    `if`/`while` run both sides under lane masks, so a `step` sequence
+///    is deterministic for a given kernel and launch — any two drivers
+///    observe the same action stream.
+///
+/// ```
+/// use sbrp_isa::{KernelBuilder, LaunchConfig, MemWidth};
+/// use sbrp_isa::{AccessKind, FenceAccess, StepResult, WarpInterp};
+///
+/// let mut b = KernelBuilder::new();
+/// let addr = b.movi(0x100);
+/// let v = b.movi(7);
+/// b.st(addr, 0, v, MemWidth::W8);
+/// b.ofence();
+/// let kernel = b.build("doc");
+///
+/// let mut w = WarpInterp::new(&kernel, LaunchConfig::new(1, 32), 0, 0);
+/// let mut actions = Vec::new();
+/// loop {
+///     match w.step() {
+///         StepResult::Alu | StepResult::Sleep(_) => {}
+///         StepResult::Mem(m) => {
+///             actions.push("store");
+///             assert_eq!(m.kind, AccessKind::Store);
+///             w.complete(); // a store produces no values
+///         }
+///         StepResult::Fence(f) => {
+///             actions.push("ofence");
+///             assert_eq!(f, FenceAccess::OFence);
+///             w.complete(); // the engine decides when; here: instantly
+///         }
+///         StepResult::Done => break,
+///     }
+/// }
+/// assert_eq!(actions, ["store", "ofence"]);
+/// assert!(w.is_done());
+/// ```
 pub struct WarpInterp {
     params: Rc<Vec<u64>>,
     regs: Box<[[u64; WARP_SIZE]]>,
@@ -217,6 +274,15 @@ impl WarpInterp {
     }
 
     /// Executes until an externally visible action occurs.
+    ///
+    /// ALU work is folded: each call retires at most one issue slot's
+    /// worth of visible progress ([`StepResult::Alu`]), but a returned
+    /// [`StepResult::Mem`]/[`StepResult::Fence`] leaves that action
+    /// *outstanding* — the warp makes no further progress until the
+    /// driver calls [`WarpInterp::complete_load`],
+    /// [`WarpInterp::complete`], or [`WarpInterp::retry`]. Once
+    /// [`StepResult::Done`] is returned, every later call returns
+    /// `Done` again.
     ///
     /// # Panics
     /// Panics if called while a memory/fence action is outstanding.

@@ -1,0 +1,298 @@
+//! Typed diagnostics emitted by the linter.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Only [`Severity::Error`] diagnostics indicate a kernel that can corrupt
+/// persistent state on a crash; the other levels are hygiene and
+/// performance advice and never fail CI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Crash-consistency hazard: recovery can observe states the kernel
+    /// author did not intend.
+    Error,
+    /// Suspicious but not provably unsafe (e.g. a release no acquire in
+    /// the same kernel ever matches — common for cross-kernel handoff).
+    Warning,
+    /// Correct but slower than necessary.
+    Perf,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Perf => "perf",
+        })
+    }
+}
+
+/// The lint rule that produced a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// P001: two dependent persistent stores to distinct objects with no
+    /// intra-thread ordering point (`oFence`/`dFence`/`pRel`/`pAcq`/
+    /// epoch barrier) between them.
+    UnorderedPersists,
+    /// P002: a release/acquire pair whose effective scope is `Block`
+    /// while the launch geometry lets the two sides run in different
+    /// blocks (§5.3 of the paper).
+    InsufficientScope,
+    /// P003: a `pRel` with no matching `pAcq` in the kernel, or vice
+    /// versa.
+    UnmatchedSync,
+    /// P004: back-to-back fences with no persist in between.
+    RedundantFence,
+    /// P005: a `dFence` (full durability drain) inside a loop body.
+    DFenceInLoop,
+    /// P006: a persistent store with no reachable fence before kernel
+    /// exit on some path.
+    TrailingPersist,
+}
+
+impl LintCode {
+    /// Stable short code, e.g. `P001`.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::UnorderedPersists => "P001",
+            LintCode::InsufficientScope => "P002",
+            LintCode::UnmatchedSync => "P003",
+            LintCode::RedundantFence => "P004",
+            LintCode::DFenceInLoop => "P005",
+            LintCode::TrailingPersist => "P006",
+        }
+    }
+
+    /// The severity this rule reports at.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::UnorderedPersists | LintCode::InsufficientScope => Severity::Error,
+            LintCode::UnmatchedSync => Severity::Warning,
+            LintCode::RedundantFence | LintCode::DFenceInLoop | LintCode::TrailingPersist => {
+                Severity::Perf
+            }
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A single finding, anchored to an instruction in the kernel.
+///
+/// Locations are pre-order instruction indices into the statement tree
+/// (the numbering [`Kernel::disassemble`] would produce if it numbered
+/// lines), paired with the disassembled instruction text.
+///
+/// [`Kernel::disassemble`]: sbrp_isa::Kernel::disassemble
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub code: LintCode,
+    /// Pre-order instruction index the finding is anchored to.
+    pub loc: usize,
+    /// Disassembled instruction at `loc`.
+    pub instr: String,
+    /// Optional second site (e.g. the earlier store of an unordered
+    /// pair, or the release matched to an under-scoped acquire).
+    pub related: Option<(usize, String)>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The severity of this diagnostic (derived from its code).
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] at #{} `{}`: {}",
+            self.severity(),
+            self.code,
+            self.loc,
+            self.instr,
+            self.message
+        )?;
+        if let Some((loc, instr)) = &self.related {
+            write!(f, " (related: #{loc} `{instr}`)")?;
+        }
+        Ok(())
+    }
+}
+
+/// All findings for one kernel, ordered by location then code.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// Name of the linted kernel.
+    pub kernel: String,
+    /// Findings, sorted by `(loc, code)`.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of findings at `sev`.
+    #[must_use]
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity() == sev).count()
+    }
+
+    /// True when no rule fired at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// True when some diagnostic with `code` is present.
+    #[must_use]
+    pub fn has(&self, code: LintCode) -> bool {
+        self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// Renders the report as stable, diffable text (used by the golden
+    /// tests and the `lint` binary).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = format!("kernel {}: {} finding(s)\n", self.kernel, self.diags.len());
+        for d in &self.diags {
+            out.push_str(&format!("  {d}\n"));
+        }
+        out
+    }
+
+    /// Renders the report as a JSON object (no external dependencies, so
+    /// the encoder is hand-rolled like `sbrp-harness`'s table output).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"kernel\":{},\"errors\":{},\"diags\":[",
+            json_str(&self.kernel),
+            self.errors()
+        );
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"loc\":{},\"instr\":{},\"message\":{}",
+                d.code,
+                d.severity(),
+                d.loc,
+                json_str(&d.instr),
+                json_str(&d.message)
+            ));
+            if let Some((loc, instr)) = &d.related {
+                out.push_str(&format!(
+                    ",\"related\":{{\"loc\":{loc},\"instr\":{}}}",
+                    json_str(instr)
+                ));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        LintReport {
+            kernel: "k".into(),
+            diags: vec![
+                Diagnostic {
+                    code: LintCode::UnorderedPersists,
+                    loc: 7,
+                    instr: "st.8[r1+0] = r2".into(),
+                    related: Some((3, "st.8[r0+0] = r2".into())),
+                    message: "no ordering point".into(),
+                },
+                Diagnostic {
+                    code: LintCode::RedundantFence,
+                    loc: 9,
+                    instr: "oFence".into(),
+                    related: None,
+                    message: "nothing to order".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn severity_mapping() {
+        assert_eq!(LintCode::UnorderedPersists.severity(), Severity::Error);
+        assert_eq!(LintCode::InsufficientScope.severity(), Severity::Error);
+        assert_eq!(LintCode::UnmatchedSync.severity(), Severity::Warning);
+        assert_eq!(LintCode::TrailingPersist.severity(), Severity::Perf);
+    }
+
+    #[test]
+    fn report_counts_and_text() {
+        let r = sample();
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 0);
+        assert_eq!(r.count(Severity::Perf), 1);
+        assert!(!r.is_clean());
+        assert!(r.has(LintCode::RedundantFence));
+        let text = r.to_text();
+        assert!(text.contains("error [P001] at #7"));
+        assert!(text.contains("related: #3"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let j = sample().to_json();
+        assert!(j.starts_with("{\"kernel\":\"k\""));
+        assert!(j.contains("\"errors\":1"));
+        assert!(j.contains("\"code\":\"P004\""));
+        assert!(j.ends_with("]}"));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,51 @@
+//! # sbrp-lint
+//!
+//! Static persistency linter for [`sbrp-isa`] kernels — Layer 1 of the
+//! persistency sanitizer (Layer 2 is the online PMO checker behind
+//! `GpuConfig::sanitize` in `sbrp-gpu-sim`).
+//!
+//! The linter abstractly interprets a kernel's structured statement tree
+//! (parameters — and therefore pointer bases and PM-ness — are concrete
+//! at build time) and reports typed, located diagnostics:
+//!
+//! | code | severity | rule |
+//! |------|----------|------|
+//! | P001 | error    | dependent persistent stores with no ordering point between them |
+//! | P002 | error    | release/acquire pair whose effective scope is narrower than the launch needs (§5.3) |
+//! | P003 | warning  | `pRel`/`pAcq` with no matching counterpart in the kernel |
+//! | P004 | perf     | back-to-back fences with no persist in between |
+//! | P005 | perf     | `dFence` inside a loop body |
+//! | P006 | perf     | persistent store with no reachable fence before kernel exit |
+//!
+//! ```
+//! use sbrp_isa::{KernelBuilder, MemWidth};
+//! use sbrp_lint::{lint_kernel, LintCode, LintConfig};
+//!
+//! // st log; st data — missing the oFence in between.
+//! let mut b = KernelBuilder::new();
+//! let log = b.param(0);
+//! let data = b.param(1);
+//! let src = b.param(2);
+//! let v = b.ld(src, 0, MemWidth::W8);
+//! b.st(log, 0, v, MemWidth::W8);
+//! b.st(data, 0, v, MemWidth::W8);
+//! b.dfence();
+//! b.set_params(vec![1 << 40, (1 << 40) + 4096, 0x1000]);
+//! let k = b.build("wal_broken");
+//!
+//! let report = lint_kernel(&k, &LintConfig::default());
+//! assert!(report.has(LintCode::UnorderedPersists));
+//! assert_eq!(report.errors(), 1);
+//! ```
+//!
+//! [`sbrp-isa`]: sbrp_isa
+
+#![warn(missing_docs)]
+
+pub mod dataflow;
+mod diag;
+mod lint;
+pub mod mutants;
+
+pub use diag::{Diagnostic, LintCode, LintReport, Severity};
+pub use lint::{lint_kernel, LintConfig};

@@ -1,0 +1,551 @@
+//! The static analysis pass: a path-sensitive abstract interpretation of
+//! the structured statement tree.
+//!
+//! Epoch inference: persistent stores accumulate in a per-path *pending*
+//! set; intra-thread ordering points (`oFence`, `dFence`, `pRel`, `pAcq`,
+//! epoch barrier — exactly the operations [`TraceBuilder::op`] treats as
+//! ordering events) clear it. A new persistent store is checked against
+//! the pending set for the unordered-dependent-pair rule before joining
+//! it. Branches fork the abstract state and join at the merge point;
+//! loops run the body twice from the joined entry state so pairs formed
+//! across the back edge are observed.
+//!
+//! [`TraceBuilder::op`]: sbrp_core::formal::TraceBuilder::op
+
+use crate::dataflow::{satisfiable, AbsVal, Pred};
+use crate::diag::{Diagnostic, LintCode, LintReport};
+use sbrp_core::scope::Scope;
+use sbrp_isa::{Instr, Kernel, LaunchConfig, Stmt, NUM_REGS};
+use std::collections::BTreeSet;
+
+/// Linter configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LintConfig {
+    /// First byte of the persistent (NVM) address range; addresses at or
+    /// above it are persists. Defaults to the simulator's PM window.
+    pub pm_base: u64,
+    /// Launch geometry, when known: enables the scope-insufficiency rule
+    /// and makes `%ntid`/`%nctaid` concrete.
+    pub launch: Option<LaunchConfig>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            // Matches `sbrp_gpu_sim::config::PM_BASE` (not imported to
+            // keep the linter's dependencies to core + isa).
+            pm_base: 1 << 40,
+            launch: None,
+        }
+    }
+}
+
+impl LintConfig {
+    /// Configuration with a known launch geometry.
+    #[must_use]
+    pub fn with_launch(launch: LaunchConfig) -> Self {
+        LintConfig {
+            launch: Some(launch),
+            ..LintConfig::default()
+        }
+    }
+}
+
+/// A persistent store still unordered on the current path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PendingStore {
+    loc: usize,
+    instr: String,
+    /// Base object the store hits, when known.
+    object: Option<u64>,
+    /// Memory-read provenance of both the address and the stored value.
+    slice: BTreeSet<u32>,
+    /// Branch literals under which the store is still unordered: when a
+    /// join finds the store killed on one side only, the surviving copy
+    /// is tagged with the other side's condition. Later checks drop the
+    /// store on paths contradicting these literals (`tid == 0` implies
+    /// `lane == 0`, so a store fenced under `lane == 0` is ordered on
+    /// every path the block leader takes).
+    alive: Vec<(Pred, bool)>,
+}
+
+/// A release or acquire site (collected globally, not per path).
+#[derive(Clone, Debug)]
+struct SyncSite {
+    loc: usize,
+    instr: String,
+    scope: Scope,
+    /// Base object of the flag address, when known.
+    object: Option<u64>,
+    /// Known offset within the object.
+    offset: Option<u64>,
+    /// Flag address differs per block (private flag per block).
+    block_varying: bool,
+}
+
+/// Abstract machine state along one path.
+#[derive(Clone)]
+struct State {
+    regs: Vec<AbsVal>,
+    pending: Vec<PendingStore>,
+    /// Branch literals of the enclosing `If`s on this path.
+    lits: Vec<(Pred, bool)>,
+    /// `Some(loc)` when the previous ordering-relevant op on this path
+    /// was a fence with no persist after it (for the redundancy rule).
+    fence_run: Option<usize>,
+}
+
+impl State {
+    fn new() -> Self {
+        State {
+            regs: vec![AbsVal::unknown(); NUM_REGS],
+            pending: Vec::new(),
+            lits: Vec::new(),
+            fence_run: None,
+        }
+    }
+
+    /// Joins two branch exits. `cond` is the branch condition when it has
+    /// a tractable shape: a pending store surviving only one side keeps
+    /// that side's literal, so correlated later branches can discharge
+    /// it.
+    fn join(a: &State, b: &State, cond: Option<Pred>) -> State {
+        let regs = a
+            .regs
+            .iter()
+            .zip(&b.regs)
+            .map(|(x, y)| AbsVal::join(x, y))
+            .collect();
+        let mut pending = Vec::new();
+        for p in &a.pending {
+            if let Some(q) = b.pending.iter().find(|q| q.loc == p.loc) {
+                // Alive on both sides: only shared literals survive.
+                let mut merged = p.clone();
+                merged.alive.retain(|l| q.alive.contains(l));
+                pending.push(merged);
+            } else {
+                let mut only = p.clone();
+                if let Some(c) = cond {
+                    only.alive.push((c, true));
+                }
+                pending.push(only);
+            }
+        }
+        for q in &b.pending {
+            if !a.pending.iter().any(|p| p.loc == q.loc) {
+                let mut only = q.clone();
+                if let Some(c) = cond {
+                    only.alive.push((c, false));
+                }
+                pending.push(only);
+            }
+        }
+        State {
+            regs,
+            pending,
+            lits: a.lits.clone(),
+            fence_run: if a.fence_run == b.fence_run {
+                a.fence_run
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Walk-wide context: diagnostics, id counters, sync-site collections.
+struct Ctx<'a> {
+    cfg: &'a LintConfig,
+    params: &'a [u64],
+    launch: Option<(u32, u32)>,
+    diags: Vec<Diagnostic>,
+    /// Dedup key: (code, loc, related loc). Loops walk statements twice.
+    seen: BTreeSet<(LintCode, usize, usize)>,
+    next_def: u32,
+    rels: Vec<SyncSite>,
+    acqs: Vec<SyncSite>,
+    loop_depth: u32,
+}
+
+impl Ctx<'_> {
+    fn report(
+        &mut self,
+        code: LintCode,
+        loc: usize,
+        instr: &Instr,
+        related: Option<(usize, String)>,
+        message: String,
+    ) {
+        let rel_loc = related.as_ref().map_or(usize::MAX, |r| r.0);
+        if self.seen.insert((code, loc, rel_loc)) {
+            self.diags.push(Diagnostic {
+                code,
+                loc,
+                instr: instr.to_string(),
+                related,
+                message,
+            });
+        }
+    }
+
+    fn fresh_def(&mut self) -> u32 {
+        let d = self.next_def;
+        self.next_def += 1;
+        d
+    }
+}
+
+/// Lints one kernel against `cfg`.
+///
+/// The returned report's diagnostics are sorted by location, then code,
+/// so output is deterministic across runs.
+#[must_use]
+pub fn lint_kernel(kernel: &Kernel, cfg: &LintConfig) -> LintReport {
+    let mut ctx = Ctx {
+        cfg,
+        params: kernel.params(),
+        launch: cfg.launch.map(|l| (l.blocks, l.threads_per_block)),
+        diags: Vec::new(),
+        seen: BTreeSet::new(),
+        next_def: 0,
+        rels: Vec::new(),
+        acqs: Vec::new(),
+        loop_depth: 0,
+    };
+    let mut state = State::new();
+    let mut pc = 0usize;
+    walk_block(kernel.program(), &mut state, &mut pc, &mut ctx);
+
+    // P006: persists never ordered by any fence on some path to exit.
+    for p in &state.pending {
+        let key = (LintCode::TrailingPersist, p.loc, usize::MAX);
+        if ctx.seen.insert(key) {
+            ctx.diags.push(Diagnostic {
+                code: LintCode::TrailingPersist,
+                loc: p.loc,
+                instr: p.instr.clone(),
+                related: None,
+                message: "persistent store not ordered by any fence before kernel exit; \
+                          its durability is unconstrained"
+                    .into(),
+            });
+        }
+    }
+
+    check_sync_sites(&mut ctx);
+
+    let mut diags = ctx.diags;
+    diags.sort_by_key(|a| (a.loc, a.code));
+    LintReport {
+        kernel: kernel.name().to_string(),
+        diags,
+    }
+}
+
+/// P002/P003: match release sites against acquire sites by flag identity.
+fn check_sync_sites(ctx: &mut Ctx<'_>) {
+    let matches = |a: &SyncSite, b: &SyncSite| -> bool {
+        match (a.object, b.object) {
+            (Some(x), Some(y)) if x != y => false,
+            (Some(_), Some(_)) => match (a.offset, b.offset) {
+                (Some(p), Some(q)) => p == q,
+                _ => true,
+            },
+            // Unknown flag identity: conservatively assume they may match.
+            _ => true,
+        }
+    };
+
+    let blocks = ctx.cfg.launch.map(|l| l.blocks);
+    let mut p002 = Vec::new();
+    for acq in &ctx.acqs {
+        for rel in ctx.rels.iter().filter(|r| matches(r, acq)) {
+            let effective = rel.scope.min(acq.scope);
+            let multi_block = blocks.is_some_and(|b| b > 1);
+            let shared_flag = !(rel.block_varying || acq.block_varying);
+            if effective == Scope::Block && multi_block && shared_flag {
+                p002.push((
+                    acq.loc,
+                    acq.instr.clone(),
+                    rel.loc,
+                    rel.instr.clone(),
+                    rel.scope,
+                    acq.scope,
+                ));
+            }
+        }
+    }
+    for (loc, instr, rloc, rinstr, rscope, ascope) in p002 {
+        if ctx.seen.insert((LintCode::InsufficientScope, loc, rloc)) {
+            ctx.diags.push(Diagnostic {
+                code: LintCode::InsufficientScope,
+                loc,
+                instr,
+                related: Some((rloc, rinstr)),
+                message: format!(
+                    "effective scope of this release/acquire pair is `block` \
+                     (release: {rscope}, acquire: {ascope}) but the launch has \
+                     multiple blocks sharing the flag; persist ordering is not \
+                     guaranteed across blocks (paper §5.3) — widen to `device`"
+                ),
+            });
+        }
+    }
+
+    let unmatched_rels: Vec<_> = ctx
+        .rels
+        .iter()
+        .filter(|r| !ctx.acqs.iter().any(|a| matches(r, a)))
+        .map(|r| (r.loc, r.instr.clone(), "pRel", "pAcq"))
+        .collect();
+    let unmatched_acqs: Vec<_> = ctx
+        .acqs
+        .iter()
+        .filter(|a| !ctx.rels.iter().any(|r| matches(r, a)))
+        .map(|a| (a.loc, a.instr.clone(), "pAcq", "pRel"))
+        .collect();
+    for (loc, instr, this, other) in unmatched_rels.into_iter().chain(unmatched_acqs) {
+        if ctx.seen.insert((LintCode::UnmatchedSync, loc, usize::MAX)) {
+            ctx.diags.push(Diagnostic {
+                code: LintCode::UnmatchedSync,
+                loc,
+                instr,
+                related: None,
+                message: format!(
+                    "{this} has no matching {other} on this flag in the kernel; \
+                     fine for cross-kernel handoff, a bug otherwise"
+                ),
+            });
+        }
+    }
+}
+
+fn walk_block(block: &[Stmt], state: &mut State, pc: &mut usize, ctx: &mut Ctx<'_>) {
+    for stmt in block {
+        match stmt {
+            Stmt::I(i) => {
+                step(i, *pc, state, ctx);
+                *pc += 1;
+            }
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                *pc += 1; // the branch itself occupies a slot
+                let pred = state.regs[cond.index()].pred;
+                let mut then_state = state.clone();
+                if let Some(p) = pred {
+                    then_state.lits.push((p, true));
+                }
+                walk_block(then_b, &mut then_state, pc, ctx);
+                then_state.lits.truncate(state.lits.len());
+                let mut else_state = state.clone();
+                if let Some(p) = pred {
+                    else_state.lits.push((p, false));
+                }
+                walk_block(else_b, &mut else_state, pc, ctx);
+                else_state.lits.truncate(state.lits.len());
+                *state = State::join(&then_state, &else_state, pred);
+            }
+            Stmt::While { cond_b, cond, body } => {
+                *pc += 1;
+                let _ = cond;
+                ctx.loop_depth += 1;
+                let pc_cond = *pc;
+                // Pass 1 from the entry state: covers the zero- and
+                // one-iteration paths.
+                let mut once = state.clone();
+                walk_block(cond_b, &mut once, pc, ctx);
+                let exit0 = once.clone(); // loop exits at the test
+                walk_block(body, &mut once, pc, ctx);
+                let pc_end = *pc;
+                // Pass 2 from the widened state: covers pairs formed
+                // across the back edge (store at loop tail, store at
+                // loop head with no fence in between).
+                let mut again = State::join(state, &once, None);
+                *pc = pc_cond;
+                walk_block(cond_b, &mut again, pc, ctx);
+                let exit1 = again.clone();
+                walk_block(body, &mut again, pc, ctx);
+                *pc = pc_end;
+                ctx.loop_depth -= 1;
+                *state = State::join(&exit0, &exit1, None);
+            }
+        }
+    }
+}
+
+/// Clears the pending epoch at an intra-thread ordering point.
+fn kill_epoch(state: &mut State) {
+    state.pending.clear();
+}
+
+/// Can a single thread both leave `store_alive` unfenced and reach the
+/// current path (`lits`)? False discharges the pair.
+fn reachable(lits: &[(Pred, bool)], store_alive: &[(Pred, bool)]) -> bool {
+    let mut all: Vec<(Pred, bool)> = lits.to_vec();
+    all.extend_from_slice(store_alive);
+    satisfiable(&all)
+}
+
+/// The redundancy rule: `loc` is a fence; if the previous op on this path
+/// was also a fence with no persist in between, flag it.
+fn fence_hygiene(loc: usize, i: &Instr, state: &mut State, ctx: &mut Ctx<'_>) {
+    if let Some(prev) = state.fence_run {
+        ctx.report(
+            LintCode::RedundantFence,
+            loc,
+            i,
+            Some((prev, "fence".into())),
+            "back-to-back fences with no persist in between; the second orders nothing".into(),
+        );
+    }
+    state.fence_run = Some(loc);
+}
+
+#[allow(clippy::too_many_lines)]
+fn step(i: &Instr, loc: usize, state: &mut State, ctx: &mut Ctx<'_>) {
+    match i {
+        Instr::MovI(d, v) => {
+            state.regs[d.index()] = AbsVal::constant(*v, ctx.cfg.pm_base);
+        }
+        Instr::Mov(d, s) => {
+            state.regs[d.index()] = state.regs[s.index()].clone();
+        }
+        Instr::Bin(op, d, a, b) => {
+            state.regs[d.index()] = AbsVal::bin(
+                *op,
+                &state.regs[a.index()],
+                &state.regs[b.index()],
+                ctx.cfg.pm_base,
+            );
+        }
+        Instr::BinI(op, d, a, imm) => {
+            let imm = AbsVal::constant(*imm, ctx.cfg.pm_base);
+            state.regs[d.index()] = AbsVal::bin(*op, &state.regs[a.index()], &imm, ctx.cfg.pm_base);
+        }
+        Instr::Spec(d, s) => {
+            state.regs[d.index()] = AbsVal::special(*s, ctx.launch);
+        }
+        Instr::Param(d, idx) => {
+            let v = ctx.params.get(*idx as usize).copied();
+            state.regs[d.index()] = match v {
+                Some(v) => AbsVal::constant(v, ctx.cfg.pm_base),
+                None => AbsVal::unknown(),
+            };
+        }
+        Instr::Select(d, c, a, b) => {
+            state.regs[d.index()] = AbsVal::select(
+                &state.regs[c.index()],
+                &state.regs[a.index()],
+                &state.regs[b.index()],
+            );
+        }
+        Instr::Ld(d, a, _off, _w) | Instr::LdVol(d, a, _off, _w) => {
+            let def = ctx.fresh_def();
+            state.regs[d.index()] = AbsVal::mem_read(def, &state.regs[a.index()]);
+        }
+        Instr::AtomAdd(d, a, _v, _w) => {
+            // Atomics are volatile-only in this ISA; the result is a
+            // fresh memory read.
+            let def = ctx.fresh_def();
+            state.regs[d.index()] = AbsVal::mem_read(def, &state.regs[a.index()]);
+        }
+        Instr::St(a, off, v, _w) => {
+            let addr = &state.regs[a.index()];
+            if addr.pm {
+                let val = &state.regs[v.index()];
+                let slice: BTreeSet<u32> = addr.slice.union(&val.slice).copied().collect();
+                let object = addr.object();
+                // P001: check against every unordered store of the epoch.
+                let hits: Vec<(usize, String)> = state
+                    .pending
+                    .iter()
+                    .filter(|p| {
+                        let distinct_objects = match (p.object, object) {
+                            (Some(x), Some(y)) => x != y,
+                            _ => false,
+                        };
+                        distinct_objects
+                            && p.slice.intersection(&slice).next().is_some()
+                            && reachable(&state.lits, &p.alive)
+                    })
+                    .map(|p| (p.loc, p.instr.clone()))
+                    .collect();
+                for (ploc, pinstr) in hits {
+                    ctx.report(
+                        LintCode::UnorderedPersists,
+                        loc,
+                        i,
+                        Some((ploc, pinstr)),
+                        "dependent persistent stores to distinct objects with no \
+                         ordering point between them; a crash may persist the \
+                         second without the first (missing oFence?)"
+                            .into(),
+                    );
+                }
+                let _ = off;
+                state.pending.push(PendingStore {
+                    loc,
+                    instr: i.to_string(),
+                    object,
+                    slice,
+                    alive: Vec::new(),
+                });
+                state.fence_run = None;
+            }
+        }
+        Instr::OFence | Instr::DFence | Instr::EpochBarrier => {
+            if matches!(i, Instr::DFence) && ctx.loop_depth > 0 {
+                ctx.report(
+                    LintCode::DFenceInLoop,
+                    loc,
+                    i,
+                    None,
+                    "dFence drains the full persist path on every iteration; \
+                     hoist it out of the loop or use oFence + one trailing dFence"
+                        .into(),
+                );
+            }
+            fence_hygiene(loc, i, state, ctx);
+            kill_epoch(state);
+        }
+        Instr::PAcq(d, a, scope) => {
+            let addr = state.regs[a.index()].clone();
+            ctx.acqs.push(SyncSite {
+                loc,
+                instr: i.to_string(),
+                scope: *scope,
+                object: addr.object(),
+                offset: addr.offset,
+                block_varying: addr.block_varying,
+            });
+            let def = ctx.fresh_def();
+            state.regs[d.index()] = AbsVal::mem_read(def, &addr);
+            // An acquire is an ordering point for the issuing thread's
+            // earlier persists (TraceBuilder::op records it as one).
+            state.fence_run = None;
+            kill_epoch(state);
+        }
+        Instr::PRel(a, _v, scope) => {
+            let addr = &state.regs[a.index()];
+            ctx.rels.push(SyncSite {
+                loc,
+                instr: i.to_string(),
+                scope: *scope,
+                object: addr.object(),
+                offset: addr.offset,
+                block_varying: addr.block_varying,
+            });
+            state.fence_run = None;
+            kill_epoch(state);
+        }
+        Instr::SyncBlock => {
+            // An execution barrier, not a persist ordering point: persists
+            // before and after it stay in the same epoch (the formal model
+            // records no event for it).
+        }
+        Instr::Sleep(_) => {}
+    }
+}

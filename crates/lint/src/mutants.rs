@@ -1,0 +1,322 @@
+//! Deliberately-broken kernel mutants and their correct counterparts.
+//!
+//! Each mutant seeds exactly one persistency bug (a deleted fence, a
+//! narrowed scope, a dropped epoch barrier, …) into an otherwise-correct
+//! kernel. The detection suite asserts that every broken mutant is
+//! flagged by the static linter (this crate) or the online sanitizer
+//! (`GpuConfig::sanitize` in `sbrp-gpu-sim`), and that the correct
+//! counterparts stay clean — the linter proves itself in both
+//! directions.
+
+use crate::diag::LintCode;
+use sbrp_core::scope::Scope;
+use sbrp_isa::{Kernel, KernelBuilder, LaunchConfig, MemWidth, Special};
+
+/// A mutant kernel plus what the linter is expected to say about it.
+pub struct Mutant {
+    /// Stable name (also the golden-file name).
+    pub name: &'static str,
+    /// One-line description of the seeded bug, or of why it is correct.
+    pub what: &'static str,
+    /// The kernel itself, parameters baked in.
+    pub kernel: Kernel,
+    /// Launch geometry the kernel is meant for.
+    pub launch: LaunchConfig,
+    /// Lint codes that must be reported (empty for correct kernels).
+    pub expect: &'static [LintCode],
+}
+
+impl Mutant {
+    /// True when this entry seeds a bug (the linter must flag it).
+    #[must_use]
+    pub fn is_broken(&self) -> bool {
+        !self.expect.is_empty()
+    }
+}
+
+const W8: MemWidth = MemWidth::W8;
+
+/// Write-ahead-log put: journal entry, `oFence`, in-place data, `dFence`.
+/// When `fenced` is false the `oFence` is deleted — the classic silent
+/// WAL bug (data may persist before its log entry).
+fn wal(pm_base: u64, fenced: bool) -> Kernel {
+    let mut b = KernelBuilder::new();
+    let log = b.param(0);
+    let data = b.param(1);
+    let src = b.param(2);
+    let tid = b.special(Special::GlobalTid);
+    let off = b.muli(tid, 8);
+    let srcp = b.add(src, off);
+    let v = b.ld(srcp, 0, W8);
+    let logp = b.add(log, off);
+    b.st(logp, 0, v, W8);
+    if fenced {
+        b.ofence();
+    }
+    let datap = b.add(data, off);
+    b.st(datap, 0, v, W8);
+    b.dfence();
+    b.set_params(vec![pm_base + 0x10000, pm_base, 0x1000]);
+    b.build(if fenced {
+        "wal_correct"
+    } else {
+        "wal_fence_deleted"
+    })
+}
+
+/// Cross-block message passing: block 0 persists data then releases a
+/// flag; block 1 acquire-spins on the flag then reads the data. With
+/// `scope` narrower than `Device` the release/acquire pair creates no
+/// PMO edge across blocks (§5.3).
+fn message_pass(pm_base: u64, scope: Scope, name: &'static str) -> Kernel {
+    let mut b = KernelBuilder::new();
+    let data = b.param(0);
+    let flag = b.param(1);
+    let sink = b.param(2);
+    let cta = b.special(Special::CtaId);
+    let is_prod = b.eqi(cta, 0);
+    b.if_then_else(
+        is_prod,
+        |b| {
+            let v = b.movi(42);
+            b.st(data, 0, v, W8);
+            let one = b.movi(1);
+            b.prel(flag, one, scope);
+        },
+        |b| {
+            b.while_loop(
+                |b| {
+                    let a = b.pacq(flag, scope);
+                    b.eqi(a, 0)
+                },
+                |b| b.sleep(16),
+            );
+            let v = b.ld(data, 0, W8);
+            b.st(sink, 0, v, W8);
+        },
+    );
+    b.set_params(vec![pm_base, 0x8000, 0x2000]);
+    b.build(name)
+}
+
+/// Journal-then-data under the Epoch baseline: the epoch barrier between
+/// the two stores is the only thing ordering them. When `barrier` is
+/// false it is dropped.
+fn epoch(pm_base: u64, barrier: bool) -> Kernel {
+    let mut b = KernelBuilder::new();
+    let src = b.param(0);
+    let dst = b.param(1);
+    let jrnl = b.param(2);
+    let tid = b.special(Special::GlobalTid);
+    let off = b.muli(tid, 8);
+    let srcp = b.add(src, off);
+    let v = b.ld(srcp, 0, W8);
+    let jp = b.add(jrnl, off);
+    b.st(jp, 0, v, W8);
+    if barrier {
+        b.epoch_barrier();
+    }
+    let dp = b.add(dst, off);
+    b.st(dp, 0, v, W8);
+    b.epoch_barrier();
+    b.set_params(vec![0x1000, pm_base, pm_base + 0x20000]);
+    b.build(if barrier {
+        "epoch_correct"
+    } else {
+        "epoch_barrier_dropped"
+    })
+}
+
+/// Persist + release with no acquire anywhere in the kernel.
+fn unmatched_release(pm_base: u64) -> Kernel {
+    let mut b = KernelBuilder::new();
+    let data = b.param(0);
+    let flag = b.param(1);
+    let v = b.movi(7);
+    b.st(data, 0, v, W8);
+    b.ofence();
+    let one = b.movi(1);
+    b.prel(flag, one, Scope::Device);
+    b.set_params(vec![pm_base, 0x8000]);
+    b.build("unmatched_release")
+}
+
+/// Two `oFence`s back to back — the second orders nothing.
+fn redundant_fence(pm_base: u64) -> Kernel {
+    let mut b = KernelBuilder::new();
+    let data = b.param(0);
+    let v = b.movi(1);
+    b.st(data, 0, v, W8);
+    b.ofence();
+    b.ofence();
+    b.st(data, 8, v, W8);
+    b.dfence();
+    b.set_params(vec![pm_base]);
+    b.build("redundant_fence")
+}
+
+/// A durability drain on every loop iteration.
+fn dfence_in_loop(pm_base: u64) -> Kernel {
+    let mut b = KernelBuilder::new();
+    let data = b.param(0);
+    let src = b.param(1);
+    let i = b.movi(0);
+    b.while_loop(
+        |b| b.lti(i, 4),
+        |b| {
+            let off = b.muli(i, 8);
+            let p = b.add(data, off);
+            let v = b.ld(src, 0, W8);
+            b.st(p, 0, v, W8);
+            b.dfence();
+            let next = b.addi(i, 1);
+            b.mov_to(i, next);
+        },
+    );
+    b.set_params(vec![pm_base, 0x1000]);
+    b.build("dfence_in_loop")
+}
+
+/// A persistent store that falls off the end of the kernel unfenced.
+fn trailing_persist(pm_base: u64) -> Kernel {
+    let mut b = KernelBuilder::new();
+    let src = b.param(0);
+    let dst = b.param(1);
+    let v = b.ld(src, 0, W8);
+    b.st(dst, 0, v, W8);
+    b.set_params(vec![0x1000, pm_base]);
+    b.build("trailing_persist")
+}
+
+/// Builds the full mutant suite against the given PM window base.
+///
+/// The order is stable (golden files key on it) and correct/broken
+/// variants are adjacent so reports read as before/after pairs.
+#[must_use]
+pub fn suite(pm_base: u64) -> Vec<Mutant> {
+    let small = LaunchConfig::new(1, 32);
+    let two_blocks = LaunchConfig::new(2, 32);
+    vec![
+        Mutant {
+            name: "wal_correct",
+            what: "journal, oFence, data, dFence — correct WAL ordering",
+            kernel: wal(pm_base, true),
+            launch: two_blocks,
+            expect: &[],
+        },
+        Mutant {
+            name: "wal_fence_deleted",
+            what: "WAL with the oFence between journal and data deleted",
+            kernel: wal(pm_base, false),
+            launch: two_blocks,
+            expect: &[LintCode::UnorderedPersists],
+        },
+        Mutant {
+            name: "mp_device_correct",
+            what: "cross-block message passing with device-scope rel/acq",
+            kernel: message_pass(pm_base, Scope::Device, "mp_device_correct"),
+            launch: two_blocks,
+            expect: &[],
+        },
+        Mutant {
+            name: "mp_scope_narrowed",
+            what: "cross-block message passing narrowed to block scope (§5.3)",
+            kernel: message_pass(pm_base, Scope::Block, "mp_scope_narrowed"),
+            launch: two_blocks,
+            expect: &[LintCode::InsufficientScope],
+        },
+        Mutant {
+            name: "epoch_correct",
+            what: "journal, epoch barrier, data — correct Epoch ordering",
+            kernel: epoch(pm_base, true),
+            launch: two_blocks,
+            expect: &[],
+        },
+        Mutant {
+            name: "epoch_barrier_dropped",
+            what: "Epoch journal/data with the separating barrier dropped",
+            kernel: epoch(pm_base, false),
+            launch: two_blocks,
+            expect: &[LintCode::UnorderedPersists],
+        },
+        Mutant {
+            name: "unmatched_release",
+            what: "pRel with no pAcq anywhere in the kernel",
+            kernel: unmatched_release(pm_base),
+            launch: small,
+            expect: &[LintCode::UnmatchedSync],
+        },
+        Mutant {
+            name: "redundant_fence",
+            what: "two oFences back to back",
+            kernel: redundant_fence(pm_base),
+            launch: small,
+            expect: &[LintCode::RedundantFence],
+        },
+        Mutant {
+            name: "dfence_in_loop",
+            what: "dFence drained on every loop iteration",
+            kernel: dfence_in_loop(pm_base),
+            launch: small,
+            expect: &[LintCode::DFenceInLoop],
+        },
+        Mutant {
+            name: "trailing_persist",
+            what: "persistent store unfenced at kernel exit",
+            kernel: trailing_persist(pm_base),
+            launch: small,
+            expect: &[LintCode::TrailingPersist],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_kernel, LintConfig, Severity};
+
+    const PM: u64 = 1 << 40;
+
+    #[test]
+    fn every_broken_mutant_is_flagged_and_correct_ones_are_clean() {
+        for m in suite(PM) {
+            let mut cfg = LintConfig::with_launch(m.launch);
+            cfg.pm_base = PM;
+            let report = lint_kernel(&m.kernel, &cfg);
+            if m.is_broken() {
+                for &code in m.expect {
+                    assert!(
+                        report.has(code),
+                        "{}: expected {code:?}, got:\n{}",
+                        m.name,
+                        report.to_text()
+                    );
+                }
+            } else {
+                assert_eq!(
+                    report.count(Severity::Error) + report.count(Severity::Warning),
+                    0,
+                    "{}: expected clean, got:\n{}",
+                    m.name,
+                    report.to_text()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn widening_the_scope_fixes_the_scope_mutant() {
+        let m = message_pass(PM, Scope::Device, "mp");
+        let cfg = LintConfig::with_launch(LaunchConfig::new(2, 32));
+        let report = lint_kernel(&m, &cfg);
+        assert_eq!(report.errors(), 0, "{}", report.to_text());
+    }
+
+    #[test]
+    fn single_block_launch_makes_block_scope_legal() {
+        let m = message_pass(PM, Scope::Block, "mp_one_block");
+        let cfg = LintConfig::with_launch(LaunchConfig::new(1, 64));
+        let report = lint_kernel(&m, &cfg);
+        assert_eq!(report.errors(), 0, "{}", report.to_text());
+    }
+}

@@ -1,0 +1,61 @@
+//! Golden-diagnostic tests: one `.expected` file per mutant kernel,
+//! pinning the exact linter output (codes, locations, messages).
+//!
+//! Regenerate after an intentional diagnostic change with:
+//! `SBRP_UPDATE_GOLDEN=1 cargo test -p sbrp-lint --test golden`
+
+use sbrp_lint::mutants::suite;
+use sbrp_lint::{lint_kernel, LintConfig};
+use std::path::PathBuf;
+
+const PM_BASE: u64 = 1 << 40;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.expected"))
+}
+
+#[test]
+fn mutant_diagnostics_match_golden_files() {
+    let update = std::env::var("SBRP_UPDATE_GOLDEN").is_ok();
+    let mut mismatches = Vec::new();
+    for m in suite(PM_BASE) {
+        let mut cfg = LintConfig::with_launch(m.launch);
+        cfg.pm_base = PM_BASE;
+        let report = lint_kernel(&m.kernel, &cfg);
+        let text = format!("# {}: {}\n{}", m.name, m.what, report.to_text());
+        let path = golden_path(m.name);
+        if update {
+            std::fs::write(&path, &text).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+        if want != text {
+            mismatches.push(format!(
+                "--- {} ---\nexpected:\n{want}\nactual:\n{text}",
+                m.name
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden mismatches (SBRP_UPDATE_GOLDEN=1 to regenerate):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn json_output_is_stable_for_a_mutant() {
+    let m = suite(PM_BASE)
+        .into_iter()
+        .find(|m| m.name == "wal_fence_deleted")
+        .expect("mutant");
+    let mut cfg = LintConfig::with_launch(m.launch);
+    cfg.pm_base = PM_BASE;
+    let j = lint_kernel(&m.kernel, &cfg).to_json();
+    assert!(j.contains("\"kernel\":\"wal_fence_deleted\""));
+    assert!(j.contains("\"code\":\"P001\""));
+    assert!(j.contains("\"severity\":\"error\""));
+}

@@ -1,0 +1,81 @@
+//! Property: any straight-line, fence-complete kernel the builder can
+//! produce lints completely clean — the rules only fire on genuinely
+//! missing or misplaced ordering, never on well-fenced code.
+
+use proptest::prelude::*;
+use sbrp_isa::{KernelBuilder, LaunchConfig, MemWidth};
+use sbrp_lint::{lint_kernel, LintConfig};
+
+const PM_BASE: u64 = 1 << 40;
+
+/// One persistent update: load a value, store it at `obj[slot]`.
+#[derive(Clone, Debug)]
+struct Update {
+    obj: usize,
+    slot: u64,
+}
+
+fn update_strategy() -> impl Strategy<Value = Update> {
+    (0usize..3, 0u64..64).prop_map(|(obj, slot)| Update { obj, slot })
+}
+
+/// Builds `ld; st; oFence; ld; st; … ; dFence` — every adjacent pair of
+/// persistent stores separated by a fence, with a durability fence before
+/// exit. This is the fence-complete discipline the paper's SBRP kernels
+/// follow.
+fn build_fence_complete(updates: &[Update]) -> sbrp_isa::Kernel {
+    let mut b = KernelBuilder::new();
+    let objs = [
+        b.param(0), // three distinct PM objects
+        b.param(1),
+        b.param(2),
+    ];
+    let src = b.param(3); // volatile input
+    for (i, u) in updates.iter().enumerate() {
+        if i > 0 {
+            b.ofence();
+        }
+        let v = b.ld(src, 0, MemWidth::W8);
+        b.st(objs[u.obj], (u.slot * 8) as i64, v, MemWidth::W8);
+    }
+    b.dfence();
+    b.set_params(vec![PM_BASE, PM_BASE + 0x10000, PM_BASE + 0x20000, 0x1000]);
+    b.build("generated")
+}
+
+proptest! {
+    #[test]
+    fn fence_complete_straight_line_kernels_lint_clean(
+        updates in proptest::collection::vec(update_strategy(), 0..24)
+    ) {
+        let k = build_fence_complete(&updates);
+        let cfg = LintConfig::with_launch(LaunchConfig::new(2, 64));
+        let report = lint_kernel(&k, &cfg);
+        prop_assert!(
+            report.is_clean(),
+            "generated kernel tripped the linter:\n{}\n{}",
+            k.disassemble(),
+            report.to_text()
+        );
+    }
+
+    #[test]
+    fn deleting_the_fences_from_a_dependent_chain_is_flagged(
+        slot_a in 0u64..64, slot_b in 0u64..64
+    ) {
+        // Same loaded value into two distinct objects, no fence: the
+        // P001 rule must fire regardless of the chosen slots.
+        let mut b = KernelBuilder::new();
+        let o0 = b.param(0);
+        let o1 = b.param(1);
+        let src = b.param(2);
+        let v = b.ld(src, 0, MemWidth::W8);
+        b.st(o0, (slot_a * 8) as i64, v, MemWidth::W8);
+        b.st(o1, (slot_b * 8) as i64, v, MemWidth::W8);
+        b.dfence();
+        b.set_params(vec![PM_BASE, PM_BASE + 0x10000, 0x1000]);
+        let k = b.build("unfenced");
+        let report = lint_kernel(&k, &LintConfig::default());
+        prop_assert_eq!(report.errors(), 1, "{}", report.to_text());
+    }
+}

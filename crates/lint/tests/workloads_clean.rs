@@ -1,0 +1,59 @@
+//! Acceptance: every stock kernel in the repository — the six
+//! applications (main + recovery flavours) and the five microbenchmarks,
+//! under every persistency model — produces zero error-severity
+//! diagnostics. The linter's job is to catch seeded bugs (see the mutant
+//! suite), not to second-guess the paper's workloads.
+
+use sbrp_core::ModelKind;
+use sbrp_lint::{lint_kernel, LintConfig, Severity};
+use sbrp_workloads::{BuildOpts, Launchable, Micro, WorkloadKind};
+
+const MODELS: [ModelKind; 3] = [ModelKind::Sbrp, ModelKind::Epoch, ModelKind::Gpm];
+
+fn assert_clean(l: &Launchable, ctx: &str) {
+    let cfg = LintConfig::with_launch(l.launch);
+    let report = lint_kernel(&l.kernel, &cfg);
+    assert_eq!(
+        report.count(Severity::Error),
+        0,
+        "{ctx} ({}) has error diagnostics:\n{}",
+        l.kernel.name(),
+        report.to_text()
+    );
+}
+
+#[test]
+fn applications_lint_clean_under_all_models() {
+    for kind in WorkloadKind::ALL {
+        let w = kind.instantiate(256, 42);
+        for model in MODELS {
+            let opts = BuildOpts::for_model(model);
+            assert_clean(&w.kernel(opts), &format!("{kind} {model:?} main"));
+            if let Some(rec) = w.recovery(opts) {
+                assert_clean(&rec, &format!("{kind} {model:?} recovery"));
+            }
+        }
+    }
+}
+
+#[test]
+fn applications_lint_clean_with_demoted_scopes() {
+    for kind in WorkloadKind::ALL {
+        let w = kind.instantiate(256, 42);
+        let opts = BuildOpts {
+            model: ModelKind::Sbrp,
+            demote_scopes: true,
+        };
+        assert_clean(&w.kernel(opts), &format!("{kind} demoted"));
+    }
+}
+
+#[test]
+fn microbenchmarks_lint_clean_under_all_models() {
+    for micro in Micro::ALL {
+        for model in MODELS {
+            let l = micro.kernel(BuildOpts::for_model(model), 8);
+            assert_clean(&l, &format!("{} {model:?}", micro.label()));
+        }
+    }
+}

@@ -51,6 +51,17 @@ pub enum SimError {
         /// What went wrong.
         detail: String,
     },
+    /// The online sanitizer ([`crate::config::GpuConfig::sanitize`])
+    /// found the execution violating the persistency model: durability
+    /// inverted PMO, a crash state was not PMO-downward-closed, or a
+    /// §5.3 scoped persistency bug synchronized without creating PMO.
+    PmoViolation {
+        /// Cycle at which the run ended (completion or crash) and the
+        /// trace was verified.
+        cycle: u64,
+        /// The offending event pair and explanation.
+        violation: sbrp_core::formal::PmoViolation,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -63,6 +74,9 @@ impl std::fmt::Display for SimError {
                     f,
                     "completion-protocol violation at cycle {cycle}: {detail}"
                 )
+            }
+            SimError::PmoViolation { cycle, violation } => {
+                write!(f, "persistency violation at cycle {cycle}: {violation}")
             }
         }
     }
@@ -108,7 +122,15 @@ impl Gpu {
             cfg: cfg.clone(),
             sms: (0..cfg.num_sms).map(|i| Sm::new(i, cfg)).collect(),
             ms: MemSubsystem::new(cfg),
-            tracer: cfg.trace.then(TraceCapture::new),
+            tracer: (cfg.trace || cfg.sanitize).then(|| {
+                // A full trace is needed for external checks; sampling
+                // only applies to the sanitizer-only configuration.
+                if cfg.trace {
+                    TraceCapture::new()
+                } else {
+                    TraceCapture::with_sample(cfg.sanitize_sample)
+                }
+            }),
             cycle: 0,
             active: None,
             fault_trigger: None,
@@ -177,6 +199,27 @@ impl Gpu {
     /// Takes the persist trace (if tracing was enabled).
     pub fn take_trace(&mut self) -> Option<TraceCapture> {
         self.tracer.take()
+    }
+
+    /// Runs the online sanitizer's verdict over the trace recorded so
+    /// far (a no-op unless [`crate::config::GpuConfig::sanitize`] is
+    /// set). Non-consuming: the trace stays available for
+    /// [`Gpu::take_trace`] and later re-checks (e.g. a subsequent crash
+    /// point in the same campaign cell).
+    ///
+    /// # Errors
+    /// [`SimError::PmoViolation`] with the offending event pair.
+    pub fn sanitize_check(&self) -> Result<(), SimError> {
+        if !self.cfg.sanitize {
+            return Ok(());
+        }
+        let Some(tc) = self.tracer.as_ref() else {
+            return Ok(());
+        };
+        tc.verify().map_err(|violation| SimError::PmoViolation {
+            cycle: self.cycle,
+            violation,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -365,6 +408,7 @@ impl Gpu {
         let limit = self.cycle.saturating_add(max_cycles);
         while self.cycle < limit {
             if self.step()? {
+                self.sanitize_check()?;
                 return Ok(RunReport {
                     outcome: RunOutcome::Completed,
                     cycles: self.cycle,
@@ -437,6 +481,7 @@ impl Gpu {
         let limit = self.cycle.saturating_add(max_cycles);
         while self.cycle < limit {
             if self.fault_crash_now() {
+                self.sanitize_check()?;
                 return Ok(RunReport {
                     outcome: RunOutcome::Crashed,
                     cycles: self.cycle,
@@ -444,16 +489,18 @@ impl Gpu {
             }
             match self.step() {
                 Ok(true) => {
+                    self.sanitize_check()?;
                     return Ok(RunReport {
                         outcome: RunOutcome::Completed,
                         cycles: self.cycle,
-                    })
+                    });
                 }
                 Ok(false) => {}
                 Err(e) => {
                     // A power cut strands waiters mid-step; that is the
                     // crash, not a simulator wedge.
                     if self.fault_crash_now() {
+                        self.sanitize_check()?;
                         return Ok(RunReport {
                             outcome: RunOutcome::Crashed,
                             cycles: self.cycle,
@@ -476,12 +523,14 @@ impl Gpu {
     pub fn run_until(&mut self, crash_cycle: u64) -> Result<RunReport, SimError> {
         while self.cycle < crash_cycle {
             if self.step()? {
+                self.sanitize_check()?;
                 return Ok(RunReport {
                     outcome: RunOutcome::Completed,
                     cycles: self.cycle,
                 });
             }
         }
+        self.sanitize_check()?;
         Ok(RunReport {
             outcome: RunOutcome::Crashed,
             cycles: self.cycle,

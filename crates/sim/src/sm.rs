@@ -1321,7 +1321,7 @@ impl Sm {
                     lanes: lanes
                         .iter()
                         .map(|la| {
-                            let rel = tracer.as_mut().map(|tc| {
+                            let rel = tracer.as_mut().and_then(|tc| {
                                 let pos = self.thread_pos(slot, la.lane);
                                 tc.prel(pos, scope, la.addr)
                             });

@@ -7,11 +7,22 @@
 //! which each persist became durable. After the run — or after a crash —
 //! the trace is checked against the model with [`TraceCapture::check`]
 //! (crash-cut downward closure, plus durability-order on complete runs).
+//!
+//! [`crate::config::GpuConfig::sanitize`] reuses the same capture as an
+//! *online sanitizer*: the trace may then be sampled per warp (see
+//! [`TraceCapture::with_sample`]) to bound memory, and is verified in
+//! place with [`TraceCapture::verify`], which additionally surfaces the
+//! scoped persistency bugs of §5.3 as violations.
 
 use sbrp_core::formal::{EventId, PmoViolation, TraceBuilder};
 use sbrp_core::ops::PersistOpKind;
 use sbrp_core::scope::{Scope, ThreadPos};
 use std::collections::{HashMap, HashSet};
+
+/// Persist token standing in for an event the sampler chose not to
+/// record. Never a valid [`EventId`] index; [`TraceCapture::durable`]
+/// ignores it.
+pub const SKIP_TOKEN: u64 = u64::MAX;
 
 /// Accumulates an execution trace during simulation.
 #[derive(Default)]
@@ -22,22 +33,42 @@ pub struct TraceCapture {
     /// Flag address → the latest release whose value is visible there.
     last_flag_rel: HashMap<u64, EventId>,
     persists: u64,
+    /// Persists skipped by warp sampling.
+    skipped: u64,
+    /// Per-warp sampling modulus; `0`/`1` records every warp.
+    sample: u32,
 }
 
 impl std::fmt::Debug for TraceCapture {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TraceCapture")
             .field("persists", &self.persists)
+            .field("skipped", &self.skipped)
             .field("durable", &self.durable.len())
             .finish()
     }
 }
 
 impl TraceCapture {
-    /// Creates an empty capture.
+    /// Creates an empty capture recording every warp.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty capture that records only every `sample`-th warp
+    /// (`0`/`1` record all).
+    ///
+    /// Sampling is all-or-nothing per warp, so the recorded sub-trace is
+    /// internally consistent: dropping a warp can only remove events and
+    /// PMO edges, never invent them — a sampled check reports no false
+    /// violations, it just sees fewer persists.
+    #[must_use]
+    pub fn with_sample(sample: u32) -> Self {
+        TraceCapture {
+            sample,
+            ..TraceCapture::default()
+        }
     }
 
     /// Number of persists recorded.
@@ -46,22 +77,53 @@ impl TraceCapture {
         self.persists
     }
 
+    /// Number of persists the warp sampler skipped.
+    #[must_use]
+    pub fn skipped_count(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Whether `thread`'s warp is recorded under the current sampling
+    /// modulus.
+    #[must_use]
+    pub fn sampled(&self, thread: ThreadPos) -> bool {
+        if self.sample <= 1 {
+            return true;
+        }
+        // Stripe across blocks so sampling is not aligned to warp 0 of
+        // every block (the leader warp is often the interesting one, but
+        // a stride keeps coverage representative for any modulus).
+        let w = u64::from(thread.block.0)
+            .wrapping_mul(31)
+            .wrapping_add(u64::from(thread.warp_in_block()));
+        w % u64::from(self.sample) == 0
+    }
+
     /// Records a persist by `thread` to `addr`; returns the opaque token
-    /// to hand to the persist engine.
+    /// to hand to the persist engine ([`SKIP_TOKEN`] if the warp is not
+    /// sampled).
     pub fn persist(&mut self, thread: ThreadPos, addr: u64) -> u64 {
+        if !self.sampled(thread) {
+            self.skipped += 1;
+            return SKIP_TOKEN;
+        }
         self.persists += 1;
         self.tb.persist(thread, addr).index() as u64
     }
 
     /// Records an `oFence`, `dFence`, or epoch barrier by `thread`.
     pub fn fence(&mut self, thread: ThreadPos, op: PersistOpKind) {
-        self.tb.op(thread, op, None);
+        if self.sampled(thread) {
+            self.tb.op(thread, op, None);
+        }
     }
 
     /// Records a `pRel` by `thread` on flag `var`; call
     /// [`TraceCapture::flag_released`] when its flag write is applied.
-    pub fn prel(&mut self, thread: ThreadPos, scope: Scope, var: u64) -> EventId {
-        self.tb.op(thread, PersistOpKind::PRel(scope), Some(var))
+    /// Returns `None` if the warp is not sampled.
+    pub fn prel(&mut self, thread: ThreadPos, scope: Scope, var: u64) -> Option<EventId> {
+        self.sampled(thread)
+            .then(|| self.tb.op(thread, PersistOpKind::PRel(scope), Some(var)))
     }
 
     /// The release `rel`'s flag write to `var` became visible.
@@ -72,6 +134,9 @@ impl TraceCapture {
     /// Records a `pAcq` by `thread` on flag `var` *at load completion*,
     /// linking it to the release whose value it observed (if any).
     pub fn pacq(&mut self, thread: ThreadPos, scope: Scope, var: u64) {
+        if !self.sampled(thread) {
+            return;
+        }
         let acq = self.tb.op(thread, PersistOpKind::PAcq(scope), Some(var));
         if let Some(&rel) = self.last_flag_rel.get(&var) {
             self.tb.observe(acq, rel);
@@ -81,10 +146,39 @@ impl TraceCapture {
     /// Marks the persists behind `tokens` durable at `cycle`.
     pub fn durable(&mut self, tokens: &[u64], cycle: u64) {
         for &t in tokens {
+            if t == SKIP_TOKEN {
+                continue;
+            }
             let id = EventId::from_index(t as usize);
             self.durable.insert(id);
             self.durable_at.entry(id).or_insert(cycle);
         }
+    }
+
+    /// Verifies the trace in place, without consuming the capture: the
+    /// durable set must be PMO-downward-closed (crash-cut), durability
+    /// completion order must respect PMO (checked only once every
+    /// recorded persist is durable), and — unlike [`TraceCapture::check`]
+    /// — any §5.3 scoped persistency bug (an acquire that observed a
+    /// release whose scope excludes one of the threads) is reported as a
+    /// violation outright. This is the online sanitizer's verdict.
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn verify(&self) -> Result<(), PmoViolation> {
+        let graph = self.tb.clone().finish();
+        if let Some(bug) = graph.scope_bugs().first() {
+            return Err(PmoViolation {
+                before: bug.release,
+                after: bug.acquire,
+                message: bug.to_string(),
+            });
+        }
+        graph.check_crash_cut(&self.durable)?;
+        if graph.persists().all(|p| self.durable_at.contains_key(&p)) {
+            graph.check_durability_order(&self.durable_at)?;
+        }
+        Ok(())
     }
 
     /// Consumes the capture, verifying both model checks: durability
@@ -155,7 +249,7 @@ mod tests {
     fn acquire_links_to_last_release() {
         let mut tc = TraceCapture::new();
         let w1 = tc.persist(th(0, 0), 0x1000);
-        let rel = tc.prel(th(0, 0), Scope::Block, 0x80);
+        let rel = tc.prel(th(0, 0), Scope::Block, 0x80).expect("sampled");
         tc.flag_released(0x80, rel);
         tc.pacq(th(0, 32), Scope::Block, 0x80);
         let w2 = tc.persist(th(0, 32), 0x2000);
@@ -171,7 +265,7 @@ mod tests {
     fn acquire_without_visible_release_links_nothing() {
         let mut tc = TraceCapture::new();
         let w1 = tc.persist(th(0, 0), 0x1000);
-        let _rel = tc.prel(th(0, 0), Scope::Block, 0x80);
+        let _rel = tc.prel(th(0, 0), Scope::Block, 0x80).expect("sampled");
         // Flag write not yet applied: the acquire reads the initial value.
         tc.pacq(th(0, 32), Scope::Block, 0x80);
         let w2 = tc.persist(th(0, 32), 0x2000);
@@ -181,5 +275,51 @@ mod tests {
             EventId::from_index(w2 as usize),
         );
         assert!(!g.pmo_holds(w1, w2));
+    }
+
+    #[test]
+    fn sampling_skips_whole_warps() {
+        // sample=2 with the block-31 stripe: block 0 records warps
+        // 0, 2, …; block 1 records odd warps (31+w ≡ 0 mod 2).
+        let mut tc = TraceCapture::with_sample(2);
+        assert!(tc.sampled(th(0, 0)));
+        assert!(!tc.sampled(th(0, 32)));
+        assert!(!tc.sampled(th(1, 0)));
+        assert!(tc.sampled(th(1, 32)));
+
+        let t0 = tc.persist(th(0, 0), 0x1000);
+        let t1 = tc.persist(th(0, 32), 0x2000);
+        assert_ne!(t0, SKIP_TOKEN);
+        assert_eq!(t1, SKIP_TOKEN);
+        assert_eq!(tc.persist_count(), 1);
+        assert_eq!(tc.skipped_count(), 1);
+        // Durable marking ignores the skip token.
+        tc.durable(&[t0, t1], 100);
+        assert!(tc.verify().is_ok());
+    }
+
+    #[test]
+    fn verify_is_non_consuming_and_matches_check() {
+        let mut tc = TraceCapture::new();
+        let _w1 = tc.persist(th(0, 0), 0x1000);
+        tc.fence(th(0, 0), PersistOpKind::OFence);
+        let w2 = tc.persist(th(0, 0), 0x2000);
+        tc.durable(&[w2], 100); // successor durable, predecessor not
+        assert!(tc.verify().is_err());
+        assert!(tc.verify().is_err(), "verify leaves the capture intact");
+        assert!(tc.check().is_err());
+    }
+
+    #[test]
+    fn verify_reports_scope_bugs_as_violations() {
+        let mut tc = TraceCapture::new();
+        tc.persist(th(0, 0), 0x1000);
+        // Block-scoped release/acquire across different blocks: the
+        // value flows, but no PMO edge exists (§5.3).
+        let rel = tc.prel(th(0, 0), Scope::Block, 0x80).expect("sampled");
+        tc.flag_released(0x80, rel);
+        tc.pacq(th(1, 0), Scope::Block, 0x80);
+        let err = tc.verify().expect_err("scope bug must surface");
+        assert!(err.message.contains("scope"), "{err}");
     }
 }
