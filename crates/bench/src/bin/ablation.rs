@@ -8,10 +8,13 @@ use sbrp_core::pbuffer::DrainPolicy;
 use sbrp_core::ModelKind;
 use sbrp_gpu_sim::config::SystemDesign;
 use sbrp_harness::report::Table;
-use sbrp_harness::{geomean, run_workload, RunSpec};
+use sbrp_harness::sweep::run_specs_expect;
+use sbrp_harness::{geomean, RunSpec};
 use sbrp_workloads::WorkloadKind;
 
 type Variant = (&'static str, fn(&mut RunSpec));
+
+const SYSTEMS: [SystemDesign; 2] = [SystemDesign::PmNear, SystemDesign::PmFar];
 
 fn main() {
     let cli = Cli::parse();
@@ -29,7 +32,35 @@ fn main() {
             s.no_per_warp_fsm = true;
         }),
     ];
-    for system in [SystemDesign::PmNear, SystemDesign::PmFar] {
+    // Per (system, workload): one epoch baseline, then each variant.
+    let stride = 1 + variants.len();
+    let mut specs: Vec<RunSpec> = Vec::new();
+    for system in SYSTEMS {
+        for kind in WorkloadKind::ALL {
+            let base = RunSpec {
+                workload: kind,
+                system,
+                scale: cli.scale_for(kind),
+                small_gpu: cli.small,
+                ..RunSpec::default()
+            };
+            specs.push(RunSpec {
+                model: ModelKind::Epoch,
+                ..base.clone()
+            });
+            for (_, tweak) in &variants {
+                let mut spec = RunSpec {
+                    model: ModelKind::Sbrp,
+                    ..base.clone()
+                };
+                tweak(&mut spec);
+                specs.push(spec);
+            }
+        }
+    }
+    let (outs, summary) = run_specs_expect(&cli.sweep_opts(), &specs);
+
+    for (si, system) in SYSTEMS.into_iter().enumerate() {
         let headers: Vec<&str> = std::iter::once("app")
             .chain(variants.iter().map(|v| v.0))
             .collect();
@@ -38,30 +69,13 @@ fn main() {
             &headers,
         );
         let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
-        for kind in WorkloadKind::ALL {
-            let scale = cli.scale_for(kind);
-            let base = RunSpec {
-                workload: kind,
-                system,
-                scale,
-                small_gpu: cli.small,
-                ..RunSpec::default()
-            };
-            let epoch = run_workload(&RunSpec {
-                model: ModelKind::Epoch,
-                ..base.clone()
-            })
-            .expect("cell runs")
-            .cycles as f64;
-            let speedups: Vec<f64> = variants
+        for (w, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+            let at = (si * WorkloadKind::ALL.len() + w) * stride;
+            let row = &outs[at..at + stride];
+            let epoch = row[0].cycles as f64;
+            let speedups: Vec<f64> = row[1..]
                 .iter()
-                .map(|(_, tweak)| {
-                    let mut spec = RunSpec {
-                        model: ModelKind::Sbrp,
-                        ..base.clone()
-                    };
-                    tweak(&mut spec);
-                    let out = run_workload(&spec).expect("cell runs");
+                .map(|out| {
                     assert!(out.verified, "{kind} ablation failed verification");
                     epoch / out.cycles as f64
                 })
@@ -76,4 +90,5 @@ fn main() {
         cli.emit(&table);
         println!();
     }
+    eprintln!("{}", summary.summary_line());
 }

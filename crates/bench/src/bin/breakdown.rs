@@ -11,7 +11,8 @@ use sbrp_bench::Cli;
 use sbrp_core::ModelKind;
 use sbrp_gpu_sim::config::SystemDesign;
 use sbrp_harness::report::{stall_cells, stall_headers, Table};
-use sbrp_harness::{run_workload, run_workload_traced, RunSpec};
+use sbrp_harness::sweep::run_specs_expect;
+use sbrp_harness::{run_workload_traced, RunSpec};
 use sbrp_workloads::WorkloadKind;
 
 /// The workload subset: the three applications with the most distinct
@@ -26,46 +27,52 @@ const SYSTEMS: [SystemDesign; 2] = [SystemDesign::PmFar, SystemDesign::PmNear];
 
 fn main() {
     let cli = Cli::parse();
-    let mut headers: Vec<&str> = vec!["app", "model", "system", "cycles"];
-    headers.extend(stall_headers());
-    let mut table = Table::new("Stall-cycle breakdown by cause", &headers);
-
-    let mut traced = false;
-    for kind in WORKLOADS {
-        let scale = cli.scale_for(kind);
-        for model in MODELS {
-            for system in SYSTEMS {
-                let spec = RunSpec {
+    let specs: Vec<RunSpec> = WORKLOADS
+        .into_iter()
+        .flat_map(|kind| {
+            let scale = cli.scale_for(kind);
+            MODELS.into_iter().flat_map(move |model| {
+                SYSTEMS.into_iter().map(move |system| RunSpec {
                     workload: kind,
                     model,
                     system,
                     scale,
                     small_gpu: cli.small,
                     ..RunSpec::default()
-                };
-                let out = run_workload(&spec).expect("cell runs");
-                assert!(out.verified, "{kind}/{model}/{system} failed verification");
-                assert_eq!(
-                    out.stats.stall.bucket_sum(),
-                    out.stats.stall.total,
-                    "{kind}/{model}/{system}: stall buckets must sum to total"
-                );
-                let mut cells = vec![
-                    kind.label().to_string(),
-                    model.to_string(),
-                    system.to_string(),
-                    out.cycles.to_string(),
-                ];
-                cells.extend(stall_cells(&out.stats));
-                table.row(cells);
+                })
+            })
+        })
+        .collect();
+    let (outs, summary) = run_specs_expect(&cli.sweep_opts(), &specs);
 
-                if !traced && cli.trace_out.is_some() {
-                    traced = true;
-                    let (_, timeline) = run_workload_traced(&spec, true).expect("traced cell runs");
-                    cli.write_trace(&timeline.expect("tracing was enabled"));
-                }
-            }
-        }
+    let mut headers: Vec<&str> = vec!["app", "model", "system", "cycles"];
+    headers.extend(stall_headers());
+    let mut table = Table::new("Stall-cycle breakdown by cause", &headers);
+    for (spec, out) in specs.iter().zip(&outs) {
+        let (kind, model, system) = (spec.workload, spec.model, spec.system);
+        assert!(out.verified, "{kind}/{model}/{system} failed verification");
+        assert_eq!(
+            out.stats.stall.bucket_sum(),
+            out.stats.stall.total,
+            "{kind}/{model}/{system}: stall buckets must sum to total"
+        );
+        let mut cells = vec![
+            kind.label().to_string(),
+            model.to_string(),
+            system.to_string(),
+            out.cycles.to_string(),
+        ];
+        cells.extend(stall_cells(&out.stats));
+        table.row(cells);
     }
     cli.emit(&table);
+    eprintln!("{}", summary.summary_line());
+
+    // The timeline changes the simulated machine's observability, not
+    // its timing, but the trace is not cached — re-run the first cell
+    // with the tracer armed.
+    if cli.trace_out.is_some() {
+        let (_, timeline) = run_workload_traced(&specs[0], true).expect("traced cell runs");
+        cli.write_trace(&timeline.expect("tracing was enabled"));
+    }
 }

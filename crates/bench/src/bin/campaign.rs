@@ -14,13 +14,17 @@
 //! * `--scale N`  — override the workload scale;
 //! * `--seed N`   — input seed (default 42);
 //! * `--small`    — use the 4-SM GPU without the rest of `--quick`;
-//! * `--csv`      — emit CSV instead of an aligned table.
+//! * `--csv`      — emit CSV instead of an aligned table;
+//! * `--jobs N`   — sweep worker threads (default: all hardware
+//!   threads; `--jobs 1` is the historical serial order);
+//! * `--no-cache` — ignore and don't write `outputs/.cache`.
 //!
 //! Without `--quick`, the full six-workload matrix runs at the default
 //! figure scales on the Table 1 machine — an overnight-class sweep.
 
 use sbrp_harness::campaign::{CampaignSpec, CellReport};
 use sbrp_harness::report::Table;
+use sbrp_harness::sweep::SweepOpts;
 
 struct Args {
     quick: bool,
@@ -29,6 +33,8 @@ struct Args {
     seed: Option<u64>,
     small: bool,
     csv: bool,
+    jobs: Option<usize>,
+    no_cache: bool,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +45,8 @@ fn parse_args() -> Args {
         seed: None,
         small: false,
         csv: false,
+        jobs: None,
+        no_cache: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -55,9 +63,16 @@ fn parse_args() -> Args {
             "--seed" => out.seed = Some(num("--seed")),
             "--small" => out.small = true,
             "--csv" => out.csv = true,
+            "--jobs" => {
+                let n = num("--jobs") as usize;
+                assert!(n > 0, "--jobs must be at least 1");
+                out.jobs = Some(n);
+            }
+            "--no-cache" => out.no_cache = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: campaign [--quick] [--points N] [--scale N] [--seed N] [--small] [--csv]"
+                    "usage: campaign [--quick] [--points N] [--scale N] [--seed N] [--small] \
+                     [--csv] [--jobs N] [--no-cache]"
                 );
                 std::process::exit(0);
             }
@@ -86,18 +101,30 @@ fn main() {
     if args.small {
         spec.small_gpu = true;
     }
+    let opts = SweepOpts {
+        jobs: args.jobs.unwrap_or(0),
+        cache_dir: if args.no_cache {
+            None
+        } else {
+            Some(SweepOpts::default_cache_dir())
+        },
+        // The per-cell status lines below carry more detail than the
+        // engine's generic progress output.
+        progress: false,
+    };
 
     let cells = spec.workloads.len() * spec.models.len() * spec.systems.len();
     eprintln!(
-        "campaign: {cells} cells ({} workloads x {} models x {} systems), >= {} points/cell",
+        "campaign: {cells} cells ({} workloads x {} models x {} systems), >= {} points/cell, {} jobs",
         spec.workloads.len(),
         spec.models.len(),
         spec.systems.len(),
-        spec.points_per_cell
+        spec.points_per_cell,
+        opts.effective_jobs()
     );
 
     let mut done = 0usize;
-    let report = sbrp_harness::campaign::run_with(&spec, |cell: &CellReport| {
+    let report = sbrp_harness::campaign::run_with_opts(&spec, &opts, |cell: &CellReport| {
         done += 1;
         let status = if let Some(e) = &cell.baseline_error {
             format!("BASELINE FAILED: {e}")

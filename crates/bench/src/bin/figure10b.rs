@@ -5,22 +5,21 @@ use sbrp_bench::Cli;
 use sbrp_core::ModelKind;
 use sbrp_gpu_sim::config::SystemDesign;
 use sbrp_harness::report::Table;
-use sbrp_harness::{geomean, run_workload, RunSpec};
+use sbrp_harness::sweep::run_specs_expect;
+use sbrp_harness::{geomean, RunSpec};
 use sbrp_workloads::WorkloadKind;
 
 fn main() {
     let cli = Cli::parse();
     let scales = [0.5, 1.0, 2.0];
-    let mut table = Table::new(
-        "Figure 10(b): SBRP-near speedup over epoch-near, varying NVM bandwidth",
-        &["app", "50%", "100%", "200%"],
-    );
-    let mut per_bw: Vec<Vec<f64>> = vec![Vec::new(); scales.len()];
-    for kind in WorkloadKind::ALL {
-        let scale = cli.scale_for(kind);
-        let speedups: Vec<f64> = scales
-            .iter()
-            .map(|&bw| {
+    // Per workload: (epoch, sbrp) at every bandwidth — the epoch
+    // baseline moves with the bandwidth too.
+    let stride = 2 * scales.len();
+    let specs: Vec<RunSpec> = WorkloadKind::ALL
+        .into_iter()
+        .flat_map(|kind| {
+            let scale = cli.scale_for(kind);
+            scales.into_iter().flat_map(move |bw| {
                 let base = RunSpec {
                     workload: kind,
                     system: SystemDesign::PmNear,
@@ -29,20 +28,30 @@ fn main() {
                     small_gpu: cli.small,
                     ..RunSpec::default()
                 };
-                let epoch = run_workload(&RunSpec {
-                    model: ModelKind::Epoch,
-                    ..base.clone()
-                })
-                .expect("cell runs")
-                .cycles as f64;
-                let sbrp = run_workload(&RunSpec {
-                    model: ModelKind::Sbrp,
-                    ..base.clone()
-                })
-                .expect("cell runs")
-                .cycles as f64;
-                epoch / sbrp
+                [
+                    RunSpec {
+                        model: ModelKind::Epoch,
+                        ..base.clone()
+                    },
+                    RunSpec {
+                        model: ModelKind::Sbrp,
+                        ..base
+                    },
+                ]
             })
+        })
+        .collect();
+    let (outs, summary) = run_specs_expect(&cli.sweep_opts(), &specs);
+
+    let mut table = Table::new(
+        "Figure 10(b): SBRP-near speedup over epoch-near, varying NVM bandwidth",
+        &["app", "50%", "100%", "200%"],
+    );
+    let mut per_bw: Vec<Vec<f64>> = vec![Vec::new(); scales.len()];
+    for (w, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+        let row = &outs[w * stride..(w + 1) * stride];
+        let speedups: Vec<f64> = (0..scales.len())
+            .map(|i| row[2 * i].cycles as f64 / row[2 * i + 1].cycles as f64)
             .collect();
         for (i, s) in speedups.iter().enumerate() {
             per_bw[i].push(*s);
@@ -52,4 +61,5 @@ fn main() {
     let means: Vec<f64> = per_bw.iter().map(|v| geomean(v)).collect();
     table.row_f64("GMean", &means);
     cli.emit(&table);
+    eprintln!("{}", summary.summary_line());
 }

@@ -7,41 +7,44 @@ use sbrp_bench::Cli;
 use sbrp_core::ModelKind;
 use sbrp_gpu_sim::config::SystemDesign;
 use sbrp_harness::report::Table;
-use sbrp_harness::{geomean, run_recovery, RunSpec};
+use sbrp_harness::sweep::{sweep, RecoveryCell};
+use sbrp_harness::{geomean, RunSpec};
 use sbrp_workloads::WorkloadKind;
 
 fn main() {
     let cli = Cli::parse();
+    let cells: Vec<RecoveryCell> = WorkloadKind::ALL
+        .into_iter()
+        .flat_map(|kind| {
+            let base = RunSpec {
+                workload: kind,
+                system: SystemDesign::PmNear,
+                scale: cli.scale_for(kind),
+                small_gpu: cli.small,
+                ..RunSpec::default()
+            };
+            [ModelKind::Epoch, ModelKind::Sbrp].map(|model| RecoveryCell {
+                spec: RunSpec {
+                    model,
+                    ..base.clone()
+                },
+                fraction: 0.9,
+            })
+        })
+        .collect();
+    let (results, summary) = sweep(&cli.sweep_opts(), &cells);
+    let outs: Vec<_> = results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("recovery cell failed: {e}")))
+        .collect();
+
     let mut table = Table::new(
         "Figure 11: recovery runtime normalized to epoch-near",
         &["app", "Epoch", "SBRP", "recovery/runtime (SBRP)"],
     );
     let mut ratios = Vec::new();
-    for kind in WorkloadKind::ALL {
-        let scale = cli.scale_for(kind);
-        let base = RunSpec {
-            workload: kind,
-            system: SystemDesign::PmNear,
-            scale,
-            small_gpu: cli.small,
-            ..RunSpec::default()
-        };
-        let epoch = run_recovery(
-            &RunSpec {
-                model: ModelKind::Epoch,
-                ..base.clone()
-            },
-            0.9,
-        )
-        .expect("recovery cell runs");
-        let sbrp = run_recovery(
-            &RunSpec {
-                model: ModelKind::Sbrp,
-                ..base.clone()
-            },
-            0.9,
-        )
-        .expect("recovery cell runs");
+    for (w, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+        let (epoch, sbrp) = (&outs[w * 2], &outs[w * 2 + 1]);
         assert!(epoch.verified && sbrp.verified, "{kind}: recovery failed");
         let norm = sbrp.recovery_cycles as f64 / epoch.recovery_cycles.max(1) as f64;
         ratios.push(norm);
@@ -62,4 +65,5 @@ fn main() {
         "-".into(),
     ]);
     cli.emit(&table);
+    eprintln!("{}", summary.summary_line());
 }

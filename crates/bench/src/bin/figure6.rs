@@ -3,38 +3,43 @@
 
 use sbrp_bench::Cli;
 use sbrp_harness::report::Table;
-use sbrp_harness::{geomean, run_workload, Fig6Bar, RunSpec};
+use sbrp_harness::sweep::run_specs_expect;
+use sbrp_harness::{geomean, Fig6Bar, RunSpec};
 use sbrp_workloads::WorkloadKind;
 
 fn main() {
     let cli = Cli::parse();
-    let headers: Vec<&str> = std::iter::once("app")
-        .chain(Fig6Bar::ALL.iter().map(|b| b.label()))
-        .collect();
-    let mut table = Table::new("Figure 6: speedup over epoch-far", &headers);
-
-    let mut per_bar: Vec<Vec<f64>> = vec![Vec::new(); Fig6Bar::ALL.len()];
-    for kind in WorkloadKind::ALL {
-        let scale = cli.scale_for(kind);
-        let cycles: Vec<u64> = Fig6Bar::ALL
-            .iter()
-            .map(|bar| {
+    let specs: Vec<RunSpec> = WorkloadKind::ALL
+        .into_iter()
+        .flat_map(|kind| {
+            let scale = cli.scale_for(kind);
+            Fig6Bar::ALL.into_iter().map(move |bar| {
                 let (model, system) = bar.model_system();
-                let out = run_workload(&RunSpec {
+                RunSpec {
                     workload: kind,
                     model,
                     system,
                     scale,
                     small_gpu: cli.small,
                     ..RunSpec::default()
-                })
-                .expect("cell runs");
-                assert!(out.verified, "{kind}/{} failed verification", bar.label());
-                out.cycles
+                }
             })
-            .collect();
-        let baseline = cycles[1] as f64; // epoch-far
-        let speedups: Vec<f64> = cycles.iter().map(|&c| baseline / c as f64).collect();
+        })
+        .collect();
+    let (outs, summary) = run_specs_expect(&cli.sweep_opts(), &specs);
+
+    let headers: Vec<&str> = std::iter::once("app")
+        .chain(Fig6Bar::ALL.iter().map(|b| b.label()))
+        .collect();
+    let mut table = Table::new("Figure 6: speedup over epoch-far", &headers);
+    let mut per_bar: Vec<Vec<f64>> = vec![Vec::new(); Fig6Bar::ALL.len()];
+    for (w, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+        let row = &outs[w * Fig6Bar::ALL.len()..(w + 1) * Fig6Bar::ALL.len()];
+        for (out, bar) in row.iter().zip(Fig6Bar::ALL) {
+            assert!(out.verified, "{kind}/{} failed verification", bar.label());
+        }
+        let baseline = row[1].cycles as f64; // epoch-far
+        let speedups: Vec<f64> = row.iter().map(|o| baseline / o.cycles as f64).collect();
         for (i, s) in speedups.iter().enumerate() {
             per_bar[i].push(*s);
         }
@@ -43,4 +48,5 @@ fn main() {
     let means: Vec<f64> = per_bar.iter().map(|v| geomean(v)).collect();
     table.row_f64("Mean", &means);
     cli.emit(&table);
+    eprintln!("{}", summary.summary_line());
 }

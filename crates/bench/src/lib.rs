@@ -14,11 +14,17 @@
 //! * `--json` — emit JSON instead of an aligned text table;
 //! * `--trace-out FILE` — also write a Chrome-trace JSON timeline
 //!   (load it in Perfetto / `chrome://tracing`) for a representative
-//!   cell; binaries that don't trace ignore it.
+//!   cell; binaries that don't trace ignore it;
+//! * `--jobs N` — worker threads for the sweep (default: all hardware
+//!   threads; `--jobs 1` reproduces the historical serial behaviour,
+//!   byte-identically);
+//! * `--no-cache` — ignore and don't write the `outputs/.cache` result
+//!   cache.
 //!
 //! Run one with e.g. `cargo run -p sbrp-bench --release --bin figure6`.
 
 use sbrp_harness::report::Table;
+use sbrp_harness::sweep::SweepOpts;
 
 /// Options shared by all figure binaries.
 #[derive(Clone, Debug, Default)]
@@ -34,6 +40,11 @@ pub struct Cli {
     pub json: bool,
     /// Write a Chrome-trace timeline of one representative cell here.
     pub trace_out: Option<String>,
+    /// Sweep worker threads; `None` (default) uses all hardware
+    /// threads, `Some(1)` is serial.
+    pub jobs: Option<usize>,
+    /// Bypass the on-disk result cache.
+    pub no_cache: bool,
 }
 
 impl Cli {
@@ -58,10 +69,17 @@ impl Cli {
                 "--trace-out" => {
                     cli.trace_out = Some(args.next().expect("--trace-out needs a file path"));
                 }
+                "--jobs" => {
+                    let v = args.next().expect("--jobs needs a value");
+                    let n: usize = v.parse().expect("--jobs must be a positive integer");
+                    assert!(n > 0, "--jobs must be at least 1");
+                    cli.jobs = Some(n);
+                }
+                "--no-cache" => cli.no_cache = true,
                 "--help" | "-h" => {
                     println!(
                         "usage: <figure-bin> [--scale N] [--small] [--csv] [--json] \
-                         [--trace-out FILE]"
+                         [--trace-out FILE] [--jobs N] [--no-cache]"
                     );
                     std::process::exit(0);
                 }
@@ -69,6 +87,20 @@ impl Cli {
             }
         }
         cli
+    }
+
+    /// The sweep-engine configuration these flags select.
+    #[must_use]
+    pub fn sweep_opts(&self) -> SweepOpts {
+        SweepOpts {
+            jobs: self.jobs.unwrap_or(0),
+            cache_dir: if self.no_cache {
+                None
+            } else {
+                Some(SweepOpts::default_cache_dir())
+            },
+            progress: true,
+        }
     }
 
     /// The scale to use for a workload.

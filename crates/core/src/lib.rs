@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod epoch;
+pub mod fingerprint;
 pub mod formal;
 pub mod ops;
 pub mod pbuffer;

@@ -26,8 +26,11 @@
 //! the event index finds the minimal crash point that still fails,
 //! which is the index to debug.
 
+use crate::json::Json;
 use crate::report::Table;
+use crate::sweep::{spec_fingerprint, sweep_with, SweepCell, SweepOpts, CACHE_SCHEMA};
 use crate::{default_scale, RunSpec, CYCLE_LIMIT};
+use sbrp_core::fingerprint::Fingerprint;
 use sbrp_core::ModelKind;
 use sbrp_gpu_sim::config::SystemDesign;
 use sbrp_gpu_sim::crash::{self, CrashImage};
@@ -66,6 +69,12 @@ impl TriggerFamily {
         }
     }
 
+    /// Inverse of [`TriggerFamily::label`], for cache deserialization.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<TriggerFamily> {
+        TriggerFamily::ALL.into_iter().find(|f| f.label() == label)
+    }
+
     /// The concrete trigger for event index `k` (1-based).
     #[must_use]
     pub fn trigger(self, k: u64) -> CrashTrigger {
@@ -100,7 +109,7 @@ pub enum PointOutcome {
     Violation {
         /// Which stage failed (`formal`, `pmem`, `crash-consistent`,
         /// `recover`, `rerun`, `verify`, …).
-        stage: &'static str,
+        stage: String,
         /// The failure detail.
         detail: String,
     },
@@ -333,9 +342,12 @@ struct ProbeVerdict {
 }
 
 impl ProbeVerdict {
-    fn violation(stage: &'static str, detail: String, pmo_clean: bool) -> Self {
+    fn violation(stage: &str, detail: String, pmo_clean: bool) -> Self {
         ProbeVerdict {
-            outcome: PointOutcome::Violation { stage, detail },
+            outcome: PointOutcome::Violation {
+                stage: stage.to_string(),
+                detail,
+            },
             pmo_clean,
             recovered: false,
         }
@@ -589,23 +601,213 @@ fn run_cell(
     cell
 }
 
-/// Runs the campaign, invoking `on_cell` after each finished cell (for
-/// progress output).
-pub fn run_with(spec: &CampaignSpec, mut on_cell: impl FnMut(&CellReport)) -> CampaignReport {
-    let mut report = CampaignReport::default();
+/// One (workload × model × system) campaign cell as a sweep-engine work
+/// unit: the whole baseline → probe sweep → shrink pipeline for that
+/// combination runs inside one cell, so the engine parallelizes across
+/// the matrix while each cell's internal binary-search stays ordered.
+#[derive(Clone, Debug)]
+pub struct CampaignCell {
+    spec: CampaignSpec,
+    workload: WorkloadKind,
+    model: ModelKind,
+    system: SystemDesign,
+}
+
+/// The campaign matrix as sweep cells, in the deterministic
+/// workload-major order reports use.
+#[must_use]
+pub fn cells(spec: &CampaignSpec) -> Vec<CampaignCell> {
+    let mut out = Vec::new();
     for &workload in &spec.workloads {
         for &model in &spec.models {
             for &system in &spec.systems {
-                let cell = run_cell(spec, workload, model, system);
-                on_cell(&cell);
-                report.cells.push(cell);
+                out.push(CampaignCell {
+                    spec: spec.clone(),
+                    workload,
+                    model,
+                    system,
+                });
             }
         }
     }
-    report
+    out
 }
 
-/// Runs the campaign silently.
+impl SweepCell for CampaignCell {
+    type Out = CellReport;
+
+    fn name(&self) -> String {
+        format!(
+            "campaign {} {:?}/{} x{}",
+            self.workload, self.model, self.system, self.spec.points_per_cell
+        )
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_str("campaign");
+        fp.write_u64(self.spec.points_per_cell as u64);
+        fp.write_u64(spec_fingerprint(&self.spec.run_spec(
+            self.workload,
+            self.model,
+            self.system,
+        )));
+        fp.finish()
+    }
+
+    fn run(&self) -> CellReport {
+        run_cell(&self.spec, self.workload, self.model, self.system)
+    }
+
+    fn to_cache(&self, out: &CellReport) -> Option<String> {
+        Some(
+            Json::Obj(vec![
+                ("schema".into(), Json::U64(CACHE_SCHEMA)),
+                ("kind".into(), Json::Str("campaign-cell".into())),
+                (
+                    "counts".into(),
+                    Json::Obj(vec![
+                        ("wpq_accepts".into(), Json::U64(out.counts.wpq_accepts)),
+                        ("pb_drains".into(), Json::U64(out.counts.pb_drains)),
+                        ("dfence_waits".into(), Json::U64(out.counts.dfence_waits)),
+                    ]),
+                ),
+                ("baseline_cycles".into(), Json::U64(out.baseline_cycles)),
+                (
+                    "baseline_error".into(),
+                    match &out.baseline_error {
+                        Some(e) => Json::Str(e.clone()),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "points".into(),
+                    Json::Arr(
+                        out.points
+                            .iter()
+                            .map(|p| {
+                                Json::Obj(vec![
+                                    ("family".into(), Json::Str(p.family.label().into())),
+                                    ("k".into(), Json::U64(p.k)),
+                                    ("outcome".into(), outcome_to_json(&p.outcome)),
+                                    ("pmo_clean".into(), Json::Bool(p.pmo_clean)),
+                                    ("recovered".into(), Json::Bool(p.recovered)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "shrunk".into(),
+                    Json::Arr(
+                        out.shrunk
+                            .iter()
+                            .map(|s| {
+                                Json::Obj(vec![
+                                    ("family".into(), Json::Str(s.family.label().into())),
+                                    ("min_k".into(), Json::U64(s.min_k)),
+                                    ("outcome".into(), outcome_to_json(&s.outcome)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+            .render(),
+        )
+    }
+
+    fn parse_cached(&self, cached: &str) -> Option<CellReport> {
+        let v = Json::parse(cached).ok()?;
+        if v.get("schema")?.as_u64()? != CACHE_SCHEMA || v.get("kind")?.as_str()? != "campaign-cell"
+        {
+            return None;
+        }
+        let counts = v.get("counts")?;
+        let mut points = Vec::new();
+        for p in v.get("points")?.as_arr()? {
+            points.push(PointRecord {
+                family: TriggerFamily::from_label(p.get("family")?.as_str()?)?,
+                k: p.get("k")?.as_u64()?,
+                outcome: outcome_from_json(p.get("outcome")?)?,
+                pmo_clean: p.get("pmo_clean")?.as_bool()?,
+                recovered: p.get("recovered")?.as_bool()?,
+            });
+        }
+        let mut shrunk = Vec::new();
+        for s in v.get("shrunk")?.as_arr()? {
+            shrunk.push(ShrunkFailure {
+                family: TriggerFamily::from_label(s.get("family")?.as_str()?)?,
+                min_k: s.get("min_k")?.as_u64()?,
+                outcome: outcome_from_json(s.get("outcome")?)?,
+            });
+        }
+        Some(CellReport {
+            workload: self.workload,
+            model: self.model,
+            system: self.system,
+            counts: FaultEventCounts {
+                wpq_accepts: counts.get("wpq_accepts")?.as_u64()?,
+                pb_drains: counts.get("pb_drains")?.as_u64()?,
+                dfence_waits: counts.get("dfence_waits")?.as_u64()?,
+            },
+            baseline_cycles: v.get("baseline_cycles")?.as_u64()?,
+            points,
+            shrunk,
+            baseline_error: match v.get("baseline_error")? {
+                Json::Null => None,
+                e => Some(e.as_str()?.to_string()),
+            },
+        })
+    }
+}
+
+fn outcome_to_json(o: &PointOutcome) -> Json {
+    match o {
+        PointOutcome::Pass => Json::Obj(vec![("kind".into(), Json::Str("pass".into()))]),
+        PointOutcome::CompletedBeforeCrash => {
+            Json::Obj(vec![("kind".into(), Json::Str("completed".into()))])
+        }
+        PointOutcome::Violation { stage, detail } => Json::Obj(vec![
+            ("kind".into(), Json::Str("violation".into())),
+            ("stage".into(), Json::Str(stage.clone())),
+            ("detail".into(), Json::Str(detail.clone())),
+        ]),
+    }
+}
+
+fn outcome_from_json(v: &Json) -> Option<PointOutcome> {
+    match v.get("kind")?.as_str()? {
+        "pass" => Some(PointOutcome::Pass),
+        "completed" => Some(PointOutcome::CompletedBeforeCrash),
+        "violation" => Some(PointOutcome::Violation {
+            stage: v.get("stage")?.as_str()?.to_string(),
+            detail: v.get("detail")?.as_str()?.to_string(),
+        }),
+        _ => None,
+    }
+}
+
+/// Runs the campaign on the sweep engine, invoking `on_cell` after each
+/// finished cell **in matrix order** regardless of which worker finished
+/// first.
+pub fn run_with_opts(
+    spec: &CampaignSpec,
+    opts: &SweepOpts,
+    mut on_cell: impl FnMut(&CellReport) + Send,
+) -> CampaignReport {
+    let cells = cells(spec);
+    let (results, _) = sweep_with(opts, &cells, |_, cell| on_cell(cell));
+    CampaignReport { cells: results }
+}
+
+/// Runs the campaign serially (no cache, no worker threads), invoking
+/// `on_cell` after each finished cell.
+pub fn run_with(spec: &CampaignSpec, on_cell: impl FnMut(&CellReport) + Send) -> CampaignReport {
+    run_with_opts(spec, &SweepOpts::serial(), on_cell)
+}
+
+/// Runs the campaign silently and serially.
 #[must_use]
 pub fn run(spec: &CampaignSpec) -> CampaignReport {
     run_with(spec, |_| {})
@@ -701,6 +903,76 @@ mod tests {
             caught,
             "no dropped WPQ entry was detected by any campaign stage"
         );
+    }
+
+    #[test]
+    fn campaign_cell_cache_round_trips() {
+        let spec = tiny_spec();
+        let cell = cells(&spec).into_iter().next().unwrap();
+        let report = CellReport {
+            workload: WorkloadKind::Gpkvs,
+            model: ModelKind::Sbrp,
+            system: SystemDesign::PmNear,
+            counts: FaultEventCounts {
+                wpq_accepts: 17,
+                pb_drains: 5,
+                dfence_waits: 2,
+            },
+            baseline_cycles: 12345,
+            points: vec![
+                PointRecord {
+                    family: TriggerFamily::WpqAccept,
+                    k: 3,
+                    outcome: PointOutcome::Pass,
+                    pmo_clean: true,
+                    recovered: true,
+                },
+                PointRecord {
+                    family: TriggerFamily::DFenceWait,
+                    k: 2,
+                    outcome: PointOutcome::Violation {
+                        stage: "formal".into(),
+                        detail: "durability \"order\" inverted\nat persist".into(),
+                    },
+                    pmo_clean: false,
+                    recovered: false,
+                },
+                PointRecord {
+                    family: TriggerFamily::PbDrain,
+                    k: 5,
+                    outcome: PointOutcome::CompletedBeforeCrash,
+                    pmo_clean: true,
+                    recovered: true,
+                },
+            ],
+            shrunk: vec![ShrunkFailure {
+                family: TriggerFamily::DFenceWait,
+                min_k: 1,
+                outcome: PointOutcome::Violation {
+                    stage: "formal".into(),
+                    detail: "minimal".into(),
+                },
+            }],
+            baseline_error: None,
+        };
+        let cached = cell.to_cache(&report).expect("serializes");
+        let back = cell.parse_cached(&cached).expect("deserializes");
+        assert_eq!(format!("{report:?}"), format!("{back:?}"));
+
+        // A failed baseline round-trips too.
+        let failed = CellReport {
+            baseline_error: Some("baseline ended Crashed".into()),
+            points: Vec::new(),
+            shrunk: Vec::new(),
+            ..report
+        };
+        let cached = cell.to_cache(&failed).expect("serializes");
+        let back = cell.parse_cached(&cached).expect("deserializes");
+        assert_eq!(format!("{failed:?}"), format!("{back:?}"));
+
+        // Wrong schema or kind falls back to a live run.
+        assert!(cell.parse_cached("{\"schema\":999}").is_none());
+        assert!(cell.parse_cached("not json").is_none());
     }
 
     #[test]

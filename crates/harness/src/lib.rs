@@ -6,10 +6,12 @@
 //! render figure tables. The per-figure binaries in `sbrp-bench` are
 //! thin wrappers over this crate.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod campaign;
+pub mod json;
 pub mod report;
+pub mod sweep;
 
 use sbrp_core::ModelKind;
 use sbrp_gpu_sim::config::{GpuConfig, SystemDesign};
@@ -173,6 +175,20 @@ pub struct RunOutput {
 }
 
 /// Runs one cell to completion.
+///
+/// ```
+/// use sbrp_harness::{run_workload, RunSpec};
+/// use sbrp_workloads::WorkloadKind;
+///
+/// let out = run_workload(&RunSpec {
+///     workload: WorkloadKind::Gpkvs,
+///     scale: 64,
+///     small_gpu: true,
+///     ..RunSpec::default()
+/// })
+/// .unwrap();
+/// assert!(out.verified && out.cycles > 0);
+/// ```
 ///
 /// # Errors
 /// [`HarnessError::Sim`] if the simulation deadlocks, times out at

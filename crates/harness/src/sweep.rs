@@ -1,0 +1,588 @@
+//! The parallel sweep engine: every paper experiment is a matrix of
+//! independent, deterministic simulations, and this module is the one
+//! place that executes such matrices.
+//!
+//! A sweep is a flat list of **cells** (the [`SweepCell`] trait:
+//! `RunSpec` runs, crash/recovery measurements, campaign cells, custom
+//! micro cells). The engine
+//!
+//! * executes cells on a worker pool sized by [`SweepOpts::jobs`]
+//!   (default: available hardware parallelism; `1` runs inline on the
+//!   calling thread exactly like the historical serial loops);
+//! * aggregates outputs **in cell order** regardless of completion
+//!   order, so parallel and serial sweeps produce byte-identical
+//!   tables and JSON — each cell is a self-contained `Gpu` simulation
+//!   with no shared mutable state, making the per-cell result
+//!   trivially independent of scheduling;
+//! * memoizes finished cells in an on-disk cache keyed by a stable
+//!   fingerprint of everything that determines the result (see
+//!   [`SweepCell::fingerprint`]), so re-runs skip unchanged cells;
+//! * reports progress (`[done/total] cell (ms)`) and collects per-cell
+//!   wall-clock into a [`SweepSummary`] for reproduction-budget
+//!   bookkeeping.
+//!
+//! ```no_run
+//! use sbrp_harness::sweep::{run_specs, SweepOpts};
+//! use sbrp_harness::RunSpec;
+//!
+//! // Two cells, default parallelism, default cache directory.
+//! let specs = vec![RunSpec::default(), RunSpec { seed: 7, ..RunSpec::default() }];
+//! let (results, summary) = run_specs(&SweepOpts::default(), &specs);
+//! assert_eq!(results.len(), 2);
+//! eprintln!("{}", summary.summary_line());
+//! ```
+
+use crate::{
+    run_recovery, run_workload, HarnessError, RecoveryOutput, RunOutput, RunSpec, CYCLE_LIMIT,
+};
+use sbrp_core::fingerprint::Fingerprint;
+use sbrp_gpu_sim::stats::SimStats;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Bumped whenever the cache serialization or the simulator's observable
+/// behaviour changes incompatibly; part of every fingerprint, so stale
+/// caches miss instead of serving wrong results.
+pub const CACHE_SCHEMA: u64 = 1;
+
+/// How a sweep executes.
+#[derive(Clone, Debug)]
+pub struct SweepOpts {
+    /// Worker threads; `0` means available hardware parallelism, `1`
+    /// runs cells inline on the calling thread (the historical serial
+    /// behaviour).
+    pub jobs: usize,
+    /// Result-cache directory; `None` disables memoization.
+    pub cache_dir: Option<PathBuf>,
+    /// Print `[done/total] cell (ms)` progress lines to stderr.
+    pub progress: bool,
+}
+
+impl Default for SweepOpts {
+    /// Default parallelism, caching under [`SweepOpts::default_cache_dir`],
+    /// progress on.
+    fn default() -> Self {
+        SweepOpts {
+            jobs: 0,
+            cache_dir: Some(Self::default_cache_dir()),
+            progress: true,
+        }
+    }
+}
+
+impl SweepOpts {
+    /// Serial, cache-less, silent — bit-for-bit the pre-engine
+    /// behaviour; what library callers and tests that measure the
+    /// simulator itself should use.
+    #[must_use]
+    pub fn serial() -> Self {
+        SweepOpts {
+            jobs: 1,
+            cache_dir: None,
+            progress: false,
+        }
+    }
+
+    /// The conventional cache location, `outputs/.cache` under the
+    /// current directory.
+    #[must_use]
+    pub fn default_cache_dir() -> PathBuf {
+        PathBuf::from("outputs").join(".cache")
+    }
+
+    /// The worker count this configuration resolves to.
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.jobs
+        }
+    }
+}
+
+/// One unit of sweep work: independent, deterministic, and (optionally)
+/// cacheable.
+///
+/// Implementations must uphold the engine's two contracts:
+///
+/// 1. **Determinism** — `run` depends only on the cell's own fields, so
+///    executing on any thread, in any order, yields the same output.
+/// 2. **Fingerprint completeness** — every input that can change the
+///    output is folded into `fingerprint` (the engine adds nothing but
+///    the cache file name). An under-hashed cell silently serves stale
+///    results; when in doubt, hash more.
+pub trait SweepCell: Sync {
+    /// The cell's result. `Send` because workers hand it back across
+    /// threads.
+    type Out: Send;
+
+    /// Human-readable cell name for progress lines and summaries.
+    fn name(&self) -> String;
+
+    /// Stable digest of everything determining the output (config,
+    /// kernel, inputs, schema version).
+    fn fingerprint(&self) -> u64;
+
+    /// Executes the cell.
+    fn run(&self) -> Self::Out;
+
+    /// Serializes an output for the cache; `None` skips caching (the
+    /// default, and the right choice for errors, which should re-run).
+    fn to_cache(&self, _out: &Self::Out) -> Option<String> {
+        None
+    }
+
+    /// Deserializes a cached output; `None` on any mismatch falls back
+    /// to running the cell.
+    fn parse_cached(&self, _cached: &str) -> Option<Self::Out> {
+        None
+    }
+}
+
+/// Wall-clock record of one executed cell.
+#[derive(Clone, Debug)]
+pub struct CellTiming {
+    /// The cell's display name.
+    pub name: String,
+    /// Execution (or cache-load) time in milliseconds.
+    pub millis: u64,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+}
+
+/// What a sweep did: totals and per-cell timings, in cell order.
+#[derive(Clone, Debug)]
+pub struct SweepSummary {
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Total wall-clock of the whole sweep in milliseconds.
+    pub wall_millis: u64,
+    /// Per-cell timings, in cell order.
+    pub timings: Vec<CellTiming>,
+}
+
+impl SweepSummary {
+    /// Number of cells executed or loaded.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.timings.len()
+    }
+
+    /// Number of cells served from the cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.timings.iter().filter(|t| t.cached).count()
+    }
+
+    /// One-line human summary: cells, cache hits, wall-clock, jobs, and
+    /// the slowest cell — the line CI prints for trend-watching.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        let slowest = self
+            .timings
+            .iter()
+            .filter(|t| !t.cached)
+            .max_by_key(|t| t.millis);
+        let slowest = match slowest {
+            Some(t) => format!("; slowest {} {} ms", t.name, t.millis),
+            None => String::new(),
+        };
+        format!(
+            "sweep: {} cells ({} cached) in {} ms on {} jobs{slowest}",
+            self.cells(),
+            self.cache_hits(),
+            self.wall_millis,
+            self.jobs
+        )
+    }
+}
+
+/// Executes `cells`, returning outputs in cell order plus the timing
+/// summary. See the module docs for the execution model.
+pub fn sweep<C: SweepCell>(opts: &SweepOpts, cells: &[C]) -> (Vec<C::Out>, SweepSummary) {
+    sweep_with(opts, cells, |_, _| {})
+}
+
+/// Like [`sweep`], but invokes `on_done(index, &output)` for every cell
+/// **in cell order** as the completed prefix grows — the hook campaign
+/// drivers use for streaming per-cell status lines. The hook never runs
+/// concurrently with itself and observes cells exactly once each.
+pub fn sweep_with<C: SweepCell>(
+    opts: &SweepOpts,
+    cells: &[C],
+    on_done: impl FnMut(usize, &C::Out) + Send,
+) -> (Vec<C::Out>, SweepSummary) {
+    let t0 = Instant::now();
+    let jobs = opts.effective_jobs().min(cells.len()).max(1);
+    let cache = opts.cache_dir.as_deref().inspect(|dir| {
+        // Creation failure degrades to cache misses, not sweep failure.
+        let _ = std::fs::create_dir_all(dir);
+    });
+
+    let mut slots: Vec<Option<(C::Out, CellTiming)>> = Vec::new();
+    slots.resize_with(cells.len(), || None);
+
+    if jobs <= 1 {
+        let mut on_done = on_done;
+        for (i, (cell, slot)) in cells.iter().zip(&mut slots).enumerate() {
+            let done = run_one(cache, cell);
+            on_done(i, &done.0);
+            if opts.progress {
+                progress_line(i + 1, cells.len(), &done.1);
+            }
+            *slot = Some(done);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let flush = Mutex::new(FlushState {
+            slots: &mut slots,
+            flushed: 0,
+            on_done,
+        });
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let done = run_one(cache, &cells[i]);
+                    let mut guard = flush.lock().unwrap();
+                    let FlushState {
+                        slots,
+                        flushed,
+                        on_done,
+                    } = &mut *guard;
+                    slots[i] = Some(done);
+                    // Flush the completed prefix in cell order so the
+                    // on_done hook and progress lines are deterministic
+                    // in content and order (only their timing varies).
+                    while let Some((out, timing)) = slots.get(*flushed).and_then(Option::as_ref) {
+                        on_done(*flushed, out);
+                        *flushed += 1;
+                        if opts.progress {
+                            progress_line(*flushed, cells.len(), timing);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    let mut outs = Vec::with_capacity(cells.len());
+    let mut timings = Vec::with_capacity(cells.len());
+    for slot in slots {
+        let (out, timing) = slot.expect("every cell ran");
+        outs.push(out);
+        timings.push(timing);
+    }
+    let summary = SweepSummary {
+        jobs,
+        wall_millis: t0.elapsed().as_millis() as u64,
+        timings,
+    };
+    (outs, summary)
+}
+
+struct FlushState<'a, Out, F> {
+    slots: &'a mut Vec<Option<(Out, CellTiming)>>,
+    flushed: usize,
+    on_done: F,
+}
+
+fn progress_line(done: usize, total: usize, t: &CellTiming) {
+    let cached = if t.cached { " (cached)" } else { "" };
+    eprintln!("[{done}/{total}] {} {} ms{cached}", t.name, t.millis);
+}
+
+fn run_one<C: SweepCell>(cache: Option<&Path>, cell: &C) -> (C::Out, CellTiming) {
+    let t0 = Instant::now();
+    let key = Fingerprint::hex(cell.fingerprint());
+    let path = cache.map(|dir| dir.join(format!("{key}.json")));
+    if let Some(path) = &path {
+        if let Ok(cached) = std::fs::read_to_string(path) {
+            if let Some(out) = cell.parse_cached(&cached) {
+                return (
+                    out,
+                    CellTiming {
+                        name: cell.name(),
+                        millis: t0.elapsed().as_millis() as u64,
+                        cached: true,
+                    },
+                );
+            }
+        }
+    }
+    let out = cell.run();
+    if let (Some(path), Some(serialized)) = (&path, cell.to_cache(&out)) {
+        // A failed write only costs the memoization; never the sweep.
+        let _ = std::fs::write(path, serialized);
+    }
+    (
+        out,
+        CellTiming {
+            name: cell.name(),
+            millis: t0.elapsed().as_millis() as u64,
+            cached: false,
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// RunSpec cells (the figure/table sweeps)
+// ---------------------------------------------------------------------
+
+/// Folds everything a [`RunSpec`] simulation depends on into `fp`: the
+/// schema version, the full resolved `GpuConfig`, the spec's workload
+/// inputs, and the built kernels (main and recovery) with their launch
+/// geometry. The kernel disassembly makes workload-builder changes
+/// invalidate caches automatically.
+fn fingerprint_spec(fp: &mut Fingerprint, spec: &RunSpec) {
+    fp.write_u64(CACHE_SCHEMA);
+    fp.write_str(&format!("{:?}", spec.config()));
+    fp.write_str(&format!("{:?}", spec.workload));
+    fp.write_u64(spec.scale);
+    fp.write_u64(spec.seed);
+    fp.write_u64(u64::from(spec.demote_scopes));
+    let w = spec.workload.instantiate(spec.scale, spec.seed);
+    let opts = sbrp_workloads::BuildOpts {
+        model: spec.model,
+        demote_scopes: spec.demote_scopes,
+    };
+    for l in std::iter::once(w.kernel(opts)).chain(w.recovery(opts)) {
+        fp.write_str(l.kernel.name());
+        fp.write_str(&l.kernel.disassemble());
+        for &p in l.kernel.params().iter() {
+            fp.write_u64(p);
+        }
+        fp.write_u64(u64::from(l.launch.blocks));
+        fp.write_u64(u64::from(l.launch.threads_per_block));
+    }
+}
+
+/// The cache fingerprint of a crash-free [`RunSpec`] cell, exposed for
+/// cache-management tooling and tests.
+#[must_use]
+pub fn spec_fingerprint(spec: &RunSpec) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.write_str("run");
+    fingerprint_spec(&mut fp, spec);
+    fp.finish()
+}
+
+impl SweepCell for RunSpec {
+    type Out = Result<RunOutput, HarnessError>;
+
+    fn name(&self) -> String {
+        self.cell_name()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        spec_fingerprint(self)
+    }
+
+    fn run(&self) -> Self::Out {
+        run_workload(self)
+    }
+
+    fn to_cache(&self, out: &Self::Out) -> Option<String> {
+        let out = out.as_ref().ok()?;
+        Some(format!(
+            "{{\"schema\":{CACHE_SCHEMA},\"kind\":\"run\",\"run_cycles\":{},\"verified\":{},\"stats\":{}}}",
+            out.cycles,
+            out.verified,
+            out.stats.to_json()
+        ))
+    }
+
+    fn parse_cached(&self, cached: &str) -> Option<Self::Out> {
+        let v = crate::json::Json::parse(cached).ok()?;
+        if v.get("schema")?.as_u64()? != CACHE_SCHEMA || v.get("kind")?.as_str()? != "run" {
+            return None;
+        }
+        let stats = SimStats::from_json(&v.get("stats")?.render()).ok()?;
+        Some(Ok(RunOutput {
+            cycles: v.get("run_cycles")?.as_u64()?,
+            stats,
+            verified: v.get("verified")?.as_bool()?,
+        }))
+    }
+}
+
+/// A crash-at-`fraction` + recovery measurement cell (Fig. 11).
+#[derive(Clone, Debug)]
+pub struct RecoveryCell {
+    /// The cell to crash and recover.
+    pub spec: RunSpec,
+    /// Crash point as a fraction of the crash-free runtime.
+    pub fraction: f64,
+}
+
+impl SweepCell for RecoveryCell {
+    type Out = Result<RecoveryOutput, HarnessError>;
+
+    fn name(&self) -> String {
+        format!("{} recovery@{}", self.spec.cell_name(), self.fraction)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_str("recovery");
+        fp.write_f64(self.fraction);
+        fp.write_u64(CYCLE_LIMIT);
+        fingerprint_spec(&mut fp, &self.spec);
+        fp.finish()
+    }
+
+    fn run(&self) -> Self::Out {
+        run_recovery(&self.spec, self.fraction)
+    }
+
+    fn to_cache(&self, out: &Self::Out) -> Option<String> {
+        let out = out.as_ref().ok()?;
+        Some(format!(
+            "{{\"schema\":{CACHE_SCHEMA},\"kind\":\"recovery\",\"crash_cycle\":{},\
+             \"recovery_cycles\":{},\"crash_free_cycles\":{},\"verified\":{}}}",
+            out.crash_cycle, out.recovery_cycles, out.crash_free_cycles, out.verified
+        ))
+    }
+
+    fn parse_cached(&self, cached: &str) -> Option<Self::Out> {
+        let v = crate::json::Json::parse(cached).ok()?;
+        if v.get("schema")?.as_u64()? != CACHE_SCHEMA || v.get("kind")?.as_str()? != "recovery" {
+            return None;
+        }
+        Some(Ok(RecoveryOutput {
+            crash_cycle: v.get("crash_cycle")?.as_u64()?,
+            recovery_cycles: v.get("recovery_cycles")?.as_u64()?,
+            crash_free_cycles: v.get("crash_free_cycles")?.as_u64()?,
+            verified: v.get("verified")?.as_bool()?,
+        }))
+    }
+}
+
+/// Sweeps crash-free [`RunSpec`] cells; the common case for figure
+/// binaries.
+pub fn run_specs(
+    opts: &SweepOpts,
+    specs: &[RunSpec],
+) -> (Vec<Result<RunOutput, HarnessError>>, SweepSummary) {
+    sweep(opts, specs)
+}
+
+/// Like [`run_specs`] but unwraps: any failing cell panics with its
+/// name, matching the figure binaries' historical `expect` behaviour.
+///
+/// # Panics
+/// On the first cell whose simulation failed.
+#[must_use]
+pub fn run_specs_expect(opts: &SweepOpts, specs: &[RunSpec]) -> (Vec<RunOutput>, SweepSummary) {
+    let (results, summary) = run_specs(opts, specs);
+    let outs = results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("sweep cell failed: {e}")))
+        .collect();
+    (outs, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SquareCell(u64);
+
+    impl SweepCell for SquareCell {
+        type Out = u64;
+        fn name(&self) -> String {
+            format!("sq{}", self.0)
+        }
+        fn fingerprint(&self) -> u64 {
+            self.0
+        }
+        fn run(&self) -> u64 {
+            self.0 * self.0
+        }
+    }
+
+    fn opts(jobs: usize) -> SweepOpts {
+        SweepOpts {
+            jobs,
+            cache_dir: None,
+            progress: false,
+        }
+    }
+
+    #[test]
+    fn outputs_follow_cell_order_at_any_parallelism() {
+        let cells: Vec<SquareCell> = (0..50).map(SquareCell).collect();
+        let expected: Vec<u64> = (0..50u64).map(|i| i * i).collect();
+        for jobs in [1, 2, 4, 16] {
+            let (outs, summary) = sweep(&opts(jobs), &cells);
+            assert_eq!(outs, expected, "jobs={jobs}");
+            assert_eq!(summary.cells(), 50);
+            assert_eq!(summary.cache_hits(), 0);
+            assert_eq!(summary.jobs, jobs.min(50));
+        }
+    }
+
+    #[test]
+    fn on_done_hook_sees_cells_in_order_exactly_once() {
+        let cells: Vec<SquareCell> = (0..40).map(SquareCell).collect();
+        for jobs in [1, 8] {
+            let mut seen = Vec::new();
+            sweep_with(&opts(jobs), &cells, |i, out| seen.push((i, *out)));
+            let expected: Vec<(usize, u64)> =
+                (0..40).map(|i| (i, (i as u64) * (i as u64))).collect();
+            assert_eq!(seen, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let (outs, summary) = sweep::<SquareCell>(&opts(4), &[]);
+        assert!(outs.is_empty());
+        assert_eq!(summary.cells(), 0);
+        assert!(summary.summary_line().contains("0 cells"));
+    }
+
+    #[test]
+    fn spec_fingerprint_distinguishes_inputs() {
+        let a = RunSpec::default();
+        assert_eq!(spec_fingerprint(&a), spec_fingerprint(&a.clone()));
+        for mutated in [
+            RunSpec {
+                seed: 43,
+                ..a.clone()
+            },
+            RunSpec {
+                scale: a.scale + 1,
+                ..a.clone()
+            },
+            RunSpec {
+                small_gpu: true,
+                ..a.clone()
+            },
+            RunSpec {
+                model: sbrp_core::ModelKind::Epoch,
+                ..a.clone()
+            },
+            RunSpec {
+                nvm_bw_scale: 2.0,
+                ..a.clone()
+            },
+            RunSpec {
+                demote_scopes: true,
+                ..a.clone()
+            },
+        ] {
+            assert_ne!(
+                spec_fingerprint(&a),
+                spec_fingerprint(&mutated),
+                "{mutated:?} must change the fingerprint"
+            );
+        }
+    }
+}

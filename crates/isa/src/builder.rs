@@ -5,7 +5,7 @@ use crate::kernel::Kernel;
 use crate::reg::{Reg, NUM_REGS};
 use crate::stmt::Stmt;
 use sbrp_core::scope::Scope;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Builds a [`Kernel`] as a tree of structured statements.
 ///
@@ -286,7 +286,7 @@ impl KernelBuilder {
     pub fn if_then(&mut self, cond: Reg, f: impl FnOnce(&mut Self)) {
         self.stack.push(Vec::new());
         f(self);
-        let then_b: Rc<[Stmt]> = self.stack.pop().expect("then block").into();
+        let then_b: Arc<[Stmt]> = self.stack.pop().expect("then block").into();
         self.emit(Stmt::If {
             cond,
             then_b,
@@ -303,10 +303,10 @@ impl KernelBuilder {
     ) {
         self.stack.push(Vec::new());
         f(self);
-        let then_b: Rc<[Stmt]> = self.stack.pop().expect("then block").into();
+        let then_b: Arc<[Stmt]> = self.stack.pop().expect("then block").into();
         self.stack.push(Vec::new());
         g(self);
-        let else_b: Rc<[Stmt]> = self.stack.pop().expect("else block").into();
+        let else_b: Arc<[Stmt]> = self.stack.pop().expect("else block").into();
         self.emit(Stmt::If {
             cond,
             then_b,
@@ -323,10 +323,10 @@ impl KernelBuilder {
     ) {
         self.stack.push(Vec::new());
         let cond = cond_f(self);
-        let cond_b: Rc<[Stmt]> = self.stack.pop().expect("cond block").into();
+        let cond_b: Arc<[Stmt]> = self.stack.pop().expect("cond block").into();
         self.stack.push(Vec::new());
         body(self);
-        let body_b: Rc<[Stmt]> = self.stack.pop().expect("body block").into();
+        let body_b: Arc<[Stmt]> = self.stack.pop().expect("body block").into();
         self.emit(Stmt::While {
             cond_b,
             cond,

@@ -15,7 +15,7 @@ use crate::kernel::{Kernel, LaunchConfig};
 use crate::reg::{Reg, NUM_REGS};
 use crate::stmt::Stmt;
 use sbrp_core::scope::{Scope, WARP_SIZE};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// What kind of plain memory access a warp issued.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,14 +99,14 @@ pub enum StepResult {
 #[derive(Debug)]
 enum Frame {
     Block {
-        stmts: Rc<[Stmt]>,
+        stmts: Arc<[Stmt]>,
         idx: usize,
         mask: u32,
     },
     Loop {
-        cond_b: Rc<[Stmt]>,
+        cond_b: Arc<[Stmt]>,
         cond: Reg,
-        body: Rc<[Stmt]>,
+        body: Arc<[Stmt]>,
         mask: u32,
         in_body: bool,
     },
@@ -179,7 +179,7 @@ enum Pending {
 /// assert!(w.is_done());
 /// ```
 pub struct WarpInterp {
-    params: Rc<Vec<u64>>,
+    params: Arc<Vec<u64>>,
     regs: Box<[[u64; WARP_SIZE]]>,
     frames: Vec<Frame>,
     pending: Option<Pending>,
@@ -209,10 +209,10 @@ impl WarpInterp {
         assert!(warp_in_block < launch.warps_per_block());
         assert!(block_id < launch.blocks);
         WarpInterp {
-            params: Rc::clone(kernel.params()),
+            params: Arc::clone(kernel.params()),
             regs: vec![[0u64; WARP_SIZE]; NUM_REGS].into_boxed_slice(),
             frames: vec![Frame::Block {
-                stmts: Rc::clone(kernel.program()),
+                stmts: Arc::clone(kernel.program()),
                 idx: 0,
                 mask: u32::MAX,
             }],
@@ -307,7 +307,7 @@ impl WarpInterp {
                         // Body finished: re-evaluate the condition.
                         *in_body = false;
                         let frame = Frame::Block {
-                            stmts: Rc::clone(cond_b),
+                            stmts: Arc::clone(cond_b),
                             idx: 0,
                             mask: *mask,
                         };
@@ -323,7 +323,7 @@ impl WarpInterp {
                         self.frames.pop();
                         continue;
                     }
-                    let body_rc = Rc::clone(body);
+                    let body_rc = Arc::clone(body);
                     *mask = live;
                     *in_body = true;
                     self.frames.push(Frame::Block {
@@ -351,7 +351,7 @@ impl WarpInterp {
                             else_b,
                         } => {
                             let cond = *cond;
-                            let (then_b, else_b) = (Rc::clone(then_b), Rc::clone(else_b));
+                            let (then_b, else_b) = (Arc::clone(then_b), Arc::clone(else_b));
                             *idx += 1;
                             let taken: u32 = Self::lanes_of(mask)
                                 .filter(|&l| self.regs[cond.index()][l] != 0)
@@ -376,11 +376,11 @@ impl WarpInterp {
                             return StepResult::Alu;
                         }
                         Stmt::While { cond_b, cond, body } => {
-                            let (cond_b, body) = (Rc::clone(cond_b), Rc::clone(body));
+                            let (cond_b, body) = (Arc::clone(cond_b), Arc::clone(body));
                             let cond = *cond;
                             *idx += 1;
                             self.frames.push(Frame::Loop {
-                                cond_b: Rc::clone(&cond_b),
+                                cond_b: Arc::clone(&cond_b),
                                 cond,
                                 body,
                                 mask,

@@ -2,7 +2,7 @@
 
 use crate::stmt::{block_len, Stmt};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Grid geometry for a kernel launch (1-D, as in all the paper's
 /// workloads).
@@ -66,18 +66,18 @@ impl fmt::Display for LaunchConfig {
 #[derive(Clone)]
 pub struct Kernel {
     name: String,
-    program: Rc<[Stmt]>,
-    params: Rc<Vec<u64>>,
+    program: Arc<[Stmt]>,
+    params: Arc<Vec<u64>>,
 }
 
 impl Kernel {
     /// Creates a kernel from a finished statement block.
     #[must_use]
-    pub fn new(name: impl Into<String>, program: Rc<[Stmt]>, params: Vec<u64>) -> Self {
+    pub fn new(name: impl Into<String>, program: Arc<[Stmt]>, params: Vec<u64>) -> Self {
         Kernel {
             name: name.into(),
             program,
-            params: Rc::new(params),
+            params: Arc::new(params),
         }
     }
 
@@ -89,13 +89,13 @@ impl Kernel {
 
     /// The statement tree.
     #[must_use]
-    pub fn program(&self) -> &Rc<[Stmt]> {
+    pub fn program(&self) -> &Arc<[Stmt]> {
         &self.program
     }
 
     /// The parameter block.
     #[must_use]
-    pub fn params(&self) -> &Rc<Vec<u64>> {
+    pub fn params(&self) -> &Arc<Vec<u64>> {
         &self.params
     }
 
@@ -104,8 +104,8 @@ impl Kernel {
     pub fn with_params(&self, params: Vec<u64>) -> Kernel {
         Kernel {
             name: self.name.clone(),
-            program: Rc::clone(&self.program),
-            params: Rc::new(params),
+            program: Arc::clone(&self.program),
+            params: Arc::new(params),
         }
     }
 
@@ -204,7 +204,7 @@ mod tests {
 
     #[test]
     fn kernel_with_params_shares_program() {
-        let prog: Rc<[Stmt]> = vec![Stmt::I(Instr::OFence)].into();
+        let prog: Arc<[Stmt]> = vec![Stmt::I(Instr::OFence)].into();
         let k = Kernel::new("k", prog, vec![1, 2]);
         let k2 = k.with_params(vec![3]);
         assert_eq!(k2.params().as_slice(), &[3]);

@@ -2,7 +2,7 @@
 
 use crate::instr::Instr;
 use crate::reg::Reg;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A structured statement. Kernels are trees of statements, not CFGs;
 /// SIMT divergence is modelled by narrowing the active lane mask inside
@@ -16,19 +16,19 @@ pub enum Stmt {
         /// Condition register (per-lane).
         cond: Reg,
         /// Taken branch.
-        then_b: Rc<[Stmt]>,
+        then_b: Arc<[Stmt]>,
         /// Not-taken branch (may be empty).
-        else_b: Rc<[Stmt]>,
+        else_b: Arc<[Stmt]>,
     },
     /// `while ({ cond_b; cond != 0 }) { body }`, tested per lane: lanes
     /// leave the loop individually and reconverge after it.
     While {
         /// Statements computing the condition, run before every test.
-        cond_b: Rc<[Stmt]>,
+        cond_b: Arc<[Stmt]>,
         /// Condition register (per-lane).
         cond: Reg,
         /// Loop body.
-        body: Rc<[Stmt]>,
+        body: Arc<[Stmt]>,
     },
 }
 
@@ -57,7 +57,7 @@ mod tests {
 
     #[test]
     fn static_len_counts_nested_blocks() {
-        let inner: Rc<[Stmt]> = vec![Stmt::I(Instr::OFence), Stmt::I(Instr::DFence)].into();
+        let inner: Arc<[Stmt]> = vec![Stmt::I(Instr::OFence), Stmt::I(Instr::DFence)].into();
         let s = Stmt::If {
             cond: Reg::new(0),
             then_b: inner,

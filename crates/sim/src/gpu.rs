@@ -403,7 +403,12 @@ impl Gpu {
     /// # Errors
     /// [`SimError::Timeout`] if `max_cycles` elapse first, or
     /// [`SimError::Deadlock`] if nothing can ever make progress (a
-    /// kernel bug, e.g. a spin on a flag nobody releases).
+    /// kernel bug, e.g. a spin on a flag nobody releases). With the
+    /// online sanitizer armed, a PMO violation already present in the
+    /// partial trace is reported as [`SimError::PmoViolation`] in
+    /// preference to the timeout: a run that both wedged *and* broke
+    /// the persistency model names the model violation, which is the
+    /// bug worth debugging.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, SimError> {
         let limit = self.cycle.saturating_add(max_cycles);
         while self.cycle < limit {
@@ -415,6 +420,9 @@ impl Gpu {
                 });
             }
         }
+        // The events captured before the timeout still deserve PMO
+        // verification — a violation must not hide behind the timeout.
+        self.sanitize_check()?;
         Err(SimError::Timeout { limit })
     }
 
@@ -510,6 +518,9 @@ impl Gpu {
                 }
             }
         }
+        // As in [`Gpu::run`]: verify the partial trace on the timeout
+        // path so a PMO violation outranks the timeout report.
+        self.sanitize_check()?;
         Err(SimError::Timeout { limit })
     }
 
@@ -597,3 +608,19 @@ impl Gpu {
         })
     }
 }
+
+// The sweep engine (`sbrp-harness::sweep`) runs independent `Gpu`
+// instances on worker threads. These compile-time assertions pin the
+// whole simulation state — the GPU, fault plans, and the persist
+// tracer — as `Send`; the ISA shares statement trees via `Arc` for
+// exactly this reason. Removing `Send` from any of these breaks the
+// build here rather than in a distant generic bound.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Gpu>();
+    assert_send::<RunReport>();
+    assert_send::<SimError>();
+    assert_send::<crate::fault::FaultPlan>();
+    assert_send::<crate::trace::TraceCapture>();
+    assert_send::<crate::stats::SimStats>();
+};

@@ -56,7 +56,7 @@
 //! assert_eq!(gpu.read_nvm_u64(PM_BASE + 8 * 8), 8);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod crash;

@@ -237,6 +237,87 @@ impl SimStats {
         out.push_str("  }\n}\n");
         out
     }
+
+    /// Parses the [`SimStats::to_json`] rendering back into stats — the
+    /// read side of the sweep engine's on-disk result cache.
+    ///
+    /// Every quoted field name in the rendering is unique across the
+    /// whole document (including the nested `pb`/`stall` objects), so
+    /// extraction is by exact `"name"` token rather than by structural
+    /// parsing. Construction is exhaustive: adding a stats field breaks
+    /// this function until the cache format round-trips it, which is
+    /// exactly the invalidation pressure the cache wants.
+    ///
+    /// ```
+    /// use sbrp_gpu_sim::stats::SimStats;
+    /// let stats = SimStats::default();
+    /// assert_eq!(SimStats::from_json(&stats.to_json()).unwrap(), stats);
+    /// ```
+    ///
+    /// # Errors
+    /// Names the first field missing from (or malformed in) `json`.
+    pub fn from_json(json: &str) -> Result<SimStats, String> {
+        let field = |name: &str| -> Result<u64, String> {
+            let token = format!("\"{name}\"");
+            let at = json
+                .find(&token)
+                .ok_or_else(|| format!("missing stats field {name}"))?;
+            let rest = json[at + token.len()..]
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or_else(|| format!("field {name} is not a key"))?
+                .trim_start();
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits
+                .parse()
+                .map_err(|_| format!("field {name} is not a number"))
+        };
+        Ok(SimStats {
+            cycles: field("cycles")?,
+            instructions: field("instructions")?,
+            l1_reads: field("l1_reads")?,
+            l1_hits: field("l1_hits")?,
+            l1_misses: field("l1_misses")?,
+            l1_pm_reads: field("l1_pm_reads")?,
+            l1_pm_read_misses: field("l1_pm_read_misses")?,
+            persist_flushes: field("persist_flushes")?,
+            volatile_writebacks: field("volatile_writebacks")?,
+            epoch_rounds: field("epoch_rounds")?,
+            pcie_bytes: field("pcie_bytes")?,
+            nvm_write_bytes: field("nvm_write_bytes")?,
+            nvm_read_bytes: field("nvm_read_bytes")?,
+            wpq_accepts: field("wpq_accepts")?,
+            dfence_waits: field("dfence_waits")?,
+            pcie_retries: field("pcie_retries")?,
+            pcie_backoff_cycles: field("pcie_backoff_cycles")?,
+            pb: PbStats {
+                stores: field("stores")?,
+                coalesced: field("coalesced")?,
+                entries: field("entries")?,
+                stall_ordered: field("stall_ordered")?,
+                stall_full: field("stall_full")?,
+                stall_evict: field("stall_evict")?,
+                flushes: field("flushes")?,
+                acks: field("acks")?,
+                ofences: field("ofences")?,
+                dfences: field("dfences")?,
+                pacqs: field("pacqs")?,
+                prels: field("prels")?,
+            },
+            stall: StallBreakdown {
+                ofence: field("ofence")?,
+                dfence: field("dfence")?,
+                pacqrel: field("pacqrel")?,
+                l1_miss: field("l1_miss")?,
+                pb_full: field("pb_full")?,
+                pb_ordered: field("pb_ordered")?,
+                wpq_backpressure: field("wpq_backpressure")?,
+                pcie_backoff: field("pcie_backoff")?,
+                scoreboard: field("scoreboard")?,
+                total: field("total")?,
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +373,61 @@ mod tests {
         assert_eq!(s.l1_misses, 2);
         assert_eq!(s.l1_hits + s.l1_misses, s.l1_reads);
         assert_eq!(s.dfence_waits, 6);
+    }
+
+    #[test]
+    fn json_round_trips_every_field() {
+        // Distinct values per field so a swapped pair cannot cancel out.
+        let mut s = SimStats::default();
+        for (i, f) in [
+            &mut s.cycles,
+            &mut s.instructions,
+            &mut s.l1_reads,
+            &mut s.l1_hits,
+            &mut s.l1_misses,
+            &mut s.l1_pm_reads,
+            &mut s.l1_pm_read_misses,
+            &mut s.persist_flushes,
+            &mut s.volatile_writebacks,
+            &mut s.epoch_rounds,
+            &mut s.pcie_bytes,
+            &mut s.nvm_write_bytes,
+            &mut s.nvm_read_bytes,
+            &mut s.wpq_accepts,
+            &mut s.dfence_waits,
+            &mut s.pcie_retries,
+            &mut s.pcie_backoff_cycles,
+            &mut s.pb.stores,
+            &mut s.pb.coalesced,
+            &mut s.pb.entries,
+            &mut s.pb.stall_ordered,
+            &mut s.pb.stall_full,
+            &mut s.pb.stall_evict,
+            &mut s.pb.flushes,
+            &mut s.pb.acks,
+            &mut s.pb.ofences,
+            &mut s.pb.dfences,
+            &mut s.pb.pacqs,
+            &mut s.pb.prels,
+            &mut s.stall.ofence,
+            &mut s.stall.dfence,
+            &mut s.stall.pacqrel,
+            &mut s.stall.l1_miss,
+            &mut s.stall.pb_full,
+            &mut s.stall.pb_ordered,
+            &mut s.stall.wpq_backpressure,
+            &mut s.stall.pcie_backoff,
+            &mut s.stall.scoreboard,
+            &mut s.stall.total,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            *f = i as u64 + 1;
+        }
+        let back = SimStats::from_json(&s.to_json()).expect("parses");
+        assert_eq!(back, s);
+        assert!(SimStats::from_json("{}").is_err());
     }
 
     #[test]

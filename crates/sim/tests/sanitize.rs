@@ -196,3 +196,47 @@ fn sampling_can_miss_a_fault_but_never_invents_one() {
         Err(e) => panic!("unexpected error: {e}"),
     }
 }
+
+#[test]
+fn sanitizer_checks_partial_trace_on_timeout() {
+    // Regression: `Gpu::run`/`run_faulted` used to verify the trace only
+    // on the completion path, so a cycle budget that expired mid-run
+    // reported `Timeout` even when the events already captured proved a
+    // PMO violation. The violation must outrank the timeout.
+    let cfg = sanitize_cfg(ModelKind::Sbrp, SystemDesign::PmNear);
+    let kernel = wal_kernel(PM_BASE, PM_BASE + 64 * 1024);
+
+    // Learn the clean runtime so the budget reliably times out.
+    let mut clean = Gpu::new(&cfg);
+    clean.launch(&kernel, LaunchConfig::new(2, 64));
+    let total = clean.run(LIMIT).expect("clean run completes").cycles;
+
+    for use_run_faulted in [false, true] {
+        let mut gpu = Gpu::new(&cfg);
+        gpu.set_fault_plan(FaultPlan::default().with_nvm(NvmFault::DropWpqEntry(1)));
+        gpu.launch(&kernel, LaunchConfig::new(2, 64));
+        let budget = total * 3 / 4;
+        let got = if use_run_faulted {
+            gpu.run_faulted(budget)
+        } else {
+            gpu.run(budget)
+        };
+        match got {
+            Err(SimError::PmoViolation { violation, .. }) => {
+                assert!(violation.before < violation.after);
+            }
+            other => panic!(
+                "run_faulted={use_run_faulted}: expected the timeout path to \
+                 surface the PMO violation, got {other:?}"
+            ),
+        }
+    }
+
+    // A *clean* run that times out still reports the timeout.
+    let mut gpu = Gpu::new(&cfg);
+    gpu.launch(&kernel, LaunchConfig::new(2, 64));
+    match gpu.run(total / 2) {
+        Err(SimError::Timeout { .. }) => {}
+        other => panic!("expected Timeout for a clean partial run, got {other:?}"),
+    }
+}
