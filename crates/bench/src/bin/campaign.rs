@@ -17,14 +17,22 @@
 //! * `--csv`      — emit CSV instead of an aligned table;
 //! * `--jobs N`   — sweep worker threads (default: all hardware
 //!   threads; `--jobs 1` is the historical serial order);
-//! * `--no-cache` — ignore and don't write `outputs/.cache`.
+//! * `--no-cache` — ignore and don't write `outputs/.cache`;
+//! * `--cell-timeout SECS` — wall-clock budget per campaign cell;
+//! * `--retries N` / `--retry-seed N` — deterministic retry policy for
+//!   failed cells;
+//! * `--resume`   — reload completed cells from the resume journal and
+//!   run only the missing ones;
+//! * `--journal-dir DIR` — resume-journal root (default
+//!   `outputs/.cache/journal`).
 //!
 //! Without `--quick`, the full six-workload matrix runs at the default
 //! figure scales on the Table 1 machine — an overnight-class sweep.
 
 use sbrp_harness::campaign::{CampaignSpec, CellReport};
 use sbrp_harness::report::Table;
-use sbrp_harness::sweep::SweepOpts;
+use sbrp_harness::sweep::{FaultPolicy, SweepOpts};
+use std::time::Duration;
 
 struct Args {
     quick: bool,
@@ -35,6 +43,11 @@ struct Args {
     csv: bool,
     jobs: Option<usize>,
     no_cache: bool,
+    cell_timeout: Option<f64>,
+    retries: u32,
+    retry_seed: u64,
+    resume: bool,
+    journal_dir: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -47,12 +60,20 @@ fn parse_args() -> Args {
         csv: false,
         jobs: None,
         no_cache: false,
+        cell_timeout: None,
+        retries: 0,
+        retry_seed: 42,
+        resume: false,
+        journal_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut num = |name: &str| -> u64 {
+        let mut arg = |name: &str| -> String {
             args.next()
                 .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        let mut num = |name: &str| -> u64 {
+            arg(name)
                 .parse()
                 .unwrap_or_else(|_| panic!("{name} must be an integer"))
         };
@@ -69,10 +90,25 @@ fn parse_args() -> Args {
                 out.jobs = Some(n);
             }
             "--no-cache" => out.no_cache = true,
+            "--cell-timeout" => {
+                let secs: f64 = arg("--cell-timeout")
+                    .parse()
+                    .expect("--cell-timeout must be seconds");
+                assert!(
+                    secs.is_finite() && secs > 0.0,
+                    "--cell-timeout must be positive"
+                );
+                out.cell_timeout = Some(secs);
+            }
+            "--retries" => out.retries = num("--retries") as u32,
+            "--retry-seed" => out.retry_seed = num("--retry-seed"),
+            "--resume" => out.resume = true,
+            "--journal-dir" => out.journal_dir = Some(arg("--journal-dir")),
             "--help" | "-h" => {
                 println!(
                     "usage: campaign [--quick] [--points N] [--scale N] [--seed N] [--small] \
-                     [--csv] [--jobs N] [--no-cache]"
+                     [--csv] [--jobs N] [--no-cache] [--cell-timeout SECS] [--retries N] \
+                     [--retry-seed N] [--resume] [--journal-dir DIR]"
                 );
                 std::process::exit(0);
             }
@@ -111,6 +147,17 @@ fn main() {
         // The per-cell status lines below carry more detail than the
         // engine's generic progress output.
         progress: false,
+        fault: FaultPolicy {
+            cell_timeout: args.cell_timeout.map(Duration::from_secs_f64),
+            retries: args.retries,
+            retry_seed: args.retry_seed,
+        },
+        journal_root: match &args.journal_dir {
+            Some(dir) => Some(dir.into()),
+            None if args.no_cache => None,
+            None => Some(SweepOpts::default_journal_root()),
+        },
+        resume: args.resume,
     };
 
     let cells = spec.workloads.len() * spec.models.len() * spec.systems.len();
@@ -127,7 +174,9 @@ fn main() {
     let report = sbrp_harness::campaign::run_with_opts(&spec, &opts, |cell: &CellReport| {
         done += 1;
         let status = if let Some(e) = &cell.baseline_error {
-            format!("BASELINE FAILED: {e}")
+            // Covers both baseline failures and engine-contained ones
+            // (panic / deadline), which surface through the same field.
+            format!("FAILED: {e}")
         } else if cell.violations() == 0 {
             format!(
                 "{} points, all pass (pmo {}/{}, recovered {}/{})",

@@ -7,7 +7,7 @@ use sbrp_bench::Cli;
 use sbrp_core::ModelKind;
 use sbrp_gpu_sim::config::SystemDesign;
 use sbrp_harness::report::Table;
-use sbrp_harness::sweep::{sweep, RecoveryCell};
+use sbrp_harness::sweep::{run_recovery_cells_expect, RecoveryCell};
 use sbrp_harness::{geomean, RunSpec};
 use sbrp_workloads::WorkloadKind;
 
@@ -32,11 +32,9 @@ fn main() {
             })
         })
         .collect();
-    let (results, summary) = sweep(&cli.sweep_opts(), &cells);
-    let outs: Vec<_> = results
-        .into_iter()
-        .map(|r| r.unwrap_or_else(|e| panic!("recovery cell failed: {e}")))
-        .collect();
+    // On any failing cell this prints the aggregated failure table and
+    // exits nonzero instead of panicking on the first error.
+    let (outs, summary) = run_recovery_cells_expect(&cli.sweep_opts(), &cells);
 
     let mut table = Table::new(
         "Figure 11: recovery runtime normalized to epoch-near",

@@ -6,7 +6,7 @@ use sbrp_core::ModelKind;
 use sbrp_gpu_sim::config::{GpuConfig, SystemDesign};
 use sbrp_gpu_sim::Gpu;
 use sbrp_harness::report::Table;
-use sbrp_harness::sweep::{sweep, SweepCell};
+use sbrp_harness::sweep::{sweep, unwrap_outcomes, SweepCell};
 use sbrp_workloads::{BuildOpts, Micro};
 
 const SYSTEMS: [SystemDesign; 2] = [SystemDesign::PmNear, SystemDesign::PmFar];
@@ -14,6 +14,7 @@ const MODELS: [ModelKind; 2] = [ModelKind::Epoch, ModelKind::Sbrp];
 
 /// One microbenchmark kernel on one machine. Uncached: these cells run
 /// in milliseconds, cheaper than their cache round-trip would be.
+#[derive(Clone)]
 struct MicroCell {
     micro: Micro,
     model: ModelKind,
@@ -86,7 +87,11 @@ fn main() {
         .collect();
     let mut opts = cli.sweep_opts();
     opts.cache_dir = None;
-    let (cycles, summary) = sweep(&opts, &cells);
+    opts.journal_root = None;
+    let (outcomes, summary) = sweep(&opts, &cells);
+    // A panicking or hung kernel (the `expect` in gpu()) surfaces here
+    // as an aggregated failure table and a nonzero exit.
+    let cycles = unwrap_outcomes(&cells, outcomes).unwrap_or_else(|f| f.exit_with_report());
 
     let stride = Micro::ALL.len() * MODELS.len();
     for (si, system) in SYSTEMS.into_iter().enumerate() {

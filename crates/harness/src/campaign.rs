@@ -28,7 +28,7 @@
 
 use crate::json::Json;
 use crate::report::Table;
-use crate::sweep::{spec_fingerprint, sweep_with, SweepCell, SweepOpts, CACHE_SCHEMA};
+use crate::sweep::{spec_fingerprint, sweep_with, CellOutcome, SweepCell, SweepOpts, CACHE_SCHEMA};
 use crate::{default_scale, RunSpec, CYCLE_LIMIT};
 use sbrp_core::fingerprint::Fingerprint;
 use sbrp_core::ModelKind;
@@ -788,6 +788,32 @@ fn outcome_from_json(v: &Json) -> Option<PointOutcome> {
     }
 }
 
+/// Resolves one sweep-engine outcome into a [`CellReport`]: completed
+/// cells pass through, while engine-level failures (a panicking or
+/// deadline-overrunning cell) synthesize a report whose
+/// `baseline_error` carries the failure — the same explicit-error-row
+/// path a cell that cannot run crash-free already takes, so reports
+/// stay complete and `ok()` goes false.
+fn resolve_outcome(cell: &CampaignCell, outcome: CellOutcome<CellReport>) -> CellReport {
+    match outcome {
+        CellOutcome::Ok(report) | CellOutcome::Err { out: report, .. } => report,
+        engine_failure => CellReport {
+            workload: cell.workload,
+            model: cell.model,
+            system: cell.system,
+            counts: FaultEventCounts::default(),
+            baseline_cycles: 0,
+            points: Vec::new(),
+            shrunk: Vec::new(),
+            baseline_error: Some(
+                engine_failure
+                    .error()
+                    .unwrap_or_else(|| "unknown engine failure".into()),
+            ),
+        },
+    }
+}
+
 /// Runs the campaign on the sweep engine, invoking `on_cell` after each
 /// finished cell **in matrix order** regardless of which worker finished
 /// first.
@@ -797,8 +823,16 @@ pub fn run_with_opts(
     mut on_cell: impl FnMut(&CellReport) + Send,
 ) -> CampaignReport {
     let cells = cells(spec);
-    let (results, _) = sweep_with(opts, &cells, |_, cell| on_cell(cell));
-    CampaignReport { cells: results }
+    let (outcomes, _) = sweep_with(opts, &cells, |i, outcome| match outcome {
+        CellOutcome::Ok(report) | CellOutcome::Err { out: report, .. } => on_cell(report),
+        other => on_cell(&resolve_outcome(&cells[i], other.clone())),
+    });
+    let reports = cells
+        .iter()
+        .zip(outcomes)
+        .map(|(cell, outcome)| resolve_outcome(cell, outcome))
+        .collect();
+    CampaignReport { cells: reports }
 }
 
 /// Runs the campaign serially (no cache, no worker threads), invoking

@@ -325,6 +325,35 @@ impl Parser<'_> {
     }
 }
 
+/// Writes `contents` to `path` atomically: first to a unique `.tmp`
+/// sibling on the same filesystem, then published with a `rename`. A
+/// crash (or `kill -9`) at any point leaves either the old file or the
+/// new one — never a torn record — which is what makes the result cache
+/// and the resume journal safe to trust after an interrupted sweep.
+///
+/// # Errors
+/// The underlying I/O error if the temp write or rename fails; the
+/// stray temp file is cleaned up on a failed rename.
+pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    // pid + counter make the temp name unique across processes and
+    // across threads of one process writing siblings concurrently.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("write_atomic: path has no file name"))?;
+    let tmp = path.with_file_name(format!(
+        "{}.{}.{}.tmp",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,5 +396,26 @@ mod tests {
     fn parses_the_simstats_rendering() {
         let stats = sbrp_gpu_sim::stats::SimStats::default();
         assert!(Json::parse(&stats.to_json()).is_ok());
+    }
+
+    #[test]
+    fn write_atomic_publishes_whole_files_and_leaves_no_temps() {
+        let dir = std::env::temp_dir().join(format!("sbrp-json-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("record.json");
+        write_atomic(&path, "{\"a\":1}").unwrap();
+        write_atomic(&path, "{\"a\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":2}");
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path() != path)
+            .collect();
+        assert!(
+            stray.is_empty(),
+            "temp siblings must not survive: {stray:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

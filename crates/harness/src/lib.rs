@@ -42,14 +42,54 @@ pub enum HarnessError {
         /// What went wrong.
         detail: String,
     },
+    /// The cell's code panicked; the sweep engine contained it
+    /// (`catch_unwind`) and turned it into this typed error.
+    Panicked {
+        /// `workload model/system` of the failing cell.
+        cell: String,
+        /// The panic message.
+        message: String,
+    },
+    /// The cell overran its configured wall-clock deadline
+    /// (`--cell-timeout`) and was abandoned by the sweep watchdog.
+    Deadline {
+        /// `workload model/system` of the failing cell.
+        cell: String,
+        /// The configured budget, in milliseconds.
+        limit_millis: u64,
+    },
+}
+
+impl HarnessError {
+    /// The `workload model/system` name of the failing cell.
+    #[must_use]
+    pub fn cell(&self) -> &str {
+        match self {
+            HarnessError::Sim { cell, .. }
+            | HarnessError::Outcome { cell, .. }
+            | HarnessError::Panicked { cell, .. }
+            | HarnessError::Deadline { cell, .. } => cell,
+        }
+    }
+
+    /// The failure description without the cell-name prefix — what an
+    /// error row or failure table should print next to the cell.
+    #[must_use]
+    pub fn detail(&self) -> String {
+        match self {
+            HarnessError::Sim { source, .. } => source.to_string(),
+            HarnessError::Outcome { detail, .. } => detail.clone(),
+            HarnessError::Panicked { message, .. } => format!("cell panicked: {message}"),
+            HarnessError::Deadline { limit_millis, .. } => {
+                format!("cell exceeded the {limit_millis} ms deadline")
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for HarnessError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            HarnessError::Sim { cell, source } => write!(f, "{cell}: {source}"),
-            HarnessError::Outcome { cell, detail } => write!(f, "{cell}: {detail}"),
-        }
+        write!(f, "{}: {}", self.cell(), self.detail())
     }
 }
 
@@ -57,7 +97,7 @@ impl std::error::Error for HarnessError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HarnessError::Sim { source, .. } => Some(source),
-            HarnessError::Outcome { .. } => None,
+            _ => None,
         }
     }
 }

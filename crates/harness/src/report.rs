@@ -17,6 +17,18 @@ pub fn stall_headers() -> Vec<&'static str> {
     h
 }
 
+/// Renders a sweep's failing cells as a table (cell name, failure) —
+/// the shared format strict sweeps print before exiting nonzero, so
+/// every failing cell is named, not just the first.
+#[must_use]
+pub fn failures_table(failures: &[(String, String)]) -> Table {
+    let mut table = Table::new("failed cells", &["cell", "failure"]);
+    for (cell, err) in failures {
+        table.row(vec![cell.clone(), err.clone()]);
+    }
+    table
+}
+
 /// The cells matching [`stall_headers`] for one run's stats.
 #[must_use]
 pub fn stall_cells(stats: &SimStats) -> Vec<String> {

@@ -21,6 +21,32 @@
 //!   wall-clock into a [`SweepSummary`] for reproduction-budget
 //!   bookkeeping.
 //!
+//! # Fault tolerance
+//!
+//! Multi-hour campaigns must degrade, not die, so every cell executes
+//! inside a fault boundary and resolves to a typed [`CellOutcome`]:
+//!
+//! * **Panic isolation** — `run` executes under `catch_unwind`; a
+//!   panicking cell becomes [`CellOutcome::Panicked`] (an explicit
+//!   error row downstream) instead of poisoning the flush mutex and
+//!   aborting the whole matrix.
+//! * **Cell deadlines** — with [`FaultPolicy::cell_timeout`] set, a
+//!   watchdog runs the cell on its own thread and abandons it at the
+//!   wall-clock limit, turning hangs into
+//!   [`CellOutcome::DeadlineExceeded`].
+//! * **Bounded retries** — [`FaultPolicy::retries`] re-runs
+//!   transiently-failed cells (panics, deadlines, and outputs the
+//!   cell's [`SweepCell::failure`] classifies as failures) with a
+//!   seeded backoff schedule ([`retry_backoff_millis`]) that is a pure
+//!   function of `(seed, fingerprint, attempt)` — jobs-1 and jobs-N
+//!   sweeps stay byte-identical.
+//! * **Crash-safe resume journal** — with [`SweepOpts::journal_root`]
+//!   set, every successful cell result is also recorded in a per-sweep
+//!   journal directory via atomic temp-file + rename, and
+//!   [`SweepOpts::resume`] re-executes only the cells missing from the
+//!   journal — a `kill -9` mid-sweep loses at most the in-flight
+//!   cells.
+//!
 //! ```no_run
 //! use sbrp_harness::sweep::{run_specs, SweepOpts};
 //! use sbrp_harness::RunSpec;
@@ -32,20 +58,55 @@
 //! eprintln!("{}", summary.summary_line());
 //! ```
 
+use crate::json::{write_atomic, Json};
 use crate::{
     run_recovery, run_workload, HarnessError, RecoveryOutput, RunOutput, RunSpec, CYCLE_LIMIT,
 };
 use sbrp_core::fingerprint::Fingerprint;
 use sbrp_gpu_sim::stats::SimStats;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{mpsc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Bumped whenever the cache serialization or the simulator's observable
 /// behaviour changes incompatibly; part of every fingerprint, so stale
 /// caches miss instead of serving wrong results.
 pub const CACHE_SCHEMA: u64 = 1;
+
+/// Per-cell fault handling: deadlines and retries. Part of
+/// [`SweepOpts`]; the defaults (no deadline, no retries) reproduce the
+/// historical fail-fast execution except that failures are *contained*
+/// rather than fatal.
+#[derive(Clone, Debug)]
+pub struct FaultPolicy {
+    /// Wall-clock budget per cell attempt; `None` means unbounded. When
+    /// set, each attempt runs on a watchdog-supervised thread that is
+    /// abandoned (left to finish in the background) once the budget is
+    /// spent, and the cell resolves to
+    /// [`CellOutcome::DeadlineExceeded`].
+    pub cell_timeout: Option<Duration>,
+    /// Maximum number of *re*-runs after a failed attempt (so a cell
+    /// executes at most `retries + 1` times). Applies to panics,
+    /// deadline overruns, and outputs classified as failures by
+    /// [`SweepCell::failure`].
+    pub retries: u32,
+    /// Seed of the deterministic retry backoff schedule; see
+    /// [`retry_backoff_millis`].
+    pub retry_seed: u64,
+}
+
+impl Default for FaultPolicy {
+    /// No deadline, no retries, the conventional seed.
+    fn default() -> Self {
+        FaultPolicy {
+            cell_timeout: None,
+            retries: 0,
+            retry_seed: 42,
+        }
+    }
+}
 
 /// How a sweep executes.
 #[derive(Clone, Debug)]
@@ -58,30 +119,46 @@ pub struct SweepOpts {
     pub cache_dir: Option<PathBuf>,
     /// Print `[done/total] cell (ms)` progress lines to stderr.
     pub progress: bool,
+    /// Per-cell deadline and retry policy.
+    pub fault: FaultPolicy,
+    /// Root directory for resume journals; each sweep writes its
+    /// records into a subdirectory keyed by the sweep's identity (the
+    /// ordered cell fingerprints). `None` disables journaling.
+    pub journal_root: Option<PathBuf>,
+    /// Load existing journal records for this sweep and re-execute only
+    /// the cells without one (`--resume`). Journal *writing* is
+    /// governed solely by [`SweepOpts::journal_root`].
+    pub resume: bool,
 }
 
 impl Default for SweepOpts {
     /// Default parallelism, caching under [`SweepOpts::default_cache_dir`],
-    /// progress on.
+    /// journaling under [`SweepOpts::default_journal_root`], progress on.
     fn default() -> Self {
         SweepOpts {
             jobs: 0,
             cache_dir: Some(Self::default_cache_dir()),
             progress: true,
+            fault: FaultPolicy::default(),
+            journal_root: Some(Self::default_journal_root()),
+            resume: false,
         }
     }
 }
 
 impl SweepOpts {
-    /// Serial, cache-less, silent — bit-for-bit the pre-engine
-    /// behaviour; what library callers and tests that measure the
-    /// simulator itself should use.
+    /// Serial, cache-less, journal-less, silent — bit-for-bit the
+    /// pre-engine behaviour; what library callers and tests that
+    /// measure the simulator itself should use.
     #[must_use]
     pub fn serial() -> Self {
         SweepOpts {
             jobs: 1,
             cache_dir: None,
             progress: false,
+            fault: FaultPolicy::default(),
+            journal_root: None,
+            resume: false,
         }
     }
 
@@ -90,6 +167,13 @@ impl SweepOpts {
     #[must_use]
     pub fn default_cache_dir() -> PathBuf {
         PathBuf::from("outputs").join(".cache")
+    }
+
+    /// The conventional resume-journal root,
+    /// `outputs/.cache/journal` under the current directory.
+    #[must_use]
+    pub fn default_journal_root() -> PathBuf {
+        Self::default_cache_dir().join("journal")
     }
 
     /// The worker count this configuration resolves to.
@@ -114,10 +198,15 @@ impl SweepOpts {
 ///    output is folded into `fingerprint` (the engine adds nothing but
 ///    the cache file name). An under-hashed cell silently serves stale
 ///    results; when in doubt, hash more.
-pub trait SweepCell: Sync {
-    /// The cell's result. `Send` because workers hand it back across
-    /// threads.
-    type Out: Send;
+///
+/// The `Clone + Send + 'static` supertraits exist for the deadline
+/// watchdog: a timed attempt runs a clone of the cell on a thread the
+/// engine may have to abandon, which the borrow checker (rightly)
+/// refuses for borrowed cells.
+pub trait SweepCell: Sync + Send + Clone + 'static {
+    /// The cell's result. `Send + 'static` because workers (and the
+    /// deadline watchdog's channel) hand it back across threads.
+    type Out: Send + 'static;
 
     /// Human-readable cell name for progress lines and summaries.
     fn name(&self) -> String;
@@ -128,6 +217,14 @@ pub trait SweepCell: Sync {
 
     /// Executes the cell.
     fn run(&self) -> Self::Out;
+
+    /// Classifies a completed output as a failure (returning its
+    /// message) or a success (`None`, the default). Failures are
+    /// retried under [`FaultPolicy::retries`] and resolve to
+    /// [`CellOutcome::Err`] once the budget is spent.
+    fn failure(&self, _out: &Self::Out) -> Option<String> {
+        None
+    }
 
     /// Serializes an output for the cache; `None` skips caching (the
     /// default, and the right choice for errors, which should re-run).
@@ -142,6 +239,160 @@ pub trait SweepCell: Sync {
     }
 }
 
+/// How one cell of a sweep resolved. `Ok` is the only variant produced
+/// by pre-fault-tolerance sweeps; the other three are the contained
+/// forms of what used to kill the whole process.
+#[derive(Clone, Debug)]
+pub enum CellOutcome<T> {
+    /// The cell completed and its output classified as a success.
+    Ok(T),
+    /// The cell completed every attempt, but the final output still
+    /// classified as a failure ([`SweepCell::failure`]). The typed
+    /// output is preserved alongside the failure message.
+    Err {
+        /// The final attempt's output.
+        out: T,
+        /// The failure message of the final attempt.
+        message: String,
+        /// Total attempts executed (1 + retries spent).
+        attempts: u32,
+    },
+    /// Every attempt panicked; the last panic payload is captured.
+    Panicked {
+        /// The final panic message.
+        message: String,
+        /// Total attempts executed.
+        attempts: u32,
+    },
+    /// Every attempt overran the per-cell wall-clock deadline.
+    DeadlineExceeded {
+        /// The configured budget, in milliseconds.
+        limit_millis: u64,
+        /// Total attempts executed.
+        attempts: u32,
+    },
+}
+
+impl<T> CellOutcome<T> {
+    /// Whether the cell succeeded.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok(_))
+    }
+
+    /// The typed output, if one exists (`Ok` and `Err` carry one;
+    /// panicked and timed-out cells have none).
+    #[must_use]
+    pub fn output(&self) -> Option<&T> {
+        match self {
+            CellOutcome::Ok(out) | CellOutcome::Err { out, .. } => Some(out),
+            _ => None,
+        }
+    }
+
+    /// The failure description, if the cell failed.
+    #[must_use]
+    pub fn error(&self) -> Option<String> {
+        match self {
+            CellOutcome::Ok(_) => None,
+            CellOutcome::Err {
+                message, attempts, ..
+            } => Some(format!("failed after {attempts} attempt(s): {message}")),
+            CellOutcome::Panicked { message, attempts } => {
+                Some(format!("panicked after {attempts} attempt(s): {message}"))
+            }
+            CellOutcome::DeadlineExceeded {
+                limit_millis,
+                attempts,
+            } => Some(format!(
+                "exceeded the {limit_millis} ms cell deadline ({attempts} attempt(s))"
+            )),
+        }
+    }
+}
+
+/// Every failing cell of a sweep, aggregated — what strict sweeps
+/// report *instead of* panicking on the first failure and discarding
+/// the rest.
+#[derive(Clone, Debug, Default)]
+pub struct SweepFailures {
+    /// `(cell name, failure description)`, in cell order.
+    pub failures: Vec<(String, String)>,
+}
+
+impl SweepFailures {
+    /// Prints every failing cell (as a table, to stderr) and exits the
+    /// process with a nonzero status — the shared abort path of the
+    /// experiment binaries.
+    pub fn exit_with_report(&self) -> ! {
+        eprint!(
+            "{}",
+            crate::report::failures_table(&self.failures).to_text()
+        );
+        eprintln!("sweep: {} cell(s) failed; aborting", self.failures.len());
+        std::process::exit(1);
+    }
+}
+
+impl std::fmt::Display for SweepFailures {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} sweep cell(s) failed:", self.failures.len())?;
+        for (cell, err) in &self.failures {
+            writeln!(f, "  {cell}: {err}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SweepFailures {}
+
+/// Splits a finished sweep into its outputs, or the aggregated list of
+/// **every** failing cell (never just the first).
+///
+/// # Errors
+/// [`SweepFailures`] naming each failed cell, in cell order.
+pub fn unwrap_outcomes<C: SweepCell>(
+    cells: &[C],
+    outcomes: Vec<CellOutcome<C::Out>>,
+) -> Result<Vec<C::Out>, SweepFailures> {
+    let mut outs = Vec::with_capacity(outcomes.len());
+    let mut failures = Vec::new();
+    for (cell, outcome) in cells.iter().zip(outcomes) {
+        match outcome {
+            CellOutcome::Ok(out) => outs.push(out),
+            other => failures.push((
+                cell.name(),
+                other.error().unwrap_or_else(|| "unknown failure".into()),
+            )),
+        }
+    }
+    if failures.is_empty() {
+        Ok(outs)
+    } else {
+        Err(SweepFailures { failures })
+    }
+}
+
+/// The deterministic retry backoff, in milliseconds: a pure function of
+/// the fault-policy seed, the cell fingerprint, and the (1-based) retry
+/// attempt. Exponential base (10 ms doubling per attempt, capped) plus
+/// a seeded jitter in `[0, base)`; the total never exceeds 4096 ms.
+/// Because the schedule depends on nothing runtime-varying, jobs-1 and
+/// jobs-N sweeps retry identically and stay byte-identical.
+#[must_use]
+pub fn retry_backoff_millis(seed: u64, fingerprint: u64, attempt: u32) -> u64 {
+    let base = 10u64 << attempt.saturating_sub(1).min(7);
+    let jitter = splitmix64(seed ^ fingerprint.rotate_left(17) ^ u64::from(attempt)) % base;
+    (base + jitter).min(4096)
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Wall-clock record of one executed cell.
 #[derive(Clone, Debug)]
 pub struct CellTiming {
@@ -151,6 +402,12 @@ pub struct CellTiming {
     pub millis: u64,
     /// Whether the result came from the cache.
     pub cached: bool,
+    /// Whether the result came from the resume journal.
+    pub resumed: bool,
+    /// Attempts executed (0 for cache/journal loads).
+    pub attempts: u32,
+    /// Whether the cell resolved to a non-`Ok` outcome.
+    pub failed: bool,
 }
 
 /// What a sweep did: totals and per-cell timings, in cell order.
@@ -177,21 +434,43 @@ impl SweepSummary {
         self.timings.iter().filter(|t| t.cached).count()
     }
 
+    /// Number of cells served from the resume journal.
+    #[must_use]
+    pub fn journal_hits(&self) -> usize {
+        self.timings.iter().filter(|t| t.resumed).count()
+    }
+
+    /// Number of cells that resolved to a non-`Ok` outcome.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.timings.iter().filter(|t| t.failed).count()
+    }
+
     /// One-line human summary: cells, cache hits, wall-clock, jobs, and
     /// the slowest cell — the line CI prints for trend-watching.
+    /// Resumed and failed counts appear only when nonzero, keeping the
+    /// happy-path line stable.
     #[must_use]
     pub fn summary_line(&self) -> String {
         let slowest = self
             .timings
             .iter()
-            .filter(|t| !t.cached)
+            .filter(|t| !t.cached && !t.resumed)
             .max_by_key(|t| t.millis);
         let slowest = match slowest {
             Some(t) => format!("; slowest {} {} ms", t.name, t.millis),
             None => String::new(),
         };
+        let resumed = match self.journal_hits() {
+            0 => String::new(),
+            n => format!(", {n} resumed"),
+        };
+        let failed = match self.failed() {
+            0 => String::new(),
+            n => format!("; {n} FAILED"),
+        };
         format!(
-            "sweep: {} cells ({} cached) in {} ms on {} jobs{slowest}",
+            "sweep: {} cells ({} cached{resumed}) in {} ms on {} jobs{failed}{slowest}",
             self.cells(),
             self.cache_hits(),
             self.wall_millis,
@@ -200,35 +479,48 @@ impl SweepSummary {
     }
 }
 
-/// Executes `cells`, returning outputs in cell order plus the timing
-/// summary. See the module docs for the execution model.
-pub fn sweep<C: SweepCell>(opts: &SweepOpts, cells: &[C]) -> (Vec<C::Out>, SweepSummary) {
+/// Executes `cells`, returning outcomes in cell order plus the timing
+/// summary. See the module docs for the execution and fault model.
+pub fn sweep<C: SweepCell>(
+    opts: &SweepOpts,
+    cells: &[C],
+) -> (Vec<CellOutcome<C::Out>>, SweepSummary) {
     sweep_with(opts, cells, |_, _| {})
 }
 
-/// Like [`sweep`], but invokes `on_done(index, &output)` for every cell
+/// Like [`sweep`], but invokes `on_done(index, &outcome)` for every cell
 /// **in cell order** as the completed prefix grows — the hook campaign
 /// drivers use for streaming per-cell status lines. The hook never runs
 /// concurrently with itself and observes cells exactly once each.
 pub fn sweep_with<C: SweepCell>(
     opts: &SweepOpts,
     cells: &[C],
-    on_done: impl FnMut(usize, &C::Out) + Send,
-) -> (Vec<C::Out>, SweepSummary) {
+    on_done: impl FnMut(usize, &CellOutcome<C::Out>) + Send,
+) -> (Vec<CellOutcome<C::Out>>, SweepSummary) {
     let t0 = Instant::now();
     let jobs = opts.effective_jobs().min(cells.len()).max(1);
     let cache = opts.cache_dir.as_deref().inspect(|dir| {
         // Creation failure degrades to cache misses, not sweep failure.
         let _ = std::fs::create_dir_all(dir);
     });
+    let journal = opts
+        .journal_root
+        .as_deref()
+        .map(|root| journal_dir(root, cells));
+    let ctx = CellContext {
+        cache,
+        journal: journal.as_deref(),
+        fault: &opts.fault,
+        resume: opts.resume,
+    };
 
-    let mut slots: Vec<Option<(C::Out, CellTiming)>> = Vec::new();
+    let mut slots: Vec<Option<(CellOutcome<C::Out>, CellTiming)>> = Vec::new();
     slots.resize_with(cells.len(), || None);
 
     if jobs <= 1 {
         let mut on_done = on_done;
         for (i, (cell, slot)) in cells.iter().zip(&mut slots).enumerate() {
-            let done = run_one(cache, cell);
+            let done = run_one(&ctx, i, cell);
             on_done(i, &done.0);
             if opts.progress {
                 progress_line(i + 1, cells.len(), &done.1);
@@ -249,8 +541,12 @@ pub fn sweep_with<C: SweepCell>(
                     if i >= cells.len() {
                         break;
                     }
-                    let done = run_one(cache, &cells[i]);
-                    let mut guard = flush.lock().unwrap();
+                    let done = run_one(&ctx, i, &cells[i]);
+                    // Cell panics are contained by run_one, but recover
+                    // from poisoning anyway (e.g. an on_done hook that
+                    // panicked on another worker) — one bad observer
+                    // must not wedge result aggregation.
+                    let mut guard = flush.lock().unwrap_or_else(PoisonError::into_inner);
                     let FlushState {
                         slots,
                         flushed,
@@ -288,47 +584,242 @@ pub fn sweep_with<C: SweepCell>(
 }
 
 struct FlushState<'a, Out, F> {
-    slots: &'a mut Vec<Option<(Out, CellTiming)>>,
+    slots: &'a mut Vec<Option<(CellOutcome<Out>, CellTiming)>>,
     flushed: usize,
     on_done: F,
 }
 
 fn progress_line(done: usize, total: usize, t: &CellTiming) {
-    let cached = if t.cached { " (cached)" } else { "" };
-    eprintln!("[{done}/{total}] {} {} ms{cached}", t.name, t.millis);
+    let source = if t.cached {
+        " (cached)"
+    } else if t.resumed {
+        " (resumed)"
+    } else {
+        ""
+    };
+    let attempts = if t.attempts > 1 {
+        format!(" ({} attempts)", t.attempts)
+    } else {
+        String::new()
+    };
+    let failed = if t.failed { " FAILED" } else { "" };
+    eprintln!(
+        "[{done}/{total}] {} {} ms{source}{attempts}{failed}",
+        t.name, t.millis
+    );
 }
 
-fn run_one<C: SweepCell>(cache: Option<&Path>, cell: &C) -> (C::Out, CellTiming) {
-    let t0 = Instant::now();
-    let key = Fingerprint::hex(cell.fingerprint());
-    let path = cache.map(|dir| dir.join(format!("{key}.json")));
-    if let Some(path) = &path {
-        if let Ok(cached) = std::fs::read_to_string(path) {
-            if let Some(out) = cell.parse_cached(&cached) {
-                return (
-                    out,
-                    CellTiming {
-                        name: cell.name(),
-                        millis: t0.elapsed().as_millis() as u64,
-                        cached: true,
-                    },
-                );
+/// Everything `run_one` needs besides the cell itself.
+struct CellContext<'a> {
+    cache: Option<&'a Path>,
+    journal: Option<&'a Path>,
+    fault: &'a FaultPolicy,
+    resume: bool,
+}
+
+/// One attempt's raw result, before retry accounting.
+enum Attempt<T> {
+    Finished(T),
+    Panicked(String),
+    TimedOut(u64),
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one attempt of `cell` inside the fault boundary. Without a
+/// deadline the attempt runs inline under `catch_unwind`; with one, it
+/// runs a clone of the cell on a watchdog thread that is abandoned
+/// (detached, left to wind down on its own) if the budget expires — a
+/// hung simulation costs its thread, never the sweep.
+fn attempt_run<C: SweepCell>(cell: &C, timeout: Option<Duration>) -> Attempt<C::Out> {
+    match timeout {
+        None => match catch_unwind(AssertUnwindSafe(|| cell.run())) {
+            Ok(out) => Attempt::Finished(out),
+            Err(payload) => Attempt::Panicked(panic_message(payload.as_ref())),
+        },
+        Some(limit) => {
+            let (tx, rx) = mpsc::channel();
+            let runner = cell.clone();
+            let spawned = std::thread::Builder::new()
+                .name("sbrp-sweep-cell".into())
+                .spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| runner.run()));
+                    // The receiver may have given up; a dead channel
+                    // just discards the late result.
+                    let _ = tx.send(result.map_err(|p| panic_message(p.as_ref())));
+                });
+            match spawned {
+                Err(e) => Attempt::Panicked(format!("could not spawn cell thread: {e}")),
+                Ok(_) => match rx.recv_timeout(limit) {
+                    Ok(Ok(out)) => Attempt::Finished(out),
+                    Ok(Err(message)) => Attempt::Panicked(message),
+                    Err(_) => Attempt::TimedOut(limit.as_millis() as u64),
+                },
             }
         }
     }
-    let out = cell.run();
-    if let (Some(path), Some(serialized)) = (&path, cell.to_cache(&out)) {
-        // A failed write only costs the memoization; never the sweep.
-        let _ = std::fs::write(path, serialized);
-    }
-    (
-        out,
-        CellTiming {
+}
+
+fn run_one<C: SweepCell>(
+    ctx: &CellContext<'_>,
+    index: usize,
+    cell: &C,
+) -> (CellOutcome<C::Out>, CellTiming) {
+    let t0 = Instant::now();
+    let fp = cell.fingerprint();
+    let key = Fingerprint::hex(fp);
+    let timing =
+        |cached: bool, resumed: bool, attempts: u32, failed: bool, t0: Instant| CellTiming {
             name: cell.name(),
             millis: t0.elapsed().as_millis() as u64,
-            cached: false,
-        },
-    )
+            cached,
+            resumed,
+            attempts,
+            failed,
+        };
+
+    // 1. Resume journal: a record proves this very sweep already
+    //    completed the cell successfully.
+    if ctx.resume {
+        if let Some(dir) = ctx.journal {
+            if let Some(out) = read_journal_record(dir, index, &key)
+                .and_then(|payload| cell.parse_cached(&payload))
+            {
+                return (CellOutcome::Ok(out), timing(false, true, 0, false, t0));
+            }
+        }
+    }
+
+    // 2. Fingerprint cache.
+    let cache_path = ctx.cache.map(|dir| dir.join(format!("{key}.json")));
+    if let Some(path) = &cache_path {
+        if let Ok(cached) = std::fs::read_to_string(path) {
+            if let Some(out) = cell.parse_cached(&cached) {
+                // Mirror cache hits into the journal so a later
+                // `--resume` does not depend on the cache surviving.
+                if let Some(dir) = ctx.journal {
+                    write_journal_record(dir, index, &cell.name(), &key, &cached);
+                }
+                return (CellOutcome::Ok(out), timing(true, false, 0, false, t0));
+            }
+        }
+    }
+
+    // 3. Execute, with bounded retries behind the fault boundary.
+    let mut attempts = 0u32;
+    let outcome = loop {
+        attempts += 1;
+        let exhausted = attempts > ctx.fault.retries;
+        match attempt_run(cell, ctx.fault.cell_timeout) {
+            Attempt::Finished(out) => match cell.failure(&out) {
+                None => break CellOutcome::Ok(out),
+                Some(message) if exhausted => {
+                    break CellOutcome::Err {
+                        out,
+                        message,
+                        attempts,
+                    }
+                }
+                Some(_) => {}
+            },
+            Attempt::Panicked(message) => {
+                if exhausted {
+                    break CellOutcome::Panicked { message, attempts };
+                }
+            }
+            Attempt::TimedOut(limit_millis) => {
+                if exhausted {
+                    break CellOutcome::DeadlineExceeded {
+                        limit_millis,
+                        attempts,
+                    };
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(retry_backoff_millis(
+            ctx.fault.retry_seed,
+            fp,
+            attempts,
+        )));
+    };
+
+    // 4. Persist successful outcomes: cache (by fingerprint) and
+    //    journal (by sweep + index), both via atomic temp-file+rename
+    //    so a kill mid-write can never publish a torn record.
+    if let CellOutcome::Ok(out) = &outcome {
+        if let Some(serialized) = cell.to_cache(out) {
+            if let Some(path) = &cache_path {
+                // A failed write only costs the memoization; never the
+                // sweep.
+                let _ = write_atomic(path, &serialized);
+            }
+            if let Some(dir) = ctx.journal {
+                write_journal_record(dir, index, &cell.name(), &key, &serialized);
+            }
+        }
+    }
+    let failed = !outcome.is_ok();
+    (outcome, timing(false, false, attempts, failed, t0))
+}
+
+// ---------------------------------------------------------------------
+// Resume journal
+// ---------------------------------------------------------------------
+
+/// The per-sweep journal directory under `root`: keyed by the ordered
+/// cell fingerprints (plus the schema version), so a resumed invocation
+/// of the *same* sweep finds its records and any other sweep — even one
+/// sharing cells — does not.
+fn journal_dir<C: SweepCell>(root: &Path, cells: &[C]) -> PathBuf {
+    let mut fp = Fingerprint::new();
+    fp.write_str("journal");
+    fp.write_u64(CACHE_SCHEMA);
+    for cell in cells {
+        fp.write_u64(cell.fingerprint());
+    }
+    root.join(format!("sweep-{}", Fingerprint::hex(fp.finish())))
+}
+
+fn journal_record_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("cell-{index}.json"))
+}
+
+/// Reads and validates one journal record, returning the serialized
+/// cell payload. Any mismatch (schema, kind, fingerprint) or torn file
+/// yields `None` — the cell simply re-runs.
+fn read_journal_record(dir: &Path, index: usize, key: &str) -> Option<String> {
+    let raw = std::fs::read_to_string(journal_record_path(dir, index)).ok()?;
+    let v = Json::parse(&raw).ok()?;
+    if v.get("schema")?.as_u64()? != CACHE_SCHEMA
+        || v.get("kind")?.as_str()? != "journal"
+        || v.get("fp")?.as_str()? != key
+    {
+        return None;
+    }
+    Some(v.get("payload")?.as_str()?.to_string())
+}
+
+/// Writes one journal record atomically; failures cost only
+/// resumability, never the sweep.
+fn write_journal_record(dir: &Path, index: usize, name: &str, key: &str, payload: &str) {
+    let record = Json::Obj(vec![
+        ("schema".into(), Json::U64(CACHE_SCHEMA)),
+        ("kind".into(), Json::Str("journal".into())),
+        ("fp".into(), Json::Str(key.into())),
+        ("name".into(), Json::Str(name.into())),
+        ("payload".into(), Json::Str(payload.into())),
+    ])
+    .render();
+    let _ = std::fs::create_dir_all(dir);
+    let _ = write_atomic(&journal_record_path(dir, index), &record);
 }
 
 // ---------------------------------------------------------------------
@@ -388,6 +879,10 @@ impl SweepCell for RunSpec {
         run_workload(self)
     }
 
+    fn failure(&self, out: &Self::Out) -> Option<String> {
+        out.as_ref().err().map(ToString::to_string)
+    }
+
     fn to_cache(&self, out: &Self::Out) -> Option<String> {
         let out = out.as_ref().ok()?;
         Some(format!(
@@ -441,6 +936,10 @@ impl SweepCell for RecoveryCell {
         run_recovery(&self.spec, self.fraction)
     }
 
+    fn failure(&self, out: &Self::Out) -> Option<String> {
+        out.as_ref().err().map(ToString::to_string)
+    }
+
     fn to_cache(&self, out: &Self::Out) -> Option<String> {
         let out = out.as_ref().ok()?;
         Some(format!(
@@ -464,34 +963,114 @@ impl SweepCell for RecoveryCell {
     }
 }
 
+/// Flattens one engine outcome of a `Result`-valued cell into the
+/// harness's single error channel: engine-level failures (panics,
+/// deadlines) become typed [`HarnessError`]s alongside the simulation's
+/// own.
+fn flatten_outcome<T>(
+    cell: String,
+    outcome: CellOutcome<Result<T, HarnessError>>,
+) -> Result<T, HarnessError> {
+    match outcome {
+        CellOutcome::Ok(r) | CellOutcome::Err { out: r, .. } => r,
+        CellOutcome::Panicked { message, .. } => Err(HarnessError::Panicked { cell, message }),
+        CellOutcome::DeadlineExceeded { limit_millis, .. } => {
+            Err(HarnessError::Deadline { cell, limit_millis })
+        }
+    }
+}
+
 /// Sweeps crash-free [`RunSpec`] cells; the common case for figure
-/// binaries.
+/// binaries. Engine-level failures surface as [`HarnessError::Panicked`]
+/// / [`HarnessError::Deadline`] rows.
 pub fn run_specs(
     opts: &SweepOpts,
     specs: &[RunSpec],
 ) -> (Vec<Result<RunOutput, HarnessError>>, SweepSummary) {
-    sweep(opts, specs)
+    let (outcomes, summary) = sweep(opts, specs);
+    let results = specs
+        .iter()
+        .zip(outcomes)
+        .map(|(spec, outcome)| flatten_outcome(spec.cell_name(), outcome))
+        .collect();
+    (results, summary)
 }
 
-/// Like [`run_specs`] but unwraps: any failing cell panics with its
-/// name, matching the figure binaries' historical `expect` behaviour.
+/// Sweeps [`RecoveryCell`]s (Fig. 11), flattening engine-level failures
+/// into [`HarnessError`] like [`run_specs`] does.
+pub fn run_recovery_cells(
+    opts: &SweepOpts,
+    cells: &[RecoveryCell],
+) -> (Vec<Result<RecoveryOutput, HarnessError>>, SweepSummary) {
+    let (outcomes, summary) = sweep(opts, cells);
+    let results = cells
+        .iter()
+        .zip(outcomes)
+        .map(|(cell, outcome)| flatten_outcome(cell.name(), outcome))
+        .collect();
+    (results, summary)
+}
+
+fn collect_strict<T>(
+    names: impl Iterator<Item = String>,
+    results: Vec<Result<T, HarnessError>>,
+) -> Result<Vec<T>, SweepFailures> {
+    let mut outs = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
+    for (name, result) in names.zip(results) {
+        match result {
+            Ok(out) => outs.push(out),
+            Err(e) => failures.push((name, e.detail())),
+        }
+    }
+    if failures.is_empty() {
+        Ok(outs)
+    } else {
+        Err(SweepFailures { failures })
+    }
+}
+
+/// Like [`run_specs`] but strict: either every cell succeeded, or the
+/// aggregated error names **every** failing cell (the historical
+/// behaviour panicked on the first failure and discarded the rest).
 ///
-/// # Panics
-/// On the first cell whose simulation failed.
+/// # Errors
+/// [`SweepFailures`] listing each failed cell with its error.
+pub fn run_specs_strict(
+    opts: &SweepOpts,
+    specs: &[RunSpec],
+) -> Result<(Vec<RunOutput>, SweepSummary), SweepFailures> {
+    let (results, summary) = run_specs(opts, specs);
+    collect_strict(specs.iter().map(RunSpec::cell_name), results).map(|outs| (outs, summary))
+}
+
+/// Like [`run_specs_expect`] but for [`RecoveryCell`] sweeps: on any
+/// failing cell, prints the aggregated failure table naming **every**
+/// failing cell and exits nonzero.
+#[must_use]
+pub fn run_recovery_cells_expect(
+    opts: &SweepOpts,
+    cells: &[RecoveryCell],
+) -> (Vec<RecoveryOutput>, SweepSummary) {
+    let (results, summary) = run_recovery_cells(opts, cells);
+    collect_strict(cells.iter().map(SweepCell::name), results)
+        .map(|outs| (outs, summary))
+        .unwrap_or_else(|failures| failures.exit_with_report())
+}
+
+/// Like [`run_specs`] but for binaries: on any failing cell, prints the
+/// aggregated failure table naming **every** failing cell and exits the
+/// process with a nonzero status.
 #[must_use]
 pub fn run_specs_expect(opts: &SweepOpts, specs: &[RunSpec]) -> (Vec<RunOutput>, SweepSummary) {
-    let (results, summary) = run_specs(opts, specs);
-    let outs = results
-        .into_iter()
-        .map(|r| r.unwrap_or_else(|e| panic!("sweep cell failed: {e}")))
-        .collect();
-    (outs, summary)
+    run_specs_strict(opts, specs).unwrap_or_else(|failures| failures.exit_with_report())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    #[derive(Clone)]
     struct SquareCell(u64);
 
     impl SweepCell for SquareCell {
@@ -510,9 +1089,18 @@ mod tests {
     fn opts(jobs: usize) -> SweepOpts {
         SweepOpts {
             jobs,
-            cache_dir: None,
-            progress: false,
+            ..SweepOpts::serial()
         }
+    }
+
+    fn values(outcomes: Vec<CellOutcome<u64>>) -> Vec<u64> {
+        outcomes
+            .into_iter()
+            .map(|o| match o {
+                CellOutcome::Ok(v) => v,
+                other => panic!("unexpected outcome {other:?}"),
+            })
+            .collect()
     }
 
     #[test]
@@ -521,9 +1109,10 @@ mod tests {
         let expected: Vec<u64> = (0..50u64).map(|i| i * i).collect();
         for jobs in [1, 2, 4, 16] {
             let (outs, summary) = sweep(&opts(jobs), &cells);
-            assert_eq!(outs, expected, "jobs={jobs}");
+            assert_eq!(values(outs), expected, "jobs={jobs}");
             assert_eq!(summary.cells(), 50);
             assert_eq!(summary.cache_hits(), 0);
+            assert_eq!(summary.failed(), 0);
             assert_eq!(summary.jobs, jobs.min(50));
         }
     }
@@ -533,7 +1122,10 @@ mod tests {
         let cells: Vec<SquareCell> = (0..40).map(SquareCell).collect();
         for jobs in [1, 8] {
             let mut seen = Vec::new();
-            sweep_with(&opts(jobs), &cells, |i, out| seen.push((i, *out)));
+            sweep_with(&opts(jobs), &cells, |i, out| match out {
+                CellOutcome::Ok(v) => seen.push((i, *v)),
+                other => panic!("unexpected outcome {other:?}"),
+            });
             let expected: Vec<(usize, u64)> =
                 (0..40).map(|i| (i, (i as u64) * (i as u64))).collect();
             assert_eq!(seen, expected, "jobs={jobs}");
@@ -546,6 +1138,25 @@ mod tests {
         assert!(outs.is_empty());
         assert_eq!(summary.cells(), 0);
         assert!(summary.summary_line().contains("0 cells"));
+    }
+
+    #[test]
+    fn backoff_is_pure_and_bounded() {
+        for seed in [0u64, 42, 0xdead_beef] {
+            for fp in [1u64, u64::MAX, 0x1234_5678] {
+                for attempt in 1..=12u32 {
+                    let a = retry_backoff_millis(seed, fp, attempt);
+                    let b = retry_backoff_millis(seed, fp, attempt);
+                    assert_eq!(a, b, "schedule must be pure");
+                    assert!(a <= 4096, "backoff capped at 4096 ms, got {a}");
+                    assert!(a >= 10, "backoff at least the 10 ms base, got {a}");
+                }
+            }
+        }
+        // Distinct seeds must actually steer the jitter somewhere.
+        let any_differs =
+            (1..=8u32).any(|k| retry_backoff_millis(1, 99, k) != retry_backoff_millis(2, 99, k));
+        assert!(any_differs, "seed must influence the schedule");
     }
 
     #[test]

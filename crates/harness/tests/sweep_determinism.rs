@@ -63,7 +63,7 @@ fn opts(jobs: usize, cache_dir: Option<PathBuf>) -> SweepOpts {
     SweepOpts {
         jobs,
         cache_dir,
-        progress: false,
+        ..SweepOpts::serial()
     }
 }
 
