@@ -1,0 +1,144 @@
+//! Simulator-throughput benchmark: times representative sweeps with
+//! the result cache disabled and writes `BENCH_perf.json` (cycles/sec,
+//! wall-clock, peak RSS) so every PR has a perf trajectory.
+//!
+//! Usage: `perf [--smoke] [--jobs N] [--out FILE]`
+//!
+//! * `--smoke` — small GPU and reduced scales; the CI configuration.
+//!   Minutes become seconds, at the cost of absolute numbers that are
+//!   only comparable to other smoke runs.
+//! * `--jobs N` — sweep worker threads (default 1: serial, so
+//!   cycles/sec measures single-thread simulator speed).
+//! * `--out FILE` — where to write the JSON (default
+//!   `BENCH_perf.json` in the current directory).
+
+use sbrp_harness::json::write_atomic;
+use sbrp_harness::perf::{measure, report_json, PerfCase};
+use sbrp_harness::{default_scale, Fig6Bar, RunSpec};
+use sbrp_workloads::WorkloadKind;
+
+struct Args {
+    smoke: bool,
+    jobs: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        smoke: false,
+        jobs: 1,
+        out: "BENCH_perf.json".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--jobs" => {
+                let v = args.next().expect("--jobs needs a value");
+                parsed.jobs = v.parse().expect("--jobs must be a positive integer");
+                assert!(parsed.jobs > 0, "--jobs must be at least 1");
+            }
+            "--out" => parsed.out = args.next().expect("--out needs a file path"),
+            "--help" | "-h" => {
+                println!("usage: perf [--smoke] [--jobs N] [--out FILE]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    parsed
+}
+
+/// The full Figure 6 matrix: every workload under all five
+/// model/system bars — the sweep the ≥1.3× acceptance criterion is
+/// measured on.
+fn figure6_case(smoke: bool) -> PerfCase {
+    let specs = WorkloadKind::ALL
+        .into_iter()
+        .flat_map(|kind| {
+            let scale = if smoke { 512 } else { default_scale(kind) };
+            Fig6Bar::ALL.into_iter().map(move |bar| {
+                let (model, system) = bar.model_system();
+                RunSpec {
+                    workload: kind,
+                    model,
+                    system,
+                    scale,
+                    small_gpu: smoke,
+                    ..RunSpec::default()
+                }
+            })
+        })
+        .collect();
+    PerfCase {
+        name: "figure6".into(),
+        specs,
+    }
+}
+
+/// gpKVS alone: the most persist-heavy application, dominated by the
+/// drain path the fast-forward optimization targets.
+fn gpkvs_case(smoke: bool) -> PerfCase {
+    let scale = if smoke {
+        512
+    } else {
+        default_scale(WorkloadKind::Gpkvs)
+    };
+    PerfCase {
+        name: "gpkvs".into(),
+        specs: vec![RunSpec {
+            workload: WorkloadKind::Gpkvs,
+            scale,
+            small_gpu: smoke,
+            ..RunSpec::default()
+        }],
+    }
+}
+
+/// A small-kernel matrix (Reduction × all bars at low scale): many
+/// short launches, so dispatch and warm-up overheads dominate instead
+/// of steady-state simulation.
+fn microbench_case(smoke: bool) -> PerfCase {
+    let specs = Fig6Bar::ALL
+        .into_iter()
+        .map(|bar| {
+            let (model, system) = bar.model_system();
+            RunSpec {
+                workload: WorkloadKind::Reduction,
+                model,
+                system,
+                scale: 256,
+                small_gpu: smoke,
+                ..RunSpec::default()
+            }
+        })
+        .collect();
+    PerfCase {
+        name: "microbench".into(),
+        specs,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cases = [
+        figure6_case(args.smoke),
+        gpkvs_case(args.smoke),
+        microbench_case(args.smoke),
+    ];
+    let mut results = Vec::new();
+    for case in &cases {
+        let r = measure(case, args.jobs);
+        eprintln!(
+            "perf: {} — {} cells, {} sim-cycles in {} ms = {} cycles/sec",
+            r.name, r.cells, r.sim_cycles, r.wall_millis, r.cycles_per_sec
+        );
+        results.push(r);
+    }
+    let doc = report_json(&results, args.jobs as u64, args.smoke);
+    let rendered = doc.render();
+    write_atomic(std::path::Path::new(&args.out), &rendered)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    println!("{rendered}");
+    eprintln!("perf: wrote {}", args.out);
+}

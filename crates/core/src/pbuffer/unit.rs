@@ -220,6 +220,12 @@ pub struct PersistUnit {
     /// When set, policy limits are ignored (kernel drain, barriers).
     drain_all: bool,
     resumable: Vec<(WarpSlot, BlockReason)>,
+    /// `tick` is a pure function of unit state (it takes no clock), so
+    /// once a tick produces no actions and queues no resumptions, every
+    /// later tick is too until a mutating call arrives. This flag lets
+    /// the per-cycle `tick` short-circuit; every public mutator clears
+    /// it.
+    idle: bool,
     stats: PbStats,
 }
 
@@ -252,6 +258,7 @@ impl PersistUnit {
             force_until: None,
             drain_all: false,
             resumable: Vec::new(),
+            idle: false,
             stats: PbStats::default(),
         }
     }
@@ -290,6 +297,7 @@ impl PersistUnit {
     /// Forces the drain loop to ignore policy limits (used at kernel
     /// completion to push everything to durability).
     pub fn set_drain_all(&mut self, on: bool) {
+        self.idle = false;
         self.drain_all = on;
     }
 
@@ -437,6 +445,7 @@ impl PersistUnit {
     /// A warp wrote to the dirty PM line `line` in the L1. `tokens` are
     /// opaque trace ids for the lane stores (empty when tracing is off).
     pub fn persist_store(&mut self, warp: WarpSlot, line: LineIdx) -> StoreOutcome {
+        self.idle = false;
         self.persist_store_traced(warp, line, &[])
     }
 
@@ -447,6 +456,7 @@ impl PersistUnit {
         line: LineIdx,
         tokens: &[u64],
     ) -> StoreOutcome {
+        self.idle = false;
         if let Some(seq) = self.buf.line_entry(line) {
             if self.buf.warp_has_ordering_after(warp, seq) {
                 self.stats.stall_ordered += 1;
@@ -513,6 +523,7 @@ impl PersistUnit {
 
     /// A warp issued an `oFence`. Never stalls (beyond a full buffer).
     pub fn ofence(&mut self, warp: WarpSlot) -> OpOutcome {
+        self.idle = false;
         if self.push_op(EntryKind::OFence, warp).is_some() {
             self.stats.ofences += 1;
             OpOutcome::Proceed
@@ -525,6 +536,7 @@ impl PersistUnit {
     /// ordering when the entry drains); for device scope the *simulator*
     /// additionally invalidates the flag's L1 line before the load.
     pub fn pacq(&mut self, warp: WarpSlot, scope: Scope) -> OpOutcome {
+        self.idle = false;
         if self.push_op(EntryKind::PAcq(scope), warp).is_some() {
             self.stats.pacqs += 1;
             OpOutcome::Proceed
@@ -543,6 +555,7 @@ impl PersistUnit {
     /// the entry drains and all flushed persists are acknowledged, then
     /// resumes with [`BlockReason::OpDone`] and publishes the flag.
     pub fn prel(&mut self, warp: WarpSlot, scope: Scope) -> OpOutcome {
+        self.idle = false;
         let Some(seq) = self.push_op(EntryKind::PRel(scope), warp) else {
             return OpOutcome::StallRetry;
         };
@@ -562,6 +575,7 @@ impl PersistUnit {
     /// A warp issued a `dFence`: it stalls until all of its prior
     /// persists are durable.
     pub fn dfence(&mut self, warp: WarpSlot) -> OpOutcome {
+        self.idle = false;
         let Some(seq) = self.push_op(EntryKind::DFence, warp) else {
             return OpOutcome::StallRetry;
         };
@@ -574,6 +588,7 @@ impl PersistUnit {
     /// The cache wants to evict dirty PM line `line` (capacity/conflict
     /// replacement) on behalf of `warp`.
     pub fn evict_request(&mut self, warp: WarpSlot, line: LineIdx) -> EvictOutcome {
+        self.idle = false;
         let Some(seq) = self.buf.line_entry(line) else {
             return EvictOutcome::NotBuffered;
         };
@@ -606,6 +621,7 @@ impl PersistUnit {
     /// acknowledge via [`PersistUnit::ack_persist`]; the line stays in
     /// the cache (clean).
     pub fn try_early_flush(&mut self, line: LineIdx) -> Option<(WarpMask, Vec<u64>)> {
+        self.idle = false;
         if !self.early_flush_enabled {
             return None;
         }
@@ -636,6 +652,9 @@ impl PersistUnit {
     /// Advances the drain pipeline, returning the actions (at most
     /// `max_flushes` line flushes) the simulator must perform.
     pub fn tick(&mut self, max_flushes: usize) -> Vec<DrainAction> {
+        if self.idle {
+            return Vec::new();
+        }
         let mut actions = Vec::new();
         let mut flushed = 0usize;
         while let Some(head) = self.buf.peek_head() {
@@ -715,6 +734,7 @@ impl PersistUnit {
             }
             self.free_space();
         }
+        self.idle = actions.is_empty() && self.resumable.is_empty();
         actions
     }
 
@@ -748,6 +768,7 @@ impl PersistUnit {
     /// The downstream (L2/egress) accepted a flush: returns a window
     /// credit. Purely a pacing signal; ordering state is untouched.
     pub fn flush_accepted(&mut self) {
+        self.idle = false;
         self.inflight = self.inflight.saturating_sub(1);
     }
 
@@ -756,6 +777,7 @@ impl PersistUnit {
     /// # Panics
     /// Panics if no flush of `line` is outstanding.
     pub fn ack_persist(&mut self, line: LineIdx) {
+        self.idle = false;
         let q = self
             .outstanding_line
             .get_mut(&line)

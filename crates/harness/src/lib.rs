@@ -10,6 +10,7 @@
 
 pub mod campaign;
 pub mod json;
+pub mod perf;
 pub mod report;
 pub mod sweep;
 

@@ -3,7 +3,7 @@
 
 use crate::config::GpuConfig;
 use crate::fault::{CrashTrigger, FaultEventCounts, FaultPlan};
-use crate::mem::{Backing, MemSubsystem, PersistDest, ReqTag};
+use crate::mem::{Backing, Completion, MemSubsystem, PersistDest, ReqTag};
 use crate::sm::Sm;
 use crate::stats::SimStats;
 use crate::trace::TraceCapture;
@@ -102,6 +102,22 @@ pub struct Gpu {
     cycle: u64,
     active: Option<ActiveLaunch>,
     fault_trigger: Option<CrashTrigger>,
+    /// Scratch buffer for completion routing, reused across steps so the
+    /// hot loop never allocates for event delivery.
+    completions: Vec<Completion>,
+    /// Whether `SBRP_DEBUG_DRAIN` was set when this GPU was built. The
+    /// environment is sampled once per instance: checking it every step
+    /// costs a syscall-backed lookup on the hot path.
+    debug_drain: bool,
+    /// Last debug-print bucket, per instance. (A thread-local here would
+    /// leak across `Gpu` instances run back-to-back on one sweep worker
+    /// thread, suppressing or duplicating the first debug line of
+    /// subsequent cells.)
+    debug_bucket: u64,
+    /// Disable fast-forwarding: advance strictly one cycle at a time.
+    /// Not a `GpuConfig` field so sweep-cache fingerprints are
+    /// unaffected; used by equivalence tests.
+    serial: bool,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -134,7 +150,20 @@ impl Gpu {
             cycle: 0,
             active: None,
             fault_trigger: None,
+            completions: Vec::new(),
+            debug_drain: std::env::var_os("SBRP_DEBUG_DRAIN").is_some(),
+            debug_bucket: 0,
+            serial: false,
         }
+    }
+
+    /// Forces strictly serial stepping: the scheduler visits every cycle
+    /// instead of fast-forwarding over idle gaps. Orders of magnitude
+    /// slower; results (stats, stall breakdowns, durable images) must be
+    /// identical to fast-forwarded runs, which the equivalence tests
+    /// check.
+    pub fn set_serial_stepping(&mut self, serial: bool) {
+        self.serial = serial;
     }
 
     /// Builds a GPU whose NVM starts from a durable image (recovery boot).
@@ -264,54 +293,74 @@ impl Gpu {
         }
     }
 
+    /// Charges stall cycles up to `self.cycle - 1` on every SM. Run
+    /// exit paths (crash, timeout) call this because a fast-forward can
+    /// land exactly on the bound and leave the loop before the next
+    /// step's charge — serial stepping charged that span cycle by
+    /// cycle, and the two modes must agree.
+    fn charge_pending_stalls(&mut self) {
+        if let Some(prev) = self.cycle.checked_sub(1) {
+            for sm in &mut self.sms {
+                sm.charge_stalls(prev, &self.ms);
+            }
+        }
+    }
+
     fn route_completions(&mut self) -> Result<(), SimError> {
         let protocol = |cycle: u64, detail: String| SimError::Protocol { cycle, detail };
-        for c in self.ms.poll(self.cycle) {
-            match c.tag {
-                ReqTag::LoadFill { sm, token } | ReqTag::Atomic { sm, token } => {
-                    self.sms[sm as usize]
-                        .on_fill(token as usize, &mut self.tracer, &self.ms)
-                        .map_err(|d| protocol(c.at, d))?;
-                }
+        // Reuse the scratch buffer: taking it out keeps the borrow
+        // checker happy while `self` routes each completion.
+        let mut batch = std::mem::take(&mut self.completions);
+        batch.clear();
+        self.ms.poll_into(self.cycle, &mut batch);
+        let mut result = Ok(());
+        for c in &batch {
+            let r = match c.tag {
+                ReqTag::LoadFill { sm, token } | ReqTag::Atomic { sm, token } => self.sms
+                    [sm as usize]
+                    .on_fill(token as usize, &mut self.tracer, &self.ms)
+                    .map_err(|d| protocol(c.at, d)),
                 ReqTag::PersistAck { ack_id } => {
                     let suppressed = self.ms.fault_ack_suppressed(ack_id);
-                    let Some((dest, tokens)) = self.ms.take_persist_dest(ack_id) else {
-                        return Err(protocol(c.at, format!("unknown persist ack {ack_id}")));
-                    };
-                    // A dropped/torn commit still acks (the machine is
-                    // lied to), but the trace records the truth: these
-                    // persists never became durable.
-                    if !suppressed {
-                        if let Some(tc) = self.tracer.as_mut() {
-                            tc.durable(&tokens, c.at);
+                    match self.ms.take_persist_dest(ack_id) {
+                        None => Err(protocol(c.at, format!("unknown persist ack {ack_id}"))),
+                        Some((dest, tokens)) => {
+                            // A dropped/torn commit still acks (the machine
+                            // is lied to), but the trace records the truth:
+                            // these persists never became durable.
+                            if !suppressed {
+                                if let Some(tc) = self.tracer.as_mut() {
+                                    tc.durable(&tokens, c.at);
+                                }
+                            }
+                            match dest {
+                                PersistDest::Sbrp { sm, line } => self.sms[sm as usize]
+                                    .on_persist_ack(line)
+                                    .map_err(|d| protocol(c.at, d)),
+                                PersistDest::Epoch { sm } => self.sms[sm as usize]
+                                    .on_epoch_ack(&mut self.ms, c.at)
+                                    .map_err(|d| protocol(c.at, d)),
+                                PersistDest::Detached => Ok(()),
+                            }
                         }
-                    }
-                    match dest {
-                        PersistDest::Sbrp { sm, line } => {
-                            self.sms[sm as usize]
-                                .on_persist_ack(line)
-                                .map_err(|d| protocol(c.at, d))?;
-                        }
-                        PersistDest::Epoch { sm } => {
-                            self.sms[sm as usize]
-                                .on_epoch_ack(&mut self.ms, c.at)
-                                .map_err(|d| protocol(c.at, d))?;
-                        }
-                        PersistDest::Detached => {}
                     }
                 }
                 ReqTag::PersistAccept { sm } => {
                     self.sms[sm as usize].on_flush_accepted();
+                    Ok(())
                 }
-                ReqTag::EpochVol { sm } => {
-                    self.sms[sm as usize]
-                        .on_epoch_ack(&mut self.ms, c.at)
-                        .map_err(|d| protocol(c.at, d))?;
-                }
-                ReqTag::None => {}
+                ReqTag::EpochVol { sm } => self.sms[sm as usize]
+                    .on_epoch_ack(&mut self.ms, c.at)
+                    .map_err(|d| protocol(c.at, d)),
+                ReqTag::None => Ok(()),
+            };
+            if let Err(e) = r {
+                result = Err(e);
+                break;
             }
         }
-        Ok(())
+        self.completions = batch;
+        result
     }
 
     /// Whether the active launch (if any) has fully completed and
@@ -328,7 +377,7 @@ impl Gpu {
         }
         if !active.draining {
             active.draining = true;
-            if std::env::var_os("SBRP_DEBUG_DRAIN").is_some() {
+            if self.debug_drain {
                 eprintln!("[debug] blocks done at cycle {}", self.cycle);
             }
             for sm in &mut self.sms {
@@ -347,19 +396,20 @@ impl Gpu {
         }
     }
 
-    /// Advances one scheduling step. Returns `Ok(true)` when the active
-    /// launch completed.
-    fn step(&mut self) -> Result<bool, SimError> {
-        if std::env::var_os("SBRP_DEBUG_DRAIN").is_some() {
-            thread_local! {
-                static LAST: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
-            }
+    /// Advances one scheduling step, never moving `self.cycle` past
+    /// `bound`. Returns `Ok(true)` when the active launch completed.
+    ///
+    /// Callers must only invoke this with `self.cycle < bound`; the
+    /// landed cycle then satisfies `self.cycle <= bound` exactly, so run
+    /// loops observe crash cycles, timeout limits, and cycle-window
+    /// fault triggers on the cycle they name instead of overshooting
+    /// them during a fast-forward jump.
+    fn step_until(&mut self, bound: u64) -> Result<bool, SimError> {
+        debug_assert!(self.cycle < bound, "step_until past its bound");
+        if self.debug_drain {
             let bucket = self.cycle / 2048;
-            if LAST.with(|l| {
-                let prev = l.get();
-                l.set(bucket);
-                bucket != prev
-            }) {
+            if bucket != self.debug_bucket {
+                self.debug_bucket = bucket;
                 let flushes: u64 = self.sms.iter().map(|s| s.counters().persist_flushes).sum();
                 let buffered: usize = self.sms.iter().map(Sm::debug_buffered).sum();
                 eprintln!(
@@ -368,6 +418,13 @@ impl Gpu {
                 );
             }
         }
+        // Charge stalls up to the *previous* cycle before completions
+        // land: a completion that unblocks a warp this cycle must not
+        // erase the stalled span behind it (under fast-forward the whole
+        // leapt span would vanish). `Sm::tick` charges the final cycle
+        // with post-routing state — in serial stepping this pre-charge
+        // is a delta-0 no-op, so both modes attribute identically.
+        self.charge_pending_stalls();
         self.route_completions()?;
         let mut progress = false;
         for sm in &mut self.sms {
@@ -381,7 +438,8 @@ impl Gpu {
             self.cycle += 1;
             return Ok(false);
         }
-        // Nothing can issue: fast-forward to the next wakeup/event.
+        // Nothing can issue: fast-forward to the next wakeup/event,
+        // clamped to the caller's bound.
         let next = self
             .sms
             .iter()
@@ -390,7 +448,18 @@ impl Gpu {
             .min();
         match next {
             Some(t) => {
-                self.cycle = t.max(self.cycle + 1);
+                let mut target = t.max(self.cycle + 1).min(bound);
+                // Stall causes are sampled when the jump lands, so a jump
+                // must not cross the PCIe-backoff expiry: cycles on either
+                // side of it are attributed differently.
+                let backoff_until = self.ms.pcie_backoff_until();
+                if self.cycle + 1 < backoff_until {
+                    target = target.min(backoff_until - 1);
+                }
+                if self.serial {
+                    target = self.cycle + 1;
+                }
+                self.cycle = target;
                 Ok(false)
             }
             None => Err(SimError::Deadlock { cycle: self.cycle }),
@@ -412,7 +481,7 @@ impl Gpu {
     pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, SimError> {
         let limit = self.cycle.saturating_add(max_cycles);
         while self.cycle < limit {
-            if self.step()? {
+            if self.step_until(limit)? {
                 self.sanitize_check()?;
                 return Ok(RunReport {
                     outcome: RunOutcome::Completed,
@@ -420,6 +489,10 @@ impl Gpu {
                 });
             }
         }
+        // The clamp in `step_until` guarantees the loop exits exactly at
+        // the limit, so the error agrees with `self.cycle`.
+        debug_assert_eq!(self.cycle, limit);
+        self.charge_pending_stalls();
         // The events captured before the timeout still deserve PMO
         // verification — a violation must not hide behind the timeout.
         self.sanitize_check()?;
@@ -487,15 +560,27 @@ impl Gpu {
     /// (non-fault) wedges.
     pub fn run_faulted(&mut self, max_cycles: u64) -> Result<RunReport, SimError> {
         let limit = self.cycle.saturating_add(max_cycles);
+        // A cycle-window trigger is a bound of its own: fast-forwarding
+        // must land exactly on the trigger cycle, not leap over it.
+        let bound = match self.fault_trigger {
+            Some(CrashTrigger::AtCycle(c)) => limit.min(c.max(self.cycle + 1)),
+            _ => limit,
+        };
         while self.cycle < limit {
             if self.fault_crash_now() {
+                // Deliver the events that landed at or before the crash
+                // cycle, so the durable image is the exact event-prefix.
+                // (A no-op for power cuts injected inside the memory
+                // system, which already stop delivery at the cut.)
+                self.charge_pending_stalls();
+                self.route_completions()?;
                 self.sanitize_check()?;
                 return Ok(RunReport {
                     outcome: RunOutcome::Crashed,
                     cycles: self.cycle,
                 });
             }
-            match self.step() {
+            match self.step_until(bound) {
                 Ok(true) => {
                     self.sanitize_check()?;
                     return Ok(RunReport {
@@ -518,6 +603,8 @@ impl Gpu {
                 }
             }
         }
+        debug_assert_eq!(self.cycle, limit);
+        self.charge_pending_stalls();
         // As in [`Gpu::run`]: verify the partial trace on the timeout
         // path so a PMO violation outranks the timeout report.
         self.sanitize_check()?;
@@ -533,7 +620,7 @@ impl Gpu {
     /// [`SimError::Deadlock`] if the simulation wedges before either.
     pub fn run_until(&mut self, crash_cycle: u64) -> Result<RunReport, SimError> {
         while self.cycle < crash_cycle {
-            if self.step()? {
+            if self.step_until(crash_cycle)? {
                 self.sanitize_check()?;
                 return Ok(RunReport {
                     outcome: RunOutcome::Completed,
@@ -541,6 +628,13 @@ impl Gpu {
                 });
             }
         }
+        // Completions route at the *start* of each step, so events that
+        // landed since the last step — up to and including `crash_cycle`
+        // itself — are still pending. They happened before the power
+        // failed: commit them, or the durable image misses the tail of
+        // the event-prefix ≤ `crash_cycle`.
+        self.charge_pending_stalls();
+        self.route_completions()?;
         self.sanitize_check()?;
         Ok(RunReport {
             outcome: RunOutcome::Crashed,

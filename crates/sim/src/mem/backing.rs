@@ -1,16 +1,45 @@
 //! Sparse byte-addressable backing store.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
+/// Multiplicative hasher for page numbers. Page keys are small dense
+/// integers, so SipHash is pure overhead on the per-access path; a
+/// Fibonacci multiply spreads them across the table just as well.
+#[derive(Default)]
+pub struct PageKeyHasher(u64);
+
+impl Hasher for PageKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE]>, BuildHasherDefault<PageKeyHasher>>;
+
 /// A sparse, byte-addressable memory image. Used for the functional GDDR
 /// and NVM contents and for the durable NVM image that crash recovery
 /// boots from.
+///
+/// Accesses that stay inside one 4 KiB page — all of them, in practice —
+/// cost a single page-table lookup, not one per byte: the per-byte
+/// variant dominated the simulator's completion-routing profile.
 #[derive(Clone, Default)]
 pub struct Backing {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: PageMap,
 }
 
 impl std::fmt::Debug for Backing {
@@ -60,13 +89,29 @@ impl Backing {
     /// Reads `len` bytes into a vector (little-endian order in memory).
     #[must_use]
     pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
-        (0..len as u64).map(|i| self.read_u8(addr + i)).collect()
+        let mut out = vec![0u8; len];
+        let mut done = 0usize;
+        while done < len {
+            let a = addr + done as u64;
+            let off = (a as usize) & (PAGE_SIZE - 1);
+            let run = (PAGE_SIZE - off).min(len - done);
+            if let Some(p) = self.page(a) {
+                out[done..done + run].copy_from_slice(&p[off..off + run]);
+            }
+            done += run;
+        }
+        out
     }
 
     /// Writes a byte slice.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, b);
+        let mut done = 0usize;
+        while done < bytes.len() {
+            let a = addr + done as u64;
+            let off = (a as usize) & (PAGE_SIZE - 1);
+            let run = (PAGE_SIZE - off).min(bytes.len() - done);
+            self.page_mut(a)[off..off + run].copy_from_slice(&bytes[done..done + run]);
+            done += run;
         }
     }
 
@@ -74,18 +119,39 @@ impl Backing {
     #[must_use]
     pub fn read_uint(&self, addr: u64, width: u64) -> u64 {
         debug_assert!(width <= 8);
-        let mut v = 0u64;
-        for i in (0..width).rev() {
-            v = (v << 8) | u64::from(self.read_u8(addr + i));
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        let w = width as usize;
+        if off + w <= PAGE_SIZE {
+            let Some(p) = self.page(addr) else { return 0 };
+            let mut v = 0u64;
+            for i in (0..w).rev() {
+                v = (v << 8) | u64::from(p[off + i]);
+            }
+            v
+        } else {
+            // Crosses a page boundary: fall back to byte reads.
+            let mut v = 0u64;
+            for i in (0..width).rev() {
+                v = (v << 8) | u64::from(self.read_u8(addr + i));
+            }
+            v
         }
-        v
     }
 
     /// Writes the low `width` bytes of `v` little-endian.
     pub fn write_uint(&mut self, addr: u64, v: u64, width: u64) {
         debug_assert!(width <= 8);
-        for i in 0..width {
-            self.write_u8(addr + i, (v >> (8 * i)) as u8);
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        let w = width as usize;
+        if off + w <= PAGE_SIZE {
+            let p = self.page_mut(addr);
+            for i in 0..w {
+                p[off + i] = (v >> (8 * i)) as u8;
+            }
+        } else {
+            for i in 0..width {
+                self.write_u8(addr + i, (v >> (8 * i)) as u8);
+            }
         }
     }
 
@@ -141,6 +207,14 @@ mod tests {
     }
 
     #[test]
+    fn cross_page_uint_round_trip() {
+        let mut b = Backing::new();
+        let addr = PAGE_SIZE as u64 - 5;
+        b.write_uint(addr, 0x1122_3344_5566_7788, 8);
+        assert_eq!(b.read_uint(addr, 8), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
     fn partial_width_round_trip() {
         let mut b = Backing::new();
         b.write_uint(0x10, 0xaabb_ccdd_eeff, 4);
@@ -153,6 +227,15 @@ mod tests {
         let mut b = Backing::new();
         b.write_bytes(0x100, &[1, 2, 3, 4]);
         assert_eq!(b.read_bytes(0x0ff, 6), vec![0, 1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn byte_slices_across_pages() {
+        let mut b = Backing::new();
+        let addr = PAGE_SIZE as u64 - 2;
+        b.write_bytes(addr, &[9, 8, 7, 6]);
+        assert_eq!(b.read_bytes(addr, 4), vec![9, 8, 7, 6]);
+        assert_eq!(b.pages(), 2);
     }
 
     #[test]

@@ -280,6 +280,15 @@ impl MemSubsystem {
         now < self.backoff_until
     }
 
+    /// First cycle at which the PCIe fault-retry backoff is over (0 when
+    /// no backoff ever happened). Fast-forward jumps must not cross this
+    /// boundary: stall attribution samples the cause at the landing
+    /// cycle, and it differs on either side.
+    #[must_use]
+    pub fn pcie_backoff_until(&self) -> u64 {
+        self.backoff_until
+    }
+
     fn schedule(&mut self, at: u64, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -463,6 +472,15 @@ impl MemSubsystem {
     /// events (even same-cycle ones) never commit or deliver.
     pub fn poll(&mut self, now: u64) -> Vec<Completion> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// [`MemSubsystem::poll`] into a caller-owned buffer: the GPU's step
+    /// loop reuses one scratch vector so event delivery never allocates
+    /// on the per-cycle path. Completions are appended in timestamp
+    /// order (`(at, seq)`, the heap order).
+    pub fn poll_into(&mut self, now: u64, out: &mut Vec<Completion>) {
         while let Some(Reverse(e)) = self.events.peek() {
             if e.at > now || self.fault.crashed {
                 break;
@@ -503,7 +521,6 @@ impl MemSubsystem {
                 }
             }
         }
-        out
     }
 
     /// Commits only the first `chunks` 8-byte-aligned chunks of the

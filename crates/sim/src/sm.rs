@@ -146,6 +146,28 @@ pub struct Sm {
     issue_width: u32,
     l1_hit_latency: u64,
     line_bytes: u32,
+    /// Resident warps that can issue right now (`blocked == None`,
+    /// `!done`). Maintained by [`Sm::set_blocked`]/[`Sm::clear_blocked`]
+    /// and the warp lifecycle, so the per-cycle issue scan and the GPU's
+    /// ready check are O(1) instead of O(warp slots).
+    ready: u32,
+    /// Resident warps currently blocked (any cause). Zero lets
+    /// `charge_stalls` skip its slot scan entirely.
+    blocked_count: u32,
+    /// Bit per warp slot: set iff that slot holds a blocked warp
+    /// (slots ≥ 128 unsupported; `charge_stalls` then falls back to a
+    /// full scan). Lets stall charging visit only blocked slots.
+    blocked_mask: u128,
+    /// Cached minimum of all `Blocked::Sleep(until)` targets
+    /// (`u64::MAX` when no warp sleeps). Sleepers only wake in the tick
+    /// scan, which recomputes the minimum, so the cache is exact.
+    next_sleep_wake: u64,
+    /// Vacant warp slots, so a failing `try_place_block` is a single
+    /// compare instead of a slot scan plus an allocation.
+    free_slots: u32,
+    /// Reused lane-value buffer for load completions, so `finish_mem`
+    /// does not allocate per completed memory op.
+    scratch_vals: Vec<u64>,
     /// Blocks completed on this SM.
     pub completed_blocks: u64,
     counters: SmCounters,
@@ -182,6 +204,12 @@ impl Sm {
             issue_width: cfg.issue_width,
             l1_hit_latency: u64::from(cfg.l1_hit_latency),
             line_bytes: cfg.line_bytes,
+            ready: 0,
+            blocked_count: 0,
+            blocked_mask: 0,
+            next_sleep_wake: u64::MAX,
+            free_slots: slots as u32,
+            scratch_vals: Vec::new(),
             completed_blocks: 0,
             counters: SmCounters::default(),
             stall: StallBreakdown::default(),
@@ -286,13 +314,17 @@ impl Sm {
         block_id: u32,
     ) -> bool {
         let need = launch.warps_per_block() as usize;
+        // The maintained count makes the common failing case (every SM
+        // probed each dispatch cycle while blocks queue) a bare compare,
+        // with no slot scan and no allocation.
+        if (self.free_slots as usize) < need {
+            return false;
+        }
         let free: Vec<usize> = (0..self.warps.len())
             .filter(|&i| self.warps[i].is_none())
             .take(need)
             .collect();
-        if free.len() < need {
-            return false;
-        }
+        debug_assert_eq!(free.len(), need);
         let block_slot = match self.blocks.iter().position(Option::is_none) {
             Some(i) => i,
             None => {
@@ -316,6 +348,8 @@ impl Sm {
             live: need as u32,
             arrived: Vec::new(),
         });
+        self.free_slots -= need as u32;
+        self.ready += need as u32;
         true
     }
 
@@ -341,14 +375,6 @@ impl Sm {
         segments
     }
 
-    /// Marks bytes `[addr, addr+width)` of `line` as written by this SM.
-    fn mark_line_written(&mut self, line: u32, addr: u64, width: u64) {
-        let off = (addr & u64::from(self.line_bytes - 1)) as u32;
-        debug_assert!(off as u64 + width <= u64::from(self.line_bytes));
-        let bits = ((1u128 << width) - 1) << off;
-        *self.line_written.entry(line).or_insert(0) |= bits;
-    }
-
     fn thread_pos(&self, slot: usize, lane: u8) -> ThreadPos {
         let ctx = self.warps[slot].as_ref().expect("warp present");
         ThreadPos::new(
@@ -358,20 +384,18 @@ impl Sm {
     }
 
     fn coalesce(&self, lanes: &[LaneAccess]) -> Vec<Group> {
+        // A warp touches at most 32 lines, so a linear scan beats a
+        // HashMap here; insertion order (first-touch) is preserved.
         let mut groups: Vec<Group> = Vec::new();
-        let mut index: HashMap<u64, usize> = HashMap::new();
         for (i, la) in lanes.iter().enumerate() {
             let line = la.addr & !u64::from(self.line_bytes - 1);
-            match index.get(&line) {
-                Some(&g) => groups[g].lane_idx.push(i),
-                None => {
-                    index.insert(line, groups.len());
-                    groups.push(Group {
-                        addr: line,
-                        lane_idx: vec![i],
-                        tokens: Vec::new(),
-                    });
-                }
+            match groups.iter_mut().find(|g| g.addr == line) {
+                Some(g) => g.lane_idx.push(i),
+                None => groups.push(Group {
+                    addr: line,
+                    lane_idx: vec![i],
+                    tokens: Vec::new(),
+                }),
             }
         }
         groups
@@ -513,9 +537,13 @@ impl Sm {
     fn handle_epoch_ack(&mut self, ack: EpochAck, ms: &mut MemSubsystem, now: u64) {
         for w in ack.released.iter() {
             let slot = w.index();
-            if let Some(ctx) = self.warps[slot].as_mut() {
-                debug_assert_eq!(ctx.blocked, Some(Blocked::EpochWait));
-                ctx.blocked = None;
+            if self.warps[slot].is_some() {
+                debug_assert_eq!(
+                    self.warps[slot].as_ref().expect("warp").blocked,
+                    Some(Blocked::EpochWait)
+                );
+                self.clear_blocked(slot);
+                let ctx = self.warps[slot].as_mut().expect("warp");
                 ctx.fence_cause = None;
                 ctx.interp.complete();
             }
@@ -566,6 +594,40 @@ impl Sm {
     // The per-cycle tick
     // ------------------------------------------------------------------
 
+    /// Blocks warp `slot`, maintaining the ready/blocked counters and
+    /// the cached sleep minimum. Callers only block currently-ready
+    /// warps (a warp must have issued to hit a stall condition).
+    fn set_blocked(&mut self, slot: usize, b: Blocked) {
+        let ctx = self.warps[slot].as_mut().expect("warp");
+        debug_assert!(!ctx.done, "blocking a finished warp");
+        if ctx.blocked.is_none() {
+            self.ready -= 1;
+            self.blocked_count += 1;
+            if slot < 128 {
+                self.blocked_mask |= 1 << slot;
+            }
+        }
+        ctx.blocked = Some(b);
+        if let Blocked::Sleep(until) = b {
+            self.next_sleep_wake = self.next_sleep_wake.min(until);
+        }
+    }
+
+    /// Unblocks warp `slot`. Idempotent: completion paths can reach a
+    /// warp the wake scan already released (an all-hit load finishing at
+    /// its sleep deadline).
+    fn clear_blocked(&mut self, slot: usize) {
+        let ctx = self.warps[slot].as_mut().expect("warp");
+        if ctx.blocked.take().is_some() {
+            debug_assert!(!ctx.done, "a finished warp cannot be blocked");
+            self.ready += 1;
+            self.blocked_count -= 1;
+            if slot < 128 {
+                self.blocked_mask &= !(1 << slot);
+            }
+        }
+    }
+
     /// Runs one cycle: engine drain, wakeups, and warp issue. Returns
     /// whether any externally visible progress happened.
     pub fn tick(
@@ -577,14 +639,20 @@ impl Sm {
         self.charge_stalls(cycle, ms);
         let mut progress = self.engine_tick(cycle, ms, tracer);
 
-        // Wake sleepers.
-        for slot in 0..self.warps.len() {
-            let wake = matches!(
-                self.warps[slot].as_ref().and_then(|c| c.blocked),
-                Some(Blocked::Sleep(until)) if until <= cycle
-            );
-            if wake {
-                self.warps[slot].as_mut().expect("warp").blocked = None;
+        // Wake sleepers — only when the cached minimum says one is due,
+        // recomputing it over the sleepers that remain.
+        if self.next_sleep_wake <= cycle {
+            let mut next = u64::MAX;
+            for slot in 0..self.warps.len() {
+                let until = match self.warps[slot].as_ref().and_then(|c| c.blocked) {
+                    Some(Blocked::Sleep(until)) => until,
+                    _ => continue,
+                };
+                if until > cycle {
+                    next = next.min(until);
+                    continue;
+                }
+                self.clear_blocked(slot);
                 // An all-hit load that was waiting out its L1 latency.
                 let finished = matches!(
                     self.warps[slot].as_ref().and_then(|c| c.op.as_ref()),
@@ -595,25 +663,31 @@ impl Sm {
                 }
                 progress = true;
             }
+            self.next_sleep_wake = next;
         }
 
-        // Issue warps round-robin.
+        // Issue warps round-robin. With no ready warp the scan is a
+        // no-op (issuing is the only thing that could unblock one
+        // mid-scan), but the round-robin pointer still advances so
+        // schedules are unchanged.
         let n = self.warps.len();
         let mut issued = 0;
-        for k in 0..n {
-            if issued >= self.issue_width {
-                break;
+        if self.ready > 0 {
+            for k in 0..n {
+                if issued >= self.issue_width {
+                    break;
+                }
+                let slot = (self.rr + k) % n;
+                let ready = matches!(
+                    self.warps[slot].as_ref(),
+                    Some(ctx) if ctx.blocked.is_none() && !ctx.done
+                );
+                if !ready {
+                    continue;
+                }
+                self.issue(slot, cycle, ms, tracer);
+                issued += 1;
             }
-            let slot = (self.rr + k) % n;
-            let ready = matches!(
-                self.warps[slot].as_ref(),
-                Some(ctx) if ctx.blocked.is_none() && !ctx.done
-            );
-            if !ready {
-                continue;
-            }
-            self.issue(slot, cycle, ms, tracer);
-            issued += 1;
         }
         self.rr = (self.rr + 1) % n;
         progress | (issued > 0)
@@ -623,12 +697,46 @@ impl Sm {
     /// [`StallCause`], per SM and per warp. Runs before wakeups and
     /// issue so an interval that ends this cycle is still charged up to
     /// it; `last_charge` makes fast-forward jumps cost one delta.
-    fn charge_stalls(&mut self, cycle: u64, ms: &MemSubsystem) {
+    ///
+    /// Charging is two-phase: the GPU calls this *before* routing a
+    /// cycle's completions (up to `cycle - 1`, so a fast-forwarded span
+    /// is attributed with the blocked state that actually held during
+    /// it), and [`Sm::tick`] charges the final cycle with post-routing
+    /// state. Serial stepping makes the pre-routing call a delta-0
+    /// no-op, which is exactly why fast-forwarded and serial runs
+    /// produce identical stall breakdowns.
+    pub(crate) fn charge_stalls(&mut self, cycle: u64, ms: &MemSubsystem) {
         let delta = cycle.saturating_sub(self.last_charge);
         if delta == 0 && self.timeline.is_none() {
             return;
         }
+        // Only blocked warps accrue stall cycles; with none resident the
+        // scan is pure overhead (unless the timeline needs the per-slot
+        // running/vacant states).
+        if self.blocked_count == 0 && self.timeline.is_none() {
+            self.last_charge = cycle;
+            return;
+        }
         let backoff = ms.pcie_backoff_active(cycle);
+        // Without a timeline only blocked slots matter, so walk the
+        // blocked-slot bitmask instead of every slot. Falls through to
+        // the full scan for timeline runs (which must observe running
+        // and vacant slots too) and for >128-slot configurations.
+        if self.timeline.is_none() && self.warps.len() <= 128 {
+            debug_assert_eq!(self.blocked_mask.count_ones(), self.blocked_count);
+            let mut mask = self.blocked_mask;
+            while mask != 0 {
+                let slot = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let ctx = self.warps[slot].as_ref().expect("masked slot has a warp");
+                let b = ctx.blocked.expect("masked slot is blocked");
+                let cause = Self::stall_cause_of(&self.engine, ctx, b, backoff, slot);
+                self.stall.charge(cause, delta);
+                self.warp_stalls[slot].charge(cause, delta);
+            }
+            self.last_charge = cycle;
+            return;
+        }
         for slot in 0..self.warps.len() {
             let state = match self.warps[slot].as_ref() {
                 None => None,
@@ -747,9 +855,15 @@ impl Sm {
         }
         for (w, reason) in resumable {
             let slot = w.index();
+            debug_assert_eq!(
+                self.warps[slot]
+                    .as_ref()
+                    .expect("blocked warp exists")
+                    .blocked,
+                Some(Blocked::Engine)
+            );
+            self.clear_blocked(slot);
             let ctx = self.warps[slot].as_mut().expect("blocked warp exists");
-            debug_assert_eq!(ctx.blocked, Some(Blocked::Engine));
-            ctx.blocked = None;
             match reason {
                 BlockReason::RetryStore | BlockReason::RetryFull | BlockReason::RetryEvict => {
                     if ctx.op.is_none() {
@@ -823,8 +937,7 @@ impl Sm {
         match result {
             StepResult::Alu => {}
             StepResult::Sleep(n) => {
-                self.warps[slot].as_mut().expect("warp").blocked =
-                    Some(Blocked::Sleep(cycle + u64::from(n)));
+                self.set_blocked(slot, Blocked::Sleep(cycle + u64::from(n)));
             }
             StepResult::Done => self.warp_done(slot),
             StepResult::Mem(access) => {
@@ -872,9 +985,13 @@ impl Sm {
     fn warp_done(&mut self, slot: usize) {
         let block_slot = {
             let ctx = self.warps[slot].as_mut().expect("warp");
+            debug_assert!(ctx.blocked.is_none(), "a blocked warp cannot retire");
             ctx.done = true;
             ctx.block_slot
         };
+        // The warp was issuing (hence ready); done warps are neither
+        // ready nor blocked.
+        self.ready -= 1;
         enum After {
             Nothing,
             Release(Vec<usize>),
@@ -894,7 +1011,9 @@ impl Sm {
         match after {
             After::BlockComplete => {
                 let blk = self.blocks[block_slot].take().expect("block");
+                self.free_slots += blk.slots.len() as u32;
                 for s in blk.slots {
+                    debug_assert!(self.warps[s].as_ref().is_some_and(|c| c.done));
                     self.warps[s] = None;
                 }
                 self.completed_blocks += 1;
@@ -906,10 +1025,12 @@ impl Sm {
 
     fn release_barrier(&mut self, arrived: Vec<usize>) {
         for s in arrived {
-            let ctx = self.warps[s].as_mut().expect("warp at barrier");
-            debug_assert_eq!(ctx.blocked, Some(Blocked::Barrier));
-            ctx.blocked = None;
-            ctx.interp.complete();
+            debug_assert_eq!(
+                self.warps[s].as_ref().expect("warp at barrier").blocked,
+                Some(Blocked::Barrier)
+            );
+            self.clear_blocked(s);
+            self.warps[s].as_mut().expect("warp").interp.complete();
         }
     }
 
@@ -1002,7 +1123,7 @@ impl Sm {
                         });
                     }
                     Err(()) => {
-                        self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Engine);
+                        self.set_blocked(slot, Blocked::Engine);
                         return;
                     }
                 }
@@ -1011,7 +1132,7 @@ impl Sm {
                 let line = match self.ensure_line(slot, addr, ms, cycle) {
                     Ok(l) => l,
                     Err(()) => {
-                        self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Engine);
+                        self.set_blocked(slot, Blocked::Engine);
                         return;
                     }
                 };
@@ -1074,21 +1195,26 @@ impl Sm {
                             self.l1.clean(line);
                         }
                     }
-                    self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Engine);
+                    self.set_blocked(slot, Blocked::Engine);
                     return;
                 }
                 self.l1.mark_dirty(line, true);
-                let width = self.with_mem_op(slot, |op| op.width.bytes());
-                let writes = self.with_mem_op(slot, |op| {
-                    op.groups[op.next]
-                        .lane_idx
-                        .iter()
-                        .map(|&i| op.lanes[i].addr)
-                        .collect::<Vec<_>>()
+                // Fold the group's written-byte ranges into one mask so
+                // the line_written entry is touched once per group.
+                let off_mask = u64::from(self.line_bytes - 1);
+                let line_bytes = u64::from(self.line_bytes);
+                let mask = self.with_mem_op(slot, |op| {
+                    let width = op.width.bytes();
+                    let g = &op.groups[op.next];
+                    let mut m = 0u128;
+                    for &i in &g.lane_idx {
+                        let off = op.lanes[i].addr & off_mask;
+                        debug_assert!(off + width <= line_bytes);
+                        m |= ((1u128 << width) - 1) << off;
+                    }
+                    m
                 });
-                for addr in writes {
-                    self.mark_line_written(line, addr, width);
-                }
+                *self.line_written.entry(line).or_insert(0) |= mask;
                 self.commit_store_group(slot, ms);
             }
             Plan::StoreVol { addr } => match self.ensure_line(slot, addr, ms, cycle) {
@@ -1097,7 +1223,7 @@ impl Sm {
                     self.commit_store_group(slot, ms);
                 }
                 Err(()) => {
-                    self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Engine);
+                    self.set_blocked(slot, Blocked::Engine);
                     return;
                 }
             },
@@ -1148,56 +1274,46 @@ impl Sm {
                 ctx.op = None;
                 ctx.interp.complete();
             } else if outstanding > 0 {
-                self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Mem);
+                self.set_blocked(slot, Blocked::Mem);
             } else {
                 // All-hit load: wait out the L1 hit latency.
-                self.warps[slot].as_mut().expect("warp").blocked =
-                    Some(Blocked::Sleep(cycle + self.l1_hit_latency));
+                self.set_blocked(slot, Blocked::Sleep(cycle + self.l1_hit_latency));
             }
         }
     }
 
     /// Applies the functional writes of the store group just accepted.
     fn commit_store_group(&mut self, slot: usize, ms: &mut MemSubsystem) {
-        let (writes, width) = self.with_mem_op(slot, |op| {
-            let g = &op.groups[op.next];
-            let writes: Vec<(u64, u64)> = g
-                .lane_idx
-                .iter()
-                .map(|&i| (op.lanes[i].addr, op.lanes[i].value))
-                .collect();
-            op.next += 1;
-            (writes, op.width.bytes())
-        });
-        for (addr, value) in writes {
-            ms.write_mem(addr, value, width);
+        let ctx = self.warps[slot].as_mut().expect("warp");
+        let Some(WaitingOp::Mem(op)) = ctx.op.as_mut() else {
+            panic!("commit_store_group without a memory op")
+        };
+        let width = op.width.bytes();
+        let g = &op.groups[op.next];
+        for &i in &g.lane_idx {
+            ms.write_mem(op.lanes[i].addr, op.lanes[i].value, width);
         }
+        op.next += 1;
     }
 
     /// Finishes a load/pAcq/atomic: reads values and resumes the warp.
     fn finish_mem(&mut self, slot: usize, tracer: &mut Option<TraceCapture>, ms: &MemSubsystem) {
+        self.clear_blocked(slot);
+        let mut values = std::mem::take(&mut self.scratch_vals);
+        values.clear();
         let ctx = self.warps[slot].as_mut().expect("warp");
         let Some(WaitingOp::Mem(op)) = ctx.op.take() else {
             panic!("finish_mem without a memory op")
         };
-        ctx.blocked = None;
         match op.kind {
             OpKind::LoadBypass => {
                 let width = op.width.bytes();
-                let values: Vec<u64> = op
-                    .lanes
-                    .iter()
-                    .map(|la| ms.read_mem(la.addr, width))
-                    .collect();
+                values.extend(op.lanes.iter().map(|la| ms.read_mem(la.addr, width)));
                 ctx.interp.complete_load(&values);
             }
             OpKind::Load { pacq } => {
                 let width = op.width.bytes();
-                let values: Vec<u64> = op
-                    .lanes
-                    .iter()
-                    .map(|la| ms.read_mem(la.addr, width))
-                    .collect();
+                values.extend(op.lanes.iter().map(|la| ms.read_mem(la.addr, width)));
                 if let (Some(scope), Some(tc)) = (pacq, tracer.as_mut()) {
                     for la in &op.lanes {
                         let pos = ThreadPos::new(
@@ -1212,6 +1328,7 @@ impl Sm {
             OpKind::Atomic { olds } => ctx.interp.complete_load(&olds),
             OpKind::Store => panic!("stores have no completion"),
         }
+        self.scratch_vals = values;
     }
 
     // ------------------------------------------------------------------
@@ -1251,8 +1368,7 @@ impl Sm {
                             self.warps[slot].as_mut().expect("warp").interp.complete();
                         }
                         OpOutcome::StallRetry | OpOutcome::StallUntilDone => {
-                            self.warps[slot].as_mut().expect("warp").blocked =
-                                Some(Blocked::Engine);
+                            self.set_blocked(slot, Blocked::Engine);
                         }
                     }
                 }
@@ -1267,12 +1383,11 @@ impl Sm {
                     OpOutcome::StallUntilDone => {
                         self.trace_fence_all_lanes(slot, tracer, PersistOpKind::DFence);
                         self.counters.dfence_waits += 1;
-                        let ctx = self.warps[slot].as_mut().expect("warp");
-                        ctx.op = Some(WaitingOp::Fence);
-                        ctx.blocked = Some(Blocked::Engine);
+                        self.warps[slot].as_mut().expect("warp").op = Some(WaitingOp::Fence);
+                        self.set_blocked(slot, Blocked::Engine);
                     }
                     OpOutcome::StallRetry => {
-                        self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Engine);
+                        self.set_blocked(slot, Blocked::Engine);
                     }
                 },
                 Engine::Epoch(_) => self.epoch_barrier(slot, ms, tracer, cycle, StallCause::DFence),
@@ -1288,8 +1403,7 @@ impl Sm {
                     match unit.pacq(WarpSlot::new(slot), scope) {
                         OpOutcome::Proceed => {}
                         OpOutcome::StallRetry | OpOutcome::StallUntilDone => {
-                            self.warps[slot].as_mut().expect("warp").blocked =
-                                Some(Blocked::Engine);
+                            self.set_blocked(slot, Blocked::Engine);
                             return;
                         }
                     }
@@ -1339,13 +1453,12 @@ impl Sm {
                             self.warps[slot].as_mut().expect("warp").interp.complete();
                         }
                         OpOutcome::StallUntilDone => {
-                            let ctx = self.warps[slot].as_mut().expect("warp");
-                            ctx.op = Some(WaitingOp::RelFlags(batch));
-                            ctx.blocked = Some(Blocked::Engine);
+                            self.warps[slot].as_mut().expect("warp").op =
+                                Some(WaitingOp::RelFlags(batch));
+                            self.set_blocked(slot, Blocked::Engine);
                         }
                         OpOutcome::StallRetry => {
-                            self.warps[slot].as_mut().expect("warp").blocked =
-                                Some(Blocked::Engine);
+                            self.set_blocked(slot, Blocked::Engine);
                         }
                     },
                     Engine::Epoch(_) => {
@@ -1360,7 +1473,7 @@ impl Sm {
 
     fn sync_block(&mut self, slot: usize) {
         let block_slot = self.warps[slot].as_ref().expect("warp").block_slot;
-        self.warps[slot].as_mut().expect("warp").blocked = Some(Blocked::Barrier);
+        self.set_blocked(slot, Blocked::Barrier);
         let release = {
             let blk = self.blocks[block_slot].as_mut().expect("block");
             blk.arrived.push(slot);
@@ -1383,11 +1496,8 @@ impl Sm {
     ) {
         self.trace_fence_all_lanes(slot, tracer, PersistOpKind::EpochBarrier);
         self.counters.dfence_waits += 1;
-        {
-            let ctx = self.warps[slot].as_mut().expect("warp");
-            ctx.blocked = Some(Blocked::EpochWait);
-            ctx.fence_cause = Some(cause);
-        }
+        self.set_blocked(slot, Blocked::EpochWait);
+        self.warps[slot].as_mut().expect("warp").fence_cause = Some(cause);
         let starts = match &mut self.engine {
             Engine::Epoch(e) => e.barrier(WarpSlot::new(slot)),
             Engine::Sbrp(_) => unreachable!("epoch barrier on an SBRP SM"),
@@ -1405,22 +1515,12 @@ impl Sm {
     /// The earliest cycle a sleeping warp wakes, for fast-forwarding.
     #[must_use]
     pub fn next_wake(&self) -> Option<u64> {
-        self.warps
-            .iter()
-            .flatten()
-            .filter_map(|c| match c.blocked {
-                Some(Blocked::Sleep(until)) => Some(until),
-                _ => None,
-            })
-            .min()
+        (self.next_sleep_wake != u64::MAX).then_some(self.next_sleep_wake)
     }
 
     /// Whether any warp can issue right now.
     #[must_use]
     pub fn has_ready_warp(&self) -> bool {
-        self.warps
-            .iter()
-            .flatten()
-            .any(|c| c.blocked.is_none() && !c.done)
+        self.ready > 0
     }
 }
