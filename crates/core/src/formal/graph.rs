@@ -254,6 +254,20 @@ impl PmoGraph {
             .map(|(i, _)| EventId(i as u32))
     }
 
+    /// All edges of the PMO DAG as `(from, to)` pairs, in trace order of
+    /// the source event.
+    ///
+    /// Cross-thread edges (a `pRel` to the `pAcq` that observed it) are
+    /// exactly the observations [`TraceBuilder::observe`] admitted, which
+    /// is what lets callers compare the *synchronization structure* of
+    /// two traces without caring about event numbering.
+    pub fn edges(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
+        self.succ.iter().enumerate().flat_map(|(i, outs)| {
+            outs.iter()
+                .map(move |&m| (EventId(u32::try_from(i).expect("trace too large")), m))
+        })
+    }
+
     /// Whether `w1 →pmo w2` — i.e. the model guarantees that if `w2` is
     /// durable then `w1` must be durable.
     ///

@@ -1,15 +1,16 @@
-//! Litmus tests for the SBRP formal model.
+//! Trace-level litmus checking for the SBRP formal model.
 //!
-//! Each litmus is a tiny execution shape from the paper, together with the
-//! PMO outcomes the model requires. They document the model's behaviour
-//! and guard the [`super::TraceBuilder`] rules against
-//! regressions; the simulator's persist engines are separately validated
-//! against the same shapes in `sbrp-gpu-sim`'s tests.
+//! A [`Litmus`] is an execution's PMO graph plus the outcomes the model
+//! requires of it. The hand-written litmus *shapes* that used to live
+//! here are gone: `sbrp-mc::litmus` now expresses each shape as a real
+//! kernel and **derives** the trace by interpreting it, then model-checks
+//! every interleaving, drain order, and crash cut of the same program —
+//! so a shape can no longer drift from what an execution can actually
+//! produce. This module keeps only the checkable artifact the derivation
+//! targets.
 
-use super::graph::{PmoGraph, TraceBuilder};
+use super::graph::PmoGraph;
 use super::EventId;
-use crate::ops::PersistOpKind;
-use crate::scope::{Scope, ThreadPos};
 
 /// An expected PMO outcome between two persists of a litmus trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,429 +63,37 @@ impl Litmus {
     }
 }
 
-fn th(block: u32, tid: u32) -> ThreadPos {
-    ThreadPos::new(block, tid)
-}
-
-/// `W(x); oFence; W(y)` — the gpKVS logging idiom (Fig. 4): the log entry
-/// must persist before the pair it guards.
-#[must_use]
-pub fn intra_thread_ofence() -> Litmus {
-    let t0 = th(0, 0);
-    let mut tb = TraceBuilder::new();
-    let log = tb.persist(t0, 0x1000);
-    tb.op(t0, PersistOpKind::OFence, None);
-    let pair = tb.persist(t0, 0x2000);
-    Litmus {
-        name: "oFence",
-        description: "oFence orders a thread's earlier persists before its later ones",
-        graph: tb.finish(),
-        expectations: vec![
-            Expectation {
-                before: log,
-                after: pair,
-                ordered: true,
-            },
-            Expectation {
-                before: pair,
-                after: log,
-                ordered: false,
-            },
-        ],
-    }
-}
-
-/// Two persists with no intervening fence are unordered — epochs may
-/// reorder freely within themselves.
-#[must_use]
-pub fn unfenced_persists() -> Litmus {
-    let t0 = th(0, 0);
-    let mut tb = TraceBuilder::new();
-    let a = tb.persist(t0, 0x1000);
-    let b = tb.persist(t0, 0x2000);
-    Litmus {
-        name: "no-fence",
-        description: "persists without an intervening fence are unordered",
-        graph: tb.finish(),
-        expectations: vec![
-            Expectation {
-                before: a,
-                after: b,
-                ordered: false,
-            },
-            Expectation {
-                before: b,
-                after: a,
-                ordered: false,
-            },
-        ],
-    }
-}
-
-/// Message passing with block-scoped `pRel`/`pAcq` inside one threadblock
-/// — the reduction idiom of Fig. 3 lines 12/18.
-#[must_use]
-pub fn message_passing_block() -> Litmus {
-    let (t0, t32) = (th(0, 0), th(0, 32));
-    let mut tb = TraceBuilder::new();
-    let w1 = tb.persist(t0, 0x1000);
-    let rel = tb.op(t0, PersistOpKind::PRel(Scope::Block), Some(0x80));
-    let acq = tb.op(t32, PersistOpKind::PAcq(Scope::Block), Some(0x80));
-    let w2 = tb.persist(t32, 0x2000);
-    tb.observe(acq, rel);
-    Litmus {
-        name: "MP+block",
-        description: "block-scoped release/acquire orders persists within a threadblock",
-        graph: tb.finish(),
-        expectations: vec![
-            Expectation {
-                before: w1,
-                after: w2,
-                ordered: true,
-            },
-            Expectation {
-                before: w2,
-                after: w1,
-                ordered: false,
-            },
-        ],
-    }
-}
-
-/// The scoped persistency bug of §5.3: block-scoped operations used
-/// *across* threadblocks create no inter-thread PMO.
-#[must_use]
-pub fn scoped_bug_block_across_blocks() -> Litmus {
-    let (a, b) = (th(0, 0), th(1, 0));
-    let mut tb = TraceBuilder::new();
-    let w1 = tb.persist(a, 0x1000);
-    let rel = tb.op(a, PersistOpKind::PRel(Scope::Block), Some(0x80));
-    let acq = tb.op(b, PersistOpKind::PAcq(Scope::Block), Some(0x80));
-    let w2 = tb.persist(b, 0x2000);
-    tb.observe(acq, rel);
-    Litmus {
-        name: "MP+block-across-blocks (bug)",
-        description: "narrower-than-needed scope yields no PMO — the §5.3 persistency bug",
-        graph: tb.finish(),
-        expectations: vec![Expectation {
-            before: w1,
-            after: w2,
-            ordered: false,
-        }],
-    }
-}
-
-/// Message passing with device scope across threadblocks — the corrected
-/// version of Fig. 3 line 24.
-#[must_use]
-pub fn message_passing_device() -> Litmus {
-    let (a, b) = (th(0, 0), th(1, 0));
-    let mut tb = TraceBuilder::new();
-    let w1 = tb.persist(a, 0x1000);
-    let rel = tb.op(a, PersistOpKind::PRel(Scope::Device), Some(0x80));
-    let acq = tb.op(b, PersistOpKind::PAcq(Scope::Device), Some(0x80));
-    let w2 = tb.persist(b, 0x2000);
-    tb.observe(acq, rel);
-    Litmus {
-        name: "MP+device",
-        description: "device-scoped release/acquire orders persists across threadblocks",
-        graph: tb.finish(),
-        expectations: vec![Expectation {
-            before: w1,
-            after: w2,
-            ordered: true,
-        }],
-    }
-}
-
-/// Three-thread transitive chain (`W1 → rel/acq → W2 → rel/acq → W3`).
-#[must_use]
-pub fn transitive_chain() -> Litmus {
-    let (a, b, c) = (th(0, 0), th(0, 32), th(0, 64));
-    let mut tb = TraceBuilder::new();
-    let w1 = tb.persist(a, 0x1000);
-    let r1 = tb.op(a, PersistOpKind::PRel(Scope::Block), Some(0x80));
-    let a1 = tb.op(b, PersistOpKind::PAcq(Scope::Block), Some(0x80));
-    let _w2 = tb.persist(b, 0x2000);
-    let r2 = tb.op(b, PersistOpKind::PRel(Scope::Block), Some(0x88));
-    let a2 = tb.op(c, PersistOpKind::PAcq(Scope::Block), Some(0x88));
-    let w3 = tb.persist(c, 0x3000);
-    tb.observe(a1, r1);
-    tb.observe(a2, r2);
-    Litmus {
-        name: "ISA2-like chain",
-        description: "PMO is transitive across release/acquire chains",
-        graph: tb.finish(),
-        expectations: vec![
-            Expectation {
-                before: w1,
-                after: w3,
-                ordered: true,
-            },
-            Expectation {
-                before: w3,
-                after: w1,
-                ordered: false,
-            },
-        ],
-    }
-}
-
-/// dFence behaves at least as an ordering fence.
-#[must_use]
-pub fn dfence_orders() -> Litmus {
-    let t0 = th(0, 0);
-    let mut tb = TraceBuilder::new();
-    let w1 = tb.persist(t0, 0x1000);
-    tb.op(t0, PersistOpKind::DFence, None);
-    let w2 = tb.persist(t0, 0x2000);
-    Litmus {
-        name: "dFence",
-        description: "dFence provides the ordering guarantees of oFence",
-        graph: tb.finish(),
-        expectations: vec![Expectation {
-            before: w1,
-            after: w2,
-            ordered: true,
-        }],
-    }
-}
-
-/// The baselines' epoch barrier orders a thread's earlier persists
-/// before its later ones (epochs may reorder only within themselves).
-#[must_use]
-pub fn epoch_barrier_orders() -> Litmus {
-    let t0 = th(0, 0);
-    let mut tb = TraceBuilder::new();
-    let w1 = tb.persist(t0, 0x1000);
-    tb.op(t0, PersistOpKind::EpochBarrier, None);
-    let w2 = tb.persist(t0, 0x2000);
-    tb.op(t0, PersistOpKind::EpochBarrier, None);
-    let w3 = tb.persist(t0, 0x3000);
-    Litmus {
-        name: "epoch",
-        description: "epoch barriers order persists across epochs, not within them",
-        graph: tb.finish(),
-        expectations: vec![
-            Expectation {
-                before: w1,
-                after: w2,
-                ordered: true,
-            },
-            Expectation {
-                before: w2,
-                after: w3,
-                ordered: true,
-            },
-            Expectation {
-                before: w1,
-                after: w3,
-                ordered: true,
-            },
-            Expectation {
-                before: w3,
-                after: w1,
-                ordered: false,
-            },
-        ],
-    }
-}
-
-/// Acquire without a matching release observation creates no edge.
-#[must_use]
-pub fn acquire_of_initial_value() -> Litmus {
-    let (a, b) = (th(0, 0), th(0, 32));
-    let mut tb = TraceBuilder::new();
-    let w1 = tb.persist(a, 0x1000);
-    let _rel = tb.op(a, PersistOpKind::PRel(Scope::Block), Some(0x80));
-    let _acq = tb.op(b, PersistOpKind::PAcq(Scope::Block), Some(0x80));
-    let w2 = tb.persist(b, 0x2000);
-    // No observe(): the acquire read the flag's initial value.
-    Litmus {
-        name: "MP+unobserved",
-        description: "an acquire that did not read the release's value orders nothing",
-        graph: tb.finish(),
-        expectations: vec![Expectation {
-            before: w1,
-            after: w2,
-            ordered: false,
-        }],
-    }
-}
-
-/// A block-scoped release observed by a *device*-scoped acquire in
-/// another block: the pattern's effective scope is the narrowest
-/// constituent (§2), so widening only the acquire does not repair the
-/// §5.3 bug.
-#[must_use]
-pub fn block_release_observed_device_wide() -> Litmus {
-    let (a, b) = (th(0, 0), th(1, 0));
-    let mut tb = TraceBuilder::new();
-    let w1 = tb.persist(a, 0x1000);
-    let rel = tb.op(a, PersistOpKind::PRel(Scope::Block), Some(0x80));
-    let acq = tb.op(b, PersistOpKind::PAcq(Scope::Device), Some(0x80));
-    let w2 = tb.persist(b, 0x2000);
-    tb.observe(acq, rel);
-    Litmus {
-        name: "MP+block-rel+device-acq (bug)",
-        description: "a block-scoped release observed device-wide still takes the \
-                      narrowest scope — widening one side does not create PMO",
-        graph: tb.finish(),
-        expectations: vec![Expectation {
-            before: w1,
-            after: w2,
-            ordered: false,
-        }],
-    }
-}
-
-/// The symmetric widening: a *system*-scoped acquire reading a
-/// device-scoped release across blocks. Device already includes both
-/// threads, so here the narrowest constituent suffices and PMO holds.
-#[must_use]
-pub fn device_release_observed_system_wide() -> Litmus {
-    let (a, b) = (th(0, 0), th(1, 0));
-    let mut tb = TraceBuilder::new();
-    let w1 = tb.persist(a, 0x1000);
-    let rel = tb.op(a, PersistOpKind::PRel(Scope::Device), Some(0x80));
-    let acq = tb.op(b, PersistOpKind::PAcq(Scope::System), Some(0x80));
-    let w2 = tb.persist(b, 0x2000);
-    tb.observe(acq, rel);
-    Litmus {
-        name: "MP+device-rel+system-acq",
-        description: "mixed device/system scopes: the narrowest constituent (device) \
-                      includes both threads, so the edge exists",
-        graph: tb.finish(),
-        expectations: vec![
-            Expectation {
-                before: w1,
-                after: w2,
-                ordered: true,
-            },
-            Expectation {
-                before: w2,
-                after: w1,
-                ordered: false,
-            },
-        ],
-    }
-}
-
-/// `W1; dFence; W2; oFence; W3` — the two fence kinds compose
-/// transitively within a thread: a dFence-then-oFence chain orders the
-/// first persist before the last even though no single fence separates
-/// them.
-#[must_use]
-pub fn dfence_ofence_transitivity_chain() -> Litmus {
-    let t0 = th(0, 0);
-    let mut tb = TraceBuilder::new();
-    let w1 = tb.persist(t0, 0x1000);
-    tb.op(t0, PersistOpKind::DFence, None);
-    let w2 = tb.persist(t0, 0x2000);
-    tb.op(t0, PersistOpKind::OFence, None);
-    let w3 = tb.persist(t0, 0x3000);
-    Litmus {
-        name: "dFence/oFence chain",
-        description: "dFence and oFence compose transitively: W1 dFence W2 oFence W3 \
-                      orders W1 before W3",
-        graph: tb.finish(),
-        expectations: vec![
-            Expectation {
-                before: w1,
-                after: w2,
-                ordered: true,
-            },
-            Expectation {
-                before: w2,
-                after: w3,
-                ordered: true,
-            },
-            Expectation {
-                before: w1,
-                after: w3,
-                ordered: true,
-            },
-            Expectation {
-                before: w3,
-                after: w1,
-                ordered: false,
-            },
-        ],
-    }
-}
-
-/// A release also covers persists an *earlier* fence already ordered —
-/// crossing a dFence into a block-scoped handoff keeps the whole prefix
-/// released (the "release covers all prior persists" rule of Box 2).
-#[must_use]
-pub fn dfence_prefix_flows_through_release() -> Litmus {
-    let (a, b) = (th(0, 0), th(0, 32));
-    let mut tb = TraceBuilder::new();
-    let w_old = tb.persist(a, 0x1000);
-    tb.op(a, PersistOpKind::DFence, None);
-    tb.persist(a, 0x1800);
-    let rel = tb.op(a, PersistOpKind::PRel(Scope::Block), Some(0x80));
-    let acq = tb.op(b, PersistOpKind::PAcq(Scope::Block), Some(0x80));
-    let w2 = tb.persist(b, 0x2000);
-    tb.observe(acq, rel);
-    Litmus {
-        name: "dFence-prefix+MP",
-        description: "persists ordered by an earlier dFence still flow through a later \
-                      release/acquire handoff",
-        graph: tb.finish(),
-        expectations: vec![
-            Expectation {
-                before: w_old,
-                after: w2,
-                ordered: true,
-            },
-            Expectation {
-                before: w2,
-                after: w_old,
-                ordered: false,
-            },
-        ],
-    }
-}
-
-/// All litmus tests.
-#[must_use]
-pub fn all() -> Vec<Litmus> {
-    vec![
-        intra_thread_ofence(),
-        unfenced_persists(),
-        message_passing_block(),
-        scoped_bug_block_across_blocks(),
-        message_passing_device(),
-        transitive_chain(),
-        dfence_orders(),
-        epoch_barrier_orders(),
-        acquire_of_initial_value(),
-        block_release_observed_device_wide(),
-        device_release_observed_system_wide(),
-        dfence_ofence_transitivity_chain(),
-        dfence_prefix_flows_through_release(),
-    ]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::formal::TraceBuilder;
+    use crate::ops::PersistOpKind;
+    use crate::scope::ThreadPos;
 
     #[test]
-    fn every_litmus_passes() {
-        for litmus in all() {
-            litmus.check().unwrap();
-        }
-    }
-
-    #[test]
-    fn litmus_set_is_nontrivial() {
-        let set = all();
-        assert!(set.len() >= 13);
-        assert!(set.iter().any(|l| l.expectations.iter().any(|e| e.ordered)));
-        assert!(set
-            .iter()
-            .any(|l| l.expectations.iter().any(|e| !e.ordered)));
+    fn check_reports_the_failing_expectation() {
+        let t0 = ThreadPos::new(0u32, 0);
+        let mut tb = TraceBuilder::new();
+        let a = tb.persist(t0, 0x1000);
+        tb.op(t0, PersistOpKind::OFence, None);
+        let b = tb.persist(t0, 0x2000);
+        let mut litmus = Litmus {
+            name: "check-smoke",
+            description: "oFence orders the pair",
+            graph: tb.finish(),
+            expectations: vec![Expectation {
+                before: a,
+                after: b,
+                ordered: true,
+            }],
+        };
+        litmus.check().expect("ordered pair must verify");
+        litmus.expectations.push(Expectation {
+            before: b,
+            after: a,
+            ordered: true,
+        });
+        let err = litmus.check().expect_err("reversed pair must fail");
+        assert!(err.contains("check-smoke"), "unhelpful error: {err}");
     }
 }

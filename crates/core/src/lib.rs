@@ -44,7 +44,7 @@
 //! assert_eq!(pb.persist_store(w0, 7.into()), StoreOutcome::StallOrdered);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod epoch;
 pub mod fingerprint;

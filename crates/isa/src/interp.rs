@@ -14,6 +14,7 @@ use crate::instr::{Instr, MemWidth, Special};
 use crate::kernel::{Kernel, LaunchConfig};
 use crate::reg::{Reg, NUM_REGS};
 use crate::stmt::Stmt;
+use sbrp_core::fingerprint::Fingerprint;
 use sbrp_core::scope::{Scope, WARP_SIZE};
 use std::sync::Arc;
 
@@ -96,7 +97,7 @@ pub enum StepResult {
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Frame {
     Block {
         stmts: Arc<[Stmt]>,
@@ -112,7 +113,7 @@ enum Frame {
     },
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Pending {
     /// Write completion values to `dst` for the recorded lanes.
     Values { dst: Reg, lanes: Vec<u8> },
@@ -178,6 +179,18 @@ enum Pending {
 /// assert_eq!(actions, ["store", "ofence"]);
 /// assert!(w.is_done());
 /// ```
+///
+/// # Branching executions
+///
+/// `WarpInterp` is `Clone`, and cloning is cheap relative to a kernel
+/// run (registers and the frame stack copy; the program is shared via
+/// `Arc`). A stateless model checker exploits this to branch an
+/// execution at every scheduling point: clone the interpreter, complete
+/// the outstanding action differently in each branch, and continue. The
+/// companion [`WarpInterp::fingerprint_into`] provides a canonical
+/// digest of the architectural state so converging branches can be
+/// deduplicated.
+#[derive(Clone)]
 pub struct WarpInterp {
     params: Arc<Vec<u64>>,
     regs: Box<[[u64; WARP_SIZE]]>,
@@ -600,6 +613,71 @@ impl WarpInterp {
             self.pending.take().is_some(),
             "retry with nothing outstanding"
         );
+    }
+
+    /// Hashes the warp's architectural state into `fp`, canonically.
+    ///
+    /// Two interpreters with equal fingerprint inputs behave identically
+    /// for every future `step`/`complete` sequence: the digest covers
+    /// registers (sparsely: only non-zero lanes), the frame stack
+    /// (blocks identified by their stable [`crate::BlockIndex`] id, so
+    /// the digest is reproducible across processes), and the pending
+    /// action. The `retired` statistic is deliberately excluded — a
+    /// spin-loop iteration that changes nothing architectural must not
+    /// change the fingerprint, or a model checker could never prune
+    /// repeated spins.
+    ///
+    /// # Panics
+    /// Panics if `blocks` was built from a different kernel than this
+    /// interpreter runs.
+    pub fn fingerprint_into(&self, blocks: &crate::kernel::BlockIndex, fp: &mut Fingerprint) {
+        fp.write_u64(u64::from(self.block_id));
+        fp.write_u64(u64::from(self.warp_in_block));
+        for (r, lanes) in self.regs.iter().enumerate() {
+            for (l, &v) in lanes.iter().enumerate() {
+                if v != 0 {
+                    fp.write_u64(((r as u64) << 8) | l as u64);
+                    fp.write_u64(v);
+                }
+            }
+        }
+        fp.write_u64(self.frames.len() as u64);
+        for f in &self.frames {
+            match f {
+                Frame::Block { stmts, idx, mask } => {
+                    fp.write_u64(1);
+                    fp.write_u64(u64::from(blocks.id_of(stmts)));
+                    fp.write_u64(*idx as u64);
+                    fp.write_u64(u64::from(*mask));
+                }
+                Frame::Loop {
+                    cond_b,
+                    cond,
+                    body,
+                    mask,
+                    in_body,
+                } => {
+                    fp.write_u64(2);
+                    fp.write_u64(u64::from(blocks.id_of(cond_b)));
+                    fp.write_u64(u64::from(blocks.id_of(body)));
+                    fp.write_u64(cond.index() as u64);
+                    fp.write_u64(u64::from(*mask));
+                    fp.write_u64(u64::from(*in_body));
+                }
+            }
+        }
+        match &self.pending {
+            None => fp.write_u64(0),
+            Some(Pending::Plain) => fp.write_u64(1),
+            Some(Pending::Values { dst, lanes }) => {
+                fp.write_u64(2);
+                fp.write_u64(dst.index() as u64);
+                fp.write_u64(lanes.len() as u64);
+                for &l in lanes {
+                    fp.write_u64(u64::from(l));
+                }
+            }
+        }
     }
 }
 

@@ -115,6 +115,43 @@ impl Kernel {
         block_len(&self.program)
     }
 
+    /// Assigns a stable, process-independent id to every statement block
+    /// in the program tree (the top-level block, `if` branches, `while`
+    /// condition and body blocks), in deterministic pre-order.
+    ///
+    /// [`crate::WarpInterp::fingerprint_into`] uses these ids to name
+    /// the blocks on the interpreter's frame stack, so two processes
+    /// exploring the same kernel compute identical state fingerprints.
+    #[must_use]
+    pub fn block_index(&self) -> BlockIndex {
+        let mut ids = std::collections::HashMap::new();
+        let mut next = 0u32;
+        let mut stack: Vec<&Arc<[Stmt]>> = vec![&self.program];
+        while let Some(block) = stack.pop() {
+            ids.entry(Arc::as_ptr(block) as *const Stmt as usize)
+                .or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                });
+            // Children pushed in reverse so pre-order ids read forward.
+            for s in block.iter().rev() {
+                match s {
+                    Stmt::I(_) => {}
+                    Stmt::If { then_b, else_b, .. } => {
+                        stack.push(else_b);
+                        stack.push(then_b);
+                    }
+                    Stmt::While { cond_b, body, .. } => {
+                        stack.push(body);
+                        stack.push(cond_b);
+                    }
+                }
+            }
+        }
+        BlockIndex { ids }
+    }
+
     /// Pretty-prints the kernel as indented pseudo-assembly — handy when
     /// debugging workload builders.
     #[must_use]
@@ -154,6 +191,32 @@ impl Kernel {
         let mut out = format!(".kernel {} (params: {:?})\n", self.name, self.params);
         walk(&mut out, &self.program, 1);
         out
+    }
+}
+
+/// Stable ids for the statement blocks of one kernel's program tree,
+/// built by [`Kernel::block_index`].
+///
+/// Ids are assigned by a deterministic pre-order walk, so they are equal
+/// across processes for the same kernel — unlike the `Arc` pointers that
+/// identify blocks in memory.
+#[derive(Clone, Debug)]
+pub struct BlockIndex {
+    ids: std::collections::HashMap<usize, u32>,
+}
+
+impl BlockIndex {
+    /// The stable id of `block`.
+    ///
+    /// # Panics
+    /// Panics if `block` does not belong to the kernel this index was
+    /// built from.
+    #[must_use]
+    pub fn id_of(&self, block: &Arc<[Stmt]>) -> u32 {
+        *self
+            .ids
+            .get(&(Arc::as_ptr(block) as *const Stmt as usize))
+            .expect("block not part of the indexed kernel")
     }
 }
 

@@ -42,7 +42,7 @@
 //! assert_eq!(kernel.name(), "axpy1");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod builder;
 mod instr;
@@ -54,6 +54,6 @@ mod stmt;
 pub use builder::KernelBuilder;
 pub use instr::{BinOp, Instr, MemWidth, Special};
 pub use interp::{AccessKind, FenceAccess, LaneAccess, MemAccess, StepResult, WarpInterp};
-pub use kernel::{Kernel, LaunchConfig};
+pub use kernel::{BlockIndex, Kernel, LaunchConfig};
 pub use reg::{Reg, NUM_REGS};
 pub use stmt::Stmt;

@@ -40,7 +40,7 @@
 //!
 //! [`sbrp-isa`]: sbrp_isa
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dataflow;
 mod diag;

@@ -1,0 +1,246 @@
+//! Dynamic cross-validation of the static linter.
+//!
+//! `sbrp-lint` flags kernels *statically*; this module closes the loop
+//! by model-checking every kernel of [`sbrp_lint::mutants::suite`] and
+//! proving, per mutant, that the lint verdict corresponds to real
+//! executions:
+//!
+//! * **broken mutants with a durability bug** (`wal_fence_deleted`,
+//!   `mp_scope_narrowed`, `epoch_barrier_dropped`, `trailing_persist`)
+//!   get a *concrete counterexample* — a shrunk schedule after which
+//!   the recovery invariant is broken — plus a reachability witness;
+//! * **their correct counterparts** (`wal_correct`, `mp_device_correct`,
+//!   `epoch_correct`) are verified over the full state space with the
+//!   same invariant, proving the lint's silence is justified;
+//! * **warning-class mutants** (`unmatched_release`, `redundant_fence`,
+//!   `dfence_in_loop`) have no violating execution — their evidence is
+//!   the structural fact the warning asserts, checked over *all*
+//!   executions: a release no acquire ever observes, a fence that
+//!   seals nothing in any interleaving, a drain on every one of the
+//!   loop's iterations.
+//!
+//! The message-passing pair is re-parameterized to place its `sink` in
+//! persistent memory: the lint's §5.3 complaint is about *persist*
+//! ordering, so the dynamic witness must be a persist that becomes
+//! durable before the data it depends on.
+
+use crate::explore::{explore, shrink, McOpts};
+use crate::spec::{
+    Choice, Invariant, McReport, PersistDomain, Program, Reach, Spec, ViolationKind,
+};
+use sbrp_core::ops::ModelKind;
+use sbrp_lint::mutants::{suite, Mutant};
+
+/// PM window base used for cross-validation (matches the lint tests).
+pub const PM_BASE: u64 = 1 << 40;
+
+/// The model-checking verdict for one lint mutant.
+pub struct MutantEvidence {
+    /// Mutant name (matches [`sbrp_lint::mutants::Mutant::name`]).
+    pub name: &'static str,
+    /// Whether the lint flags this mutant.
+    pub lint_broken: bool,
+    /// The full exploration report.
+    pub report: McReport,
+    /// For mutants with a durability bug: the shortest schedule that
+    /// violates the recovery invariant.
+    pub witness: Option<Vec<Choice>>,
+    /// One line stating what the exploration proved.
+    pub finding: String,
+    /// Whether the dynamic evidence agrees with the lint verdict.
+    pub agrees: bool,
+}
+
+fn program(m: &Mutant, model: ModelKind) -> Program {
+    Program {
+        kernel: m.kernel.clone(),
+        launch: m.launch,
+        model,
+        domain: PersistDomain::Adr,
+        pm_base: PM_BASE,
+    }
+}
+
+/// The recovery invariant `durable(at) ⇒ durable(requires)` plus the
+/// matching reach target for the broken variant.
+fn implies(at: u64, requires: u64) -> (Invariant, Reach) {
+    (
+        Invariant::AddrImplies {
+            if_durable: at,
+            then_durable: requires,
+        },
+        Reach {
+            durable: at,
+            not_durable: requires,
+        },
+    )
+}
+
+/// The model-checking subject and spec for a named lint mutant, or
+/// `None` for an unknown name. Public so tests can replay witnesses
+/// against exactly the program the evidence ran on.
+#[must_use]
+pub fn program_and_spec(name: &str) -> Option<(Program, Spec)> {
+    let m = suite(PM_BASE).into_iter().find(|m| m.name == name)?;
+    let (prog, spec, _) = subject(&m);
+    Some((prog, spec))
+}
+
+fn subject(m: &Mutant) -> (Program, Spec, bool) {
+    // Representative persist addresses (thread 0's slot of each region).
+    let wal_data = PM_BASE;
+    let wal_log = PM_BASE + 0x10000;
+    let epoch_dst = PM_BASE;
+    let epoch_jrnl = PM_BASE + 0x20000;
+    let mp_data = PM_BASE;
+    let mp_sink = PM_BASE + 0x2000;
+
+    match m.name {
+        "wal_correct" | "wal_fence_deleted" => {
+            let (inv, reach) = implies(wal_data, wal_log);
+            let broken = m.name == "wal_fence_deleted";
+            let spec = Spec {
+                invariants: vec![inv],
+                reach: if broken { vec![reach] } else { vec![] },
+                ..Spec::default()
+            };
+            (program(m, ModelKind::Sbrp), spec, broken)
+        }
+        "mp_device_correct" | "mp_scope_narrowed" => {
+            // Persist the sink so the §5.3 ordering question is about
+            // two persists, as in the paper.
+            let mut prog = program(m, ModelKind::Sbrp);
+            prog.kernel = prog.kernel.with_params(vec![mp_data, 0x8000, mp_sink]);
+            let (inv, reach) = implies(mp_sink, mp_data);
+            let broken = m.name == "mp_scope_narrowed";
+            let spec = Spec {
+                invariants: vec![inv],
+                reach: if broken { vec![reach] } else { vec![] },
+                ..Spec::default()
+            };
+            (prog, spec, broken)
+        }
+        "epoch_correct" | "epoch_barrier_dropped" => {
+            let (inv, reach) = implies(epoch_dst, epoch_jrnl);
+            let broken = m.name == "epoch_barrier_dropped";
+            let spec = Spec {
+                invariants: vec![inv],
+                reach: if broken { vec![reach] } else { vec![] },
+                ..Spec::default()
+            };
+            (program(m, ModelKind::Epoch), spec, broken)
+        }
+        "trailing_persist" => {
+            let spec = Spec {
+                invariants: vec![Invariant::DurableAtExit { addr: PM_BASE }],
+                ..Spec::default()
+            };
+            (program(m, ModelKind::Sbrp), spec, true)
+        }
+        // Warning-class mutants: explored with no extra invariants; the
+        // evidence is structural.
+        "unmatched_release" | "redundant_fence" | "dfence_in_loop" => {
+            (program(m, ModelKind::Sbrp), Spec::default(), false)
+        }
+        other => panic!("no mc mapping for lint mutant `{other}`"),
+    }
+}
+
+fn check_one(m: &Mutant, opts: &McOpts) -> MutantEvidence {
+    let (prog, spec, expect_violation) = subject(m);
+    let report = explore(&prog, &spec, opts);
+
+    let (agrees, finding) = match m.name {
+        "wal_correct" | "mp_device_correct" | "epoch_correct" => (
+            report.verified(),
+            format!(
+                "recovery invariant holds over {} states / {} transitions",
+                report.states, report.transitions
+            ),
+        ),
+        "wal_fence_deleted" | "mp_scope_narrowed" | "epoch_barrier_dropped" => {
+            let has = report
+                .violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::AddrImplies);
+            let reached = report.reached.first().is_some_and(Option::is_some);
+            let scope_ok = m.name != "mp_scope_narrowed" || report.evidence.any_scope_bug;
+            (
+                has && reached && scope_ok,
+                format!(
+                    "found execution with dependent persist durable and its \
+                     prerequisite lost ({} violating transitions)",
+                    report
+                        .violations
+                        .iter()
+                        .filter(|v| v.kind == ViolationKind::AddrImplies)
+                        .count()
+                ),
+            )
+        }
+        "trailing_persist" => {
+            let has = report
+                .violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::DurableAtExit);
+            (
+                has,
+                "found crash cut after kernel exit with the trailing persist lost".into(),
+            )
+        }
+        "unmatched_release" => (
+            report.verified() && !report.evidence.any_observation,
+            format!(
+                "release observed by no acquire in any of {} states",
+                report.states
+            ),
+        ),
+        "redundant_fence" => {
+            let first_useful = report.evidence.nonvacuous_ofences.contains(&(0, 0));
+            let second_vacuous = !report.evidence.nonvacuous_ofences.contains(&(0, 1));
+            let both_fired = report.evidence.ofence_sites.get(&0) == Some(&2);
+            (
+                report.verified() && first_useful && second_vacuous && both_fired,
+                "second oFence seals no entry in any interleaving; the first does".into(),
+            )
+        }
+        "dfence_in_loop" => {
+            let n = (report.evidence.min_dfences, report.evidence.max_dfences);
+            (
+                report.verified() && n == (4, 4),
+                format!(
+                    "every complete execution drains {} times (once per iteration)",
+                    n.0
+                ),
+            )
+        }
+        _ => unreachable!(),
+    };
+
+    let witness = if expect_violation {
+        let kind = if m.name == "trailing_persist" {
+            ViolationKind::DurableAtExit
+        } else {
+            ViolationKind::AddrImplies
+        };
+        shrink(&prog, &spec, kind, opts)
+    } else {
+        None
+    };
+
+    MutantEvidence {
+        name: m.name,
+        lint_broken: m.is_broken(),
+        report,
+        witness,
+        finding,
+        agrees,
+    }
+}
+
+/// Model-checks every lint mutant and returns the per-mutant evidence,
+/// in suite order.
+#[must_use]
+pub fn cross_validate(opts: &McOpts) -> Vec<MutantEvidence> {
+    suite(PM_BASE).iter().map(|m| check_one(m, opts)).collect()
+}

@@ -1,0 +1,637 @@
+//! Kernel-backed litmus shapes, model-checked exhaustively.
+//!
+//! Each shape here is a *program* — an [`sbrp_isa`] kernel plus launch
+//! geometry — rather than a hand-written trace. The hand-written traces
+//! that used to live in `sbrp_core::formal::litmus` are now *derived*
+//! artifacts: [`McLitmus::derive`] interprets the kernel under the
+//! canonical schedule and hands back a [`Litmus`] whose graph was
+//! produced by execution, not by hand. Deriving kills the classic
+//! hand-trace failure mode (the trace drifting from what any real
+//! execution can produce) and, because the same program feeds
+//! [`crate::explore`], upgrades each shape from "this one interleaving
+//! behaves as required" to "*every* interleaving, drain order, and
+//! crash cut behaves as required".
+//!
+//! Writer sides predicate persists on lane 0 so each `W(x)` of the
+//! paper's shapes is exactly one persist event, keeping derived graphs
+//! as close to the original hand traces as warp semantics allow.
+//! Message-passing consumers *spin* on the flag, so every complete
+//! execution observes the release — which is what lets shapes state
+//! their expectation under [`ObsCond::Observed`] without vacuity.
+
+use crate::explore::canonical_run;
+use crate::spec::{Invariant, McExpectation, ObsCond, PRef, PersistDomain, Program, Reach, Spec};
+use sbrp_core::formal::litmus::{Expectation, Litmus};
+use sbrp_core::ops::ModelKind;
+use sbrp_core::scope::{Scope, ThreadPos};
+use sbrp_isa::{KernelBuilder, LaunchConfig, MemWidth, Special};
+
+/// PM boundary for litmus programs: the shapes persist to `0x1000` and
+/// up, and use sub-`0x1000` addresses (e.g. `0x80`) as volatile flags.
+pub const LITMUS_PM_BASE: u64 = 0x1000;
+
+/// A litmus shape as a checkable program.
+pub struct McLitmus {
+    /// Short name, matching the paper's shape (e.g. `"MP+block"`).
+    pub name: &'static str,
+    /// One-line description of what the shape exercises.
+    pub description: &'static str,
+    /// The kernel, geometry, model, and persist domain.
+    pub program: Program,
+    /// What every execution must satisfy.
+    pub spec: Spec,
+}
+
+impl std::fmt::Debug for McLitmus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("McLitmus")
+            .field("name", &self.name)
+            .field("model", &self.program.model)
+            .finish_non_exhaustive()
+    }
+}
+
+impl McLitmus {
+    /// Derives the classic trace-level [`Litmus`] by running the kernel
+    /// under the canonical schedule and resolving each persist
+    /// reference against the resulting trace. Only expectations whose
+    /// [`ObsCond`] matches the canonical execution (e.g. `Observed`
+    /// when the canonical run's consumer saw the flag) are carried
+    /// over.
+    ///
+    /// # Panics
+    /// Panics if an applicable expectation references a persist the
+    /// canonical execution never issued — a malformed shape.
+    #[must_use]
+    pub fn derive(&self) -> Litmus {
+        let st = canonical_run(&self.program);
+        let expectations = self
+            .spec
+            .expectations
+            .iter()
+            .filter(|e| match e.when {
+                ObsCond::Always => true,
+                ObsCond::Observed => st.observations() > 0,
+                ObsCond::Unobserved => st.observations() == 0,
+            })
+            .map(|e| Expectation {
+                before: resolve(&st, self.name, e.before),
+                after: resolve(&st, self.name, e.after),
+                ordered: e.ordered,
+            })
+            .collect();
+        Litmus {
+            name: self.name,
+            description: self.description,
+            graph: st.graph(),
+            expectations,
+        }
+    }
+}
+
+fn resolve(st: &crate::state::State, name: &str, p: PRef) -> sbrp_core::formal::EventId {
+    st.persist_event(p.thread, p.nth).unwrap_or_else(|| {
+        panic!(
+            "{name}: canonical run never issued persist #{} of {}",
+            p.nth, p.thread
+        )
+    })
+}
+
+fn sbrp_program(kernel: sbrp_isa::Kernel, launch: LaunchConfig) -> Program {
+    Program {
+        kernel,
+        launch,
+        model: ModelKind::Sbrp,
+        domain: PersistDomain::Adr,
+        pm_base: LITMUS_PM_BASE,
+    }
+}
+
+fn pref(block: u32, tid: u32, nth: u32) -> PRef {
+    PRef {
+        thread: ThreadPos::new(block, tid),
+        nth,
+    }
+}
+
+fn exp(before: PRef, after: PRef, ordered: bool, when: ObsCond) -> McExpectation {
+    McExpectation {
+        before,
+        after,
+        ordered,
+        when,
+    }
+}
+
+/// Emits `if (lane == 0) { *addr = val; }` — one persist event.
+fn store_lane0(b: &mut KernelBuilder, addr: u64, val: u64) {
+    let lane = b.special(Special::Lane);
+    let is0 = b.eqi(lane, 0);
+    b.if_then(is0, |b| {
+        let a = b.movi(addr);
+        let v = b.movi(val);
+        b.st(a, 0, v, MemWidth::W8);
+    });
+}
+
+/// Emits `if (lane == 0) { pRel_scope(flag, 1); }`.
+fn release_lane0(b: &mut KernelBuilder, flag: u64, scope: Scope) {
+    let lane = b.special(Special::Lane);
+    let is0 = b.eqi(lane, 0);
+    b.if_then(is0, |b| {
+        let f = b.movi(flag);
+        let one = b.movi(1);
+        b.prel(f, one, scope);
+    });
+}
+
+/// Emits `if (lane == 0) { while (pAcq_scope(flag) == 0) sleep; *data = 7; }`
+/// — the spinning consumer. Every complete execution observes the
+/// release.
+fn spin_consume_lane0(b: &mut KernelBuilder, flag: u64, data: u64, scope: Scope) {
+    let lane = b.special(Special::Lane);
+    let is0 = b.eqi(lane, 0);
+    b.if_then(is0, |b| {
+        let f = b.movi(flag);
+        b.while_loop(
+            |b| {
+                let v = b.pacq(f, scope);
+                b.eqi(v, 0)
+            },
+            |b| b.sleep(1),
+        );
+        let a = b.movi(data);
+        let v = b.movi(7);
+        b.st(a, 0, v, MemWidth::W8);
+    });
+}
+
+/// The standard two-warp message-passing kernel: the first role is the
+/// producer (`W(data); pRel(flag)`), the second the spinning consumer
+/// (`spin pAcq(flag); W(data2)`). `by_block` selects roles by block
+/// (launch `2×32`) instead of by warp (launch `1×64`).
+fn mp_kernel(
+    name: &str,
+    rel_scope: Scope,
+    acq_scope: Scope,
+    by_block: bool,
+) -> (sbrp_isa::Kernel, LaunchConfig) {
+    let mut b = KernelBuilder::new();
+    let role = if by_block {
+        b.special(Special::CtaId)
+    } else {
+        b.special(Special::WarpId)
+    };
+    let is_producer = b.eqi(role, 0);
+    b.if_then_else(
+        is_producer,
+        |b| {
+            store_lane0(b, 0x1000, 42);
+            release_lane0(b, 0x80, rel_scope);
+        },
+        |b| {
+            spin_consume_lane0(b, 0x80, 0x2000, acq_scope);
+        },
+    );
+    let launch = if by_block {
+        LaunchConfig::new(2, 32)
+    } else {
+        LaunchConfig::new(1, 64)
+    };
+    (b.build(name), launch)
+}
+
+/// `W(x); oFence; W(y)` — the gpKVS logging idiom (Fig. 4): the log
+/// entry must persist before the pair it guards.
+#[must_use]
+pub fn intra_thread_ofence() -> McLitmus {
+    let mut b = KernelBuilder::new();
+    store_lane0(&mut b, 0x1000, 1);
+    b.ofence();
+    store_lane0(&mut b, 0x2000, 2);
+    McLitmus {
+        name: "oFence",
+        description: "oFence orders a thread's earlier persists before its later ones",
+        program: sbrp_program(b.build("litmus-ofence"), LaunchConfig::new(1, 32)),
+        spec: Spec {
+            expectations: vec![
+                exp(pref(0, 0, 0), pref(0, 0, 1), true, ObsCond::Always),
+                exp(pref(0, 0, 1), pref(0, 0, 0), false, ObsCond::Always),
+            ],
+            ..Spec::default()
+        },
+    }
+}
+
+/// Two persists with no intervening fence are unordered — epochs may
+/// reorder freely within themselves.
+#[must_use]
+pub fn unfenced_persists() -> McLitmus {
+    let mut b = KernelBuilder::new();
+    store_lane0(&mut b, 0x1000, 1);
+    store_lane0(&mut b, 0x2000, 2);
+    McLitmus {
+        name: "no-fence",
+        description: "persists without an intervening fence are unordered",
+        program: sbrp_program(b.build("litmus-no-fence"), LaunchConfig::new(1, 32)),
+        spec: Spec {
+            expectations: vec![
+                exp(pref(0, 0, 0), pref(0, 0, 1), false, ObsCond::Always),
+                exp(pref(0, 0, 1), pref(0, 0, 0), false, ObsCond::Always),
+            ],
+            ..Spec::default()
+        },
+    }
+}
+
+/// Message passing with block-scoped `pRel`/`pAcq` inside one
+/// threadblock — the reduction idiom of Fig. 3 lines 12/18.
+#[must_use]
+pub fn message_passing_block() -> McLitmus {
+    let (kernel, launch) = mp_kernel("litmus-mp-block", Scope::Block, Scope::Block, false);
+    McLitmus {
+        name: "MP+block",
+        description: "block-scoped release/acquire orders persists within a threadblock",
+        program: sbrp_program(kernel, launch),
+        spec: Spec {
+            expectations: vec![
+                exp(pref(0, 0, 0), pref(0, 32, 0), true, ObsCond::Observed),
+                exp(pref(0, 32, 0), pref(0, 0, 0), false, ObsCond::Observed),
+            ],
+            ..Spec::default()
+        },
+    }
+}
+
+/// The scoped persistency bug of §5.3: block-scoped operations used
+/// *across* threadblocks create no inter-thread PMO.
+#[must_use]
+pub fn scoped_bug_block_across_blocks() -> McLitmus {
+    let (kernel, launch) = mp_kernel("litmus-mp-block-x", Scope::Block, Scope::Block, true);
+    McLitmus {
+        name: "MP+block-across-blocks (bug)",
+        description: "narrower-than-needed scope yields no PMO — the §5.3 persistency bug",
+        program: sbrp_program(kernel, launch),
+        spec: Spec {
+            expectations: vec![exp(pref(0, 0, 0), pref(1, 0, 0), false, ObsCond::Observed)],
+            // The bug is *reachable*, not just permitted: some crash cut
+            // has the consumer's persist durable and the producer's lost.
+            reach: vec![Reach {
+                durable: 0x2000,
+                not_durable: 0x1000,
+            }],
+            ..Spec::default()
+        },
+    }
+}
+
+/// Message passing with device scope across threadblocks — the
+/// corrected version of Fig. 3 line 24.
+#[must_use]
+pub fn message_passing_device() -> McLitmus {
+    let (kernel, launch) = mp_kernel("litmus-mp-device", Scope::Device, Scope::Device, true);
+    McLitmus {
+        name: "MP+device",
+        description: "device-scoped release/acquire orders persists across threadblocks",
+        program: sbrp_program(kernel, launch),
+        spec: Spec {
+            expectations: vec![exp(pref(0, 0, 0), pref(1, 0, 0), true, ObsCond::Observed)],
+            ..Spec::default()
+        },
+    }
+}
+
+/// Three-warp transitive chain (`W1 → rel/acq → W2 → rel/acq → W3`).
+#[must_use]
+pub fn transitive_chain() -> McLitmus {
+    let mut b = KernelBuilder::new();
+    let wid = b.special(Special::WarpId);
+    let is0 = b.eqi(wid, 0);
+    let is1 = b.eqi(wid, 1);
+    b.if_then_else(
+        is0,
+        |b| {
+            store_lane0(b, 0x1000, 1);
+            release_lane0(b, 0x80, Scope::Block);
+        },
+        |b| {
+            b.if_then_else(
+                is1,
+                |b| {
+                    spin_consume_lane0(b, 0x80, 0x2000, Scope::Block);
+                    release_lane0(b, 0x88, Scope::Block);
+                },
+                |b| {
+                    spin_consume_lane0(b, 0x88, 0x3000, Scope::Block);
+                },
+            );
+        },
+    );
+    McLitmus {
+        name: "ISA2-like chain",
+        description: "PMO is transitive across release/acquire chains",
+        program: sbrp_program(b.build("litmus-isa2"), LaunchConfig::new(1, 96)),
+        spec: Spec {
+            expectations: vec![
+                exp(pref(0, 0, 0), pref(0, 64, 0), true, ObsCond::Observed),
+                exp(pref(0, 64, 0), pref(0, 0, 0), false, ObsCond::Observed),
+            ],
+            ..Spec::default()
+        },
+    }
+}
+
+/// dFence behaves at least as an ordering fence.
+#[must_use]
+pub fn dfence_orders() -> McLitmus {
+    let mut b = KernelBuilder::new();
+    store_lane0(&mut b, 0x1000, 1);
+    b.dfence();
+    store_lane0(&mut b, 0x2000, 2);
+    McLitmus {
+        name: "dFence",
+        description: "dFence provides the ordering guarantees of oFence",
+        program: sbrp_program(b.build("litmus-dfence"), LaunchConfig::new(1, 32)),
+        spec: Spec {
+            expectations: vec![exp(pref(0, 0, 0), pref(0, 0, 1), true, ObsCond::Always)],
+            ..Spec::default()
+        },
+    }
+}
+
+/// dFence is a *durability* fence, not just an ordering fence: in every
+/// reachable state where the post-fence persist is durable, the
+/// pre-fence persist already is, and the built-in completion check
+/// proves the fence cannot retire before its prefix is crash-safe.
+#[must_use]
+pub fn dfence_immediate_durability() -> McLitmus {
+    let mut b = KernelBuilder::new();
+    store_lane0(&mut b, 0x1000, 1);
+    b.dfence();
+    store_lane0(&mut b, 0x2000, 2);
+    McLitmus {
+        name: "dFence-immediate",
+        description: "dFence completion implies the durability of every prior persist, \
+                      in every crash cut",
+        program: sbrp_program(b.build("litmus-dfence-imm"), LaunchConfig::new(1, 32)),
+        spec: Spec {
+            invariants: vec![Invariant::AddrImplies {
+                if_durable: 0x2000,
+                then_durable: 0x1000,
+            }],
+            expectations: vec![exp(pref(0, 0, 0), pref(0, 0, 1), true, ObsCond::Always)],
+            ..Spec::default()
+        },
+    }
+}
+
+/// The epoch-model shape under either baseline model: barriers order
+/// persists across epochs, not within them.
+fn epoch_shape(model: ModelKind, name: &'static str, kname: &str) -> McLitmus {
+    let mut b = KernelBuilder::new();
+    store_lane0(&mut b, 0x1000, 1);
+    b.epoch_barrier();
+    store_lane0(&mut b, 0x2000, 2);
+    b.epoch_barrier();
+    store_lane0(&mut b, 0x3000, 3);
+    McLitmus {
+        name,
+        description: "epoch barriers order persists across epochs, not within them",
+        program: Program {
+            kernel: b.build(kname),
+            launch: LaunchConfig::new(1, 32),
+            model,
+            domain: PersistDomain::Adr,
+            pm_base: LITMUS_PM_BASE,
+        },
+        spec: Spec {
+            expectations: vec![
+                exp(pref(0, 0, 0), pref(0, 0, 1), true, ObsCond::Always),
+                exp(pref(0, 0, 1), pref(0, 0, 2), true, ObsCond::Always),
+                exp(pref(0, 0, 0), pref(0, 0, 2), true, ObsCond::Always),
+                exp(pref(0, 0, 2), pref(0, 0, 0), false, ObsCond::Always),
+            ],
+            ..Spec::default()
+        },
+    }
+}
+
+/// The baselines' epoch barrier under the epoch model.
+#[must_use]
+pub fn epoch_barrier_orders() -> McLitmus {
+    epoch_shape(ModelKind::Epoch, "epoch", "litmus-epoch")
+}
+
+/// The same epoch shape under GPM (whose barrier also flushes volatile
+/// traffic; the persist ordering obligations are identical).
+#[must_use]
+pub fn epoch_barrier_orders_gpm() -> McLitmus {
+    epoch_shape(ModelKind::Gpm, "epoch (GPM)", "litmus-epoch-gpm")
+}
+
+/// Acquire without a matching release observation creates no edge. The
+/// consumer runs *first* in the canonical schedule (it is warp 0) and
+/// does not spin, so the canonical execution reads the flag's initial
+/// value; exploration additionally proves the observed interleavings
+/// *are* ordered.
+#[must_use]
+pub fn acquire_of_initial_value() -> McLitmus {
+    let mut b = KernelBuilder::new();
+    let wid = b.special(Special::WarpId);
+    let is_consumer = b.eqi(wid, 0);
+    b.if_then_else(
+        is_consumer,
+        |b| {
+            let lane = b.special(Special::Lane);
+            let is0 = b.eqi(lane, 0);
+            b.if_then(is0, |b| {
+                let f = b.movi(0x80);
+                let _ = b.pacq(f, Scope::Block);
+                let a = b.movi(0x2000);
+                let v = b.movi(7);
+                b.st(a, 0, v, MemWidth::W8);
+            });
+        },
+        |b| {
+            store_lane0(b, 0x1000, 42);
+            release_lane0(b, 0x80, Scope::Block);
+        },
+    );
+    McLitmus {
+        name: "MP+unobserved",
+        description: "an acquire that did not read the release's value orders nothing",
+        program: sbrp_program(b.build("litmus-mp-unobserved"), LaunchConfig::new(1, 64)),
+        spec: Spec {
+            expectations: vec![
+                exp(pref(0, 32, 0), pref(0, 0, 0), false, ObsCond::Unobserved),
+                exp(pref(0, 32, 0), pref(0, 0, 0), true, ObsCond::Observed),
+            ],
+            ..Spec::default()
+        },
+    }
+}
+
+/// A block-scoped release observed by a *device*-scoped acquire in
+/// another block: the pattern's effective scope is the narrowest
+/// constituent (§2), so widening only the acquire does not repair the
+/// §5.3 bug.
+#[must_use]
+pub fn block_release_observed_device_wide() -> McLitmus {
+    let (kernel, launch) = mp_kernel("litmus-mp-bd", Scope::Block, Scope::Device, true);
+    McLitmus {
+        name: "MP+block-rel+device-acq (bug)",
+        description: "a block-scoped release observed device-wide still takes the \
+                      narrowest scope — widening one side does not create PMO",
+        program: sbrp_program(kernel, launch),
+        spec: Spec {
+            expectations: vec![exp(pref(0, 0, 0), pref(1, 0, 0), false, ObsCond::Observed)],
+            reach: vec![Reach {
+                durable: 0x2000,
+                not_durable: 0x1000,
+            }],
+            ..Spec::default()
+        },
+    }
+}
+
+/// The symmetric widening: a *system*-scoped acquire reading a
+/// device-scoped release across blocks. Device already includes both
+/// threads, so here the narrowest constituent suffices and PMO holds.
+#[must_use]
+pub fn device_release_observed_system_wide() -> McLitmus {
+    let (kernel, launch) = mp_kernel("litmus-mp-ds", Scope::Device, Scope::System, true);
+    McLitmus {
+        name: "MP+device-rel+system-acq",
+        description: "mixed device/system scopes: the narrowest constituent (device) \
+                      includes both threads, so the edge exists",
+        program: sbrp_program(kernel, launch),
+        spec: Spec {
+            expectations: vec![
+                exp(pref(0, 0, 0), pref(1, 0, 0), true, ObsCond::Observed),
+                exp(pref(1, 0, 0), pref(0, 0, 0), false, ObsCond::Observed),
+            ],
+            ..Spec::default()
+        },
+    }
+}
+
+/// `W1; dFence; W2; oFence; W3` — the two fence kinds compose
+/// transitively within a thread.
+#[must_use]
+pub fn dfence_ofence_transitivity_chain() -> McLitmus {
+    let mut b = KernelBuilder::new();
+    store_lane0(&mut b, 0x1000, 1);
+    b.dfence();
+    store_lane0(&mut b, 0x2000, 2);
+    b.ofence();
+    store_lane0(&mut b, 0x3000, 3);
+    McLitmus {
+        name: "dFence/oFence chain",
+        description: "dFence and oFence compose transitively: W1 dFence W2 oFence W3 \
+                      orders W1 before W3",
+        program: sbrp_program(b.build("litmus-chain"), LaunchConfig::new(1, 32)),
+        spec: Spec {
+            expectations: vec![
+                exp(pref(0, 0, 0), pref(0, 0, 1), true, ObsCond::Always),
+                exp(pref(0, 0, 1), pref(0, 0, 2), true, ObsCond::Always),
+                exp(pref(0, 0, 0), pref(0, 0, 2), true, ObsCond::Always),
+                exp(pref(0, 0, 2), pref(0, 0, 0), false, ObsCond::Always),
+            ],
+            ..Spec::default()
+        },
+    }
+}
+
+/// A release also covers persists an *earlier* fence already ordered —
+/// crossing a dFence into a block-scoped handoff keeps the whole prefix
+/// released (the "release covers all prior persists" rule of Box 2).
+#[must_use]
+pub fn dfence_prefix_flows_through_release() -> McLitmus {
+    let mut b = KernelBuilder::new();
+    let wid = b.special(Special::WarpId);
+    let is_producer = b.eqi(wid, 0);
+    b.if_then_else(
+        is_producer,
+        |b| {
+            store_lane0(b, 0x1000, 1);
+            b.dfence();
+            store_lane0(b, 0x1800, 2);
+            release_lane0(b, 0x80, Scope::Block);
+        },
+        |b| {
+            spin_consume_lane0(b, 0x80, 0x2000, Scope::Block);
+        },
+    );
+    McLitmus {
+        name: "dFence-prefix+MP",
+        description: "persists ordered by an earlier dFence still flow through a later \
+                      release/acquire handoff",
+        program: sbrp_program(b.build("litmus-dfence-mp"), LaunchConfig::new(1, 64)),
+        spec: Spec {
+            expectations: vec![
+                exp(pref(0, 0, 0), pref(0, 32, 0), true, ObsCond::Observed),
+                exp(pref(0, 32, 0), pref(0, 0, 0), false, ObsCond::Observed),
+            ],
+            ..Spec::default()
+        },
+    }
+}
+
+/// The eADR persist-domain variant of the no-fence shape: two unfenced
+/// persists stay PMO-unordered, yet *both* are durable in every crash
+/// cut — battery-backed caches collapse the durability question without
+/// changing the ordering model.
+#[must_use]
+pub fn eadr_unfenced_always_durable() -> McLitmus {
+    let mut b = KernelBuilder::new();
+    store_lane0(&mut b, 0x1000, 1);
+    store_lane0(&mut b, 0x2000, 2);
+    McLitmus {
+        name: "no-fence+eADR",
+        description: "under eADR every accepted persist is durable at once: nothing is \
+                      ever pending, yet the PMO stays as weak as under ADR",
+        program: Program {
+            kernel: b.build("litmus-eadr"),
+            launch: LaunchConfig::new(1, 32),
+            model: ModelKind::Sbrp,
+            domain: PersistDomain::Eadr,
+            pm_base: LITMUS_PM_BASE,
+        },
+        spec: Spec {
+            invariants: vec![
+                Invariant::NoPending,
+                Invariant::DurableAtExit { addr: 0x1000 },
+                Invariant::DurableAtExit { addr: 0x2000 },
+            ],
+            expectations: vec![
+                exp(pref(0, 0, 0), pref(0, 0, 1), false, ObsCond::Always),
+                exp(pref(0, 0, 1), pref(0, 0, 0), false, ObsCond::Always),
+            ],
+            ..Spec::default()
+        },
+    }
+}
+
+/// All litmus shapes, in presentation order.
+#[must_use]
+pub fn all() -> Vec<McLitmus> {
+    vec![
+        intra_thread_ofence(),
+        unfenced_persists(),
+        message_passing_block(),
+        scoped_bug_block_across_blocks(),
+        message_passing_device(),
+        transitive_chain(),
+        dfence_orders(),
+        dfence_immediate_durability(),
+        epoch_barrier_orders(),
+        epoch_barrier_orders_gpm(),
+        acquire_of_initial_value(),
+        block_release_observed_device_wide(),
+        device_release_observed_system_wide(),
+        dfence_ofence_transitivity_chain(),
+        dfence_prefix_flows_through_release(),
+        eadr_unfenced_always_durable(),
+    ]
+}

@@ -1,0 +1,297 @@
+//! What the model checker checks: programs, specs, violations, reports.
+
+use sbrp_core::scope::ThreadPos;
+use sbrp_isa::{Kernel, LaunchConfig};
+use std::fmt;
+
+/// Where the persist domain boundary sits (§3 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PersistDomain {
+    /// ADR: only the memory controller is persistent — a store becomes
+    /// durable when its persist-buffer entry drains. Crash cuts are the
+    /// interesting object.
+    Adr,
+    /// eADR: caches are flushed on power failure, so a store is durable
+    /// the moment the memory system accepts it. No entry is ever pending
+    /// and no drain reordering exists.
+    Eadr,
+}
+
+impl fmt::Display for PersistDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistDomain::Adr => write!(f, "ADR"),
+            PersistDomain::Eadr => write!(f, "eADR"),
+        }
+    }
+}
+
+/// A model-checking subject: a kernel, its launch geometry, the
+/// persistency model to run it under, and the persist-domain boundary.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The kernel (parameters baked in).
+    pub kernel: Kernel,
+    /// Launch geometry. Every warp of the launch is interpreted.
+    pub launch: LaunchConfig,
+    /// Persistency model: `Sbrp` enforces the persist-buffer dependency
+    /// rules; `Epoch`/`Gpm` enforce only block-wide epoch barriers.
+    pub model: sbrp_core::ModelKind,
+    /// Persist-domain boundary.
+    pub domain: PersistDomain,
+    /// Addresses at or above this are persistent (matches
+    /// `GpuConfig::pm_base` in the simulator).
+    pub pm_base: u64,
+}
+
+/// A property that must hold in *every* reachable state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Invariant {
+    /// Whenever `if_durable` has a durable write, `then_durable` must
+    /// have one too — the recovery invariant of WAL-style idioms
+    /// ("data implies its log entry").
+    AddrImplies {
+        /// The dependent address.
+        if_durable: u64,
+        /// The address it requires.
+        then_durable: u64,
+    },
+    /// At every state where all warps have retired the kernel, `addr`
+    /// must be durable — i.e. the kernel may not return before this
+    /// write is crash-safe.
+    DurableAtExit {
+        /// The address that must be durable at exit.
+        addr: u64,
+    },
+    /// No persist-buffer entry is ever pending (the defining property of
+    /// the eADR domain).
+    NoPending,
+}
+
+/// A state the exploration must *reach* — the dual of an invariant, used
+/// to prove that a seeded bug has a real violating execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reach {
+    /// Address that is durable in the target state.
+    pub durable: u64,
+    /// Address that is *not* durable in the target state.
+    pub not_durable: u64,
+}
+
+/// Names the `nth` persist issued by a thread — a schedule-independent
+/// way to refer to a persist event (event ids vary with interleaving).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PRef {
+    /// The issuing thread.
+    pub thread: ThreadPos,
+    /// Zero-based index among that thread's persists, in program order.
+    pub nth: u32,
+}
+
+/// When a PMO expectation applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObsCond {
+    /// In every complete execution.
+    Always,
+    /// Only in complete executions where at least one acquire observed a
+    /// released value (message-passing shapes).
+    Observed,
+    /// Only in complete executions with no observation (the
+    /// acquire-of-initial-value shape).
+    Unobserved,
+}
+
+/// A PMO outcome required of every complete execution (both persists
+/// retired, all buffers drained).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct McExpectation {
+    /// The PMO-earlier persist.
+    pub before: PRef,
+    /// The PMO-later persist.
+    pub after: PRef,
+    /// Whether `before →pmo after` must hold.
+    pub ordered: bool,
+    /// Which executions the expectation applies to.
+    pub when: ObsCond,
+}
+
+/// Everything a [`Program`] is checked against. The built-in checks
+/// (crash-cut downward closure after every drain, dFence completion
+/// durability, eADR immediacy) always run; a `Spec` adds program-level
+/// properties on top.
+#[derive(Clone, Debug, Default)]
+pub struct Spec {
+    /// Must hold in every reachable state.
+    pub invariants: Vec<Invariant>,
+    /// Must be reachable in at least one state (bug witnesses).
+    pub reach: Vec<Reach>,
+    /// PMO outcomes checked at complete executions.
+    pub expectations: Vec<McExpectation>,
+}
+
+/// One scheduling decision of an execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Choice {
+    /// Fire the parked action of the warp with this global index
+    /// (`block * warps_per_block + warp_in_block`).
+    Warp(u32),
+    /// Drain (make durable) the pending persist-buffer entry for this
+    /// cache line address.
+    Drain(u64),
+}
+
+impl fmt::Display for Choice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Choice::Warp(w) => write!(f, "w{w}"),
+            Choice::Drain(line) => write!(f, "d{line:#x}"),
+        }
+    }
+}
+
+/// What kind of property a violation breaks. Counterexample shrinking
+/// looks for the shortest schedule reproducing the *same kind*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A drain left the durable set not downward-closed under PMO.
+    CrashCut,
+    /// An [`Invariant::AddrImplies`] failed.
+    AddrImplies,
+    /// An [`Invariant::DurableAtExit`] failed.
+    DurableAtExit,
+    /// An [`Invariant::NoPending`] failed.
+    NoPending,
+    /// A `dFence` completed while one of the warp's earlier persists was
+    /// not durable — the immediate-durability guarantee broke.
+    DFenceIncomplete,
+    /// A PMO expectation failed at a complete execution.
+    Expectation,
+    /// The exploration found a state with no enabled transition that is
+    /// not a completed execution.
+    Deadlock,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::CrashCut => "crash-cut",
+            ViolationKind::AddrImplies => "addr-implies",
+            ViolationKind::DurableAtExit => "durable-at-exit",
+            ViolationKind::NoPending => "no-pending",
+            ViolationKind::DFenceIncomplete => "dfence-incomplete",
+            ViolationKind::Expectation => "expectation",
+            ViolationKind::Deadlock => "deadlock",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete counterexample: the property that broke and the schedule
+/// (from the initial state) that breaks it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The property class.
+    pub kind: ViolationKind,
+    /// Human-readable description.
+    pub message: String,
+    /// The schedule whose last transition exposed the violation. Replay
+    /// it with [`crate::replay`] to reproduce.
+    pub schedule: Vec<Choice>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} after ", self.kind, self.message)?;
+        let mut first = true;
+        for c in &self.schedule {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate facts the exploration gathered beyond pass/fail — the raw
+/// material for linter-soundness evidence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Evidence {
+    /// Whether any execution contained at least one acquire observing a
+    /// released value.
+    pub any_observation: bool,
+    /// Whether any execution recorded a §5.3 scoped-persistency bug
+    /// (an observation whose effective scope excludes one thread).
+    pub any_scope_bug: bool,
+    /// `(warp, nth-oFence-of-warp)` pairs that were *non-vacuous* (sealed
+    /// at least one open persist-buffer entry) in at least one execution.
+    pub nonvacuous_ofences: std::collections::BTreeSet<(u32, u32)>,
+    /// Highest `nth` oFence index fired per warp, across all executions.
+    pub ofence_sites: std::collections::BTreeMap<u32, u32>,
+    /// Minimum over complete executions of warp 0's dFence count
+    /// (`u32::MAX` when no complete execution was seen).
+    pub min_dfences: u32,
+    /// Maximum over complete executions of warp 0's dFence count.
+    pub max_dfences: u32,
+}
+
+impl Evidence {
+    pub(crate) fn new() -> Self {
+        Evidence {
+            min_dfences: u32::MAX,
+            ..Evidence::default()
+        }
+    }
+
+    pub(crate) fn merge(&mut self, other: &Evidence) {
+        self.any_observation |= other.any_observation;
+        self.any_scope_bug |= other.any_scope_bug;
+        self.nonvacuous_ofences
+            .extend(other.nonvacuous_ofences.iter().copied());
+        for (&w, &n) in &other.ofence_sites {
+            let e = self.ofence_sites.entry(w).or_insert(0);
+            *e = (*e).max(n);
+        }
+        self.min_dfences = self.min_dfences.min(other.min_dfences);
+        self.max_dfences = self.max_dfences.max(other.max_dfences);
+    }
+}
+
+/// Result of exhausting a program's state space.
+#[derive(Clone, Debug)]
+pub struct McReport {
+    /// Distinct canonical states visited.
+    pub states: u64,
+    /// Transitions fired (including those leading to already-visited
+    /// states).
+    pub transitions: u64,
+    /// Transitions whose successor had already been visited — the work
+    /// the fingerprint deduper saved.
+    pub dedup_hits: u64,
+    /// Complete executions reached (all warps done, all buffers
+    /// drained). With dedup this counts distinct *final states*, each of
+    /// which may stand for many interleavings.
+    pub complete_executions: u64,
+    /// All violations found, in deterministic exploration order.
+    pub violations: Vec<Violation>,
+    /// For each [`Spec::reach`] entry: the first schedule reaching it,
+    /// if any.
+    pub reached: Vec<Option<Vec<Choice>>>,
+    /// Aggregate evidence facts.
+    pub evidence: Evidence,
+    /// The [`crate::sig::ExecutionSig`] of every complete execution —
+    /// one per distinct complete *final state* (signature-equal
+    /// executions share a final state for programs whose control flow
+    /// is schedule-oblivious, which every kernel in this crate is).
+    pub signatures: std::collections::BTreeSet<crate::sig::ExecutionSig>,
+}
+
+impl McReport {
+    /// Whether the program verified: no violations and every required
+    /// reach target was hit.
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        self.violations.is_empty() && self.reached.iter().all(Option::is_some)
+    }
+}

@@ -1,0 +1,80 @@
+//! Exhaustive verification of every litmus shape, plus the derived
+//! trace-level litmuses that replace the old hand-written ones.
+
+use sbrp_mc::{explore, litmus, McOpts};
+
+fn opts() -> McOpts {
+    McOpts {
+        jobs: 1,
+        ..McOpts::default()
+    }
+}
+
+#[test]
+fn every_litmus_shape_verifies_exhaustively() {
+    for shape in litmus::all() {
+        let report = explore(&shape.program, &shape.spec, &opts());
+        assert!(
+            report.verified(),
+            "{}: {} violations, first: {}",
+            shape.name,
+            report.violations.len(),
+            report
+                .violations
+                .first()
+                .map_or_else(String::new, ToString::to_string),
+        );
+        assert!(
+            report.complete_executions > 0,
+            "{}: no complete execution reached",
+            shape.name
+        );
+        assert!(report.states > 1, "{}: trivial state space", shape.name);
+    }
+}
+
+#[test]
+fn derived_litmuses_pass_the_trace_level_checker() {
+    let shapes = litmus::all();
+    assert!(shapes.len() >= 16);
+    let mut ordered = 0;
+    let mut unordered = 0;
+    for shape in &shapes {
+        let derived = shape.derive();
+        assert_eq!(derived.name, shape.name);
+        derived.check().unwrap_or_else(|e| {
+            panic!("derived litmus {} failed: {e}", shape.name);
+        });
+        for e in &derived.expectations {
+            if e.ordered {
+                ordered += 1;
+            } else {
+                unordered += 1;
+            }
+        }
+    }
+    // The derived set is non-trivial in both directions.
+    assert!(ordered >= 10, "only {ordered} ordered expectations");
+    assert!(unordered >= 6, "only {unordered} unordered expectations");
+}
+
+#[test]
+fn scope_bug_shapes_reach_the_lost_prefix_state() {
+    for shape in litmus::all() {
+        if shape.spec.reach.is_empty() {
+            continue;
+        }
+        let report = explore(&shape.program, &shape.spec, &opts());
+        for (i, r) in report.reached.iter().enumerate() {
+            let schedule = r
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}: reach target #{i} never hit", shape.name));
+            // The witness replays to a state exhibiting exactly the
+            // reached condition.
+            let (st, _) = sbrp_mc::replay(&shape.program, &shape.spec, schedule);
+            let want = shape.spec.reach[i];
+            assert!(st.durable_addrs().contains(&want.durable));
+            assert!(!st.durable_addrs().contains(&want.not_durable));
+        }
+    }
+}

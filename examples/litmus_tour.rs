@@ -1,29 +1,49 @@
-//! Tour of the formal model: run every litmus test, show the §5.3
-//! scoped-persistency-bug detector at work, and validate a hardware
-//! execution against the model.
+//! Tour of the formal model: model-check every litmus shape, derive the
+//! trace-level litmuses from their kernels, show the §5.3
+//! scoped-persistency-bug detector at work.
 //!
 //! Run with: `cargo run --release --example litmus_tour`
 
-use sbrp::core::formal::{litmus, TraceBuilder};
+use sbrp::core::formal::{PmoGraph, TraceBuilder};
 use sbrp::core::ops::PersistOpKind;
 use sbrp::core::scope::{Scope, ThreadPos};
+use sbrp::mc::{explore, litmus, McOpts};
 
 fn main() {
-    println!("SBRP formal model litmus tour\n");
-    println!("{:<28} {:>6}  description", "litmus", "checks");
-    for l in litmus::all() {
-        l.check().expect("litmus holds");
+    println!("SBRP model-checked litmus tour\n");
+    println!(
+        "{:<30} {:>7} {:>7}  description",
+        "litmus", "states", "checks"
+    );
+    let opts = McOpts::default();
+    for shape in litmus::all() {
+        // Exhaustive: every interleaving, drain order, and crash cut.
+        let report = explore(&shape.program, &shape.spec, &opts);
+        assert!(report.verified(), "{}: {:?}", shape.name, report.violations);
+        // Derived: the classic trace-level litmus, produced by running
+        // the kernel rather than writing the trace by hand.
+        let derived = shape.derive();
+        derived.check().expect("derived litmus holds");
         println!(
-            "{:<28} {:>6}  {}",
-            l.name,
-            l.expectations.len(),
-            l.description
+            "{:<30} {:>7} {:>7}  {}",
+            shape.name,
+            report.states,
+            derived.expectations.len(),
+            shape.description
         );
     }
 
     // The §5.3 bug, caught by the detector: block-scoped release/acquire
     // across threadblocks synchronizes but orders nothing.
     println!("\nScoped persistency bug detector (§5.3):");
+    let g = scope_bug_trace();
+    for bug in g.scope_bugs() {
+        println!("  WARNING: {bug}");
+    }
+    println!("  (fix: use pRel_dev/pAcq_dev — see the `MP+device` shape above)");
+}
+
+fn scope_bug_trace() -> PmoGraph {
     let (a, b) = (ThreadPos::new(0u32, 0), ThreadPos::new(1u32, 0));
     let mut tb = TraceBuilder::new();
     let w1 = tb.persist(a, 0x1000);
@@ -33,8 +53,5 @@ fn main() {
     tb.observe(acq, rel);
     let g = tb.finish();
     assert!(!g.pmo_holds(w1, w2));
-    for bug in g.scope_bugs() {
-        println!("  WARNING: {bug}");
-    }
-    println!("  (fix: use pRel_dev/pAcq_dev — see the `correct_device_scope` test)");
+    g
 }

@@ -16,6 +16,9 @@
 //!   the paper's Table 2, with recovery kernels and verifiers.
 //! * [`harness`] (`sbrp-harness`) — experiment orchestration for the
 //!   paper's figures.
+//! * [`mc`] (`sbrp-mc`) — the stateless model checker: exhaustive
+//!   verification of small kernels over every interleaving, drain
+//!   order, and crash cut.
 //!
 //! ## Quickstart
 //!
@@ -40,4 +43,5 @@ pub use sbrp_core as core;
 pub use sbrp_gpu_sim as sim;
 pub use sbrp_harness as harness;
 pub use sbrp_isa as isa;
+pub use sbrp_mc as mc;
 pub use sbrp_workloads as workloads;

@@ -1,9 +1,9 @@
 //! Workspace-level integration tests through the `sbrp` facade: the
 //! whole stack from kernel construction to formal checking.
 
-use sbrp::core::formal::litmus;
 use sbrp::core::ModelKind;
 use sbrp::harness::{geomean, run_recovery, run_workload, Fig6Bar, RunSpec};
+use sbrp::mc::litmus;
 use sbrp::sim::config::SystemDesign;
 use sbrp::workloads::WorkloadKind;
 
@@ -63,11 +63,12 @@ fn recovery_measurement_smoke() {
     }
 }
 
-/// The formal litmus suite is re-exported and passes through the facade.
+/// The litmus suite is re-exported and passes through the facade: each
+/// kernel-backed shape derives a trace-level litmus that holds.
 #[test]
 fn litmus_suite_via_facade() {
-    for l in litmus::all() {
-        l.check().unwrap();
+    for shape in litmus::all() {
+        shape.derive().check().unwrap();
     }
 }
 
