@@ -9,24 +9,37 @@
 //! cargo run --release -p sbrp-bench --bin lint
 //! ```
 //!
-//! * `--json`     — emit one JSON report per kernel (a JSON array)
+//! * `--json`        — emit one JSON report per kernel (a JSON array)
 //!   instead of text;
-//! * `--all`      — print clean reports too (default prints only
+//! * `--sarif`       — emit a single SARIF 2.1.0 log for all linted
+//!   kernels instead of text (for code-scanning upload);
+//! * `--interthread` — run the whole-kernel inter-thread analysis
+//!   (P007–P012) on top of the intra-thread rules;
+//! * `--fix`         — apply every machine-applicable fix and re-lint
+//!   the rewritten kernel; exits non-zero if a fix fails to clear its
+//!   diagnostic or introduces a new error;
+//! * `--all`         — print clean reports too (default prints only
 //!   kernels with diagnostics);
-//! * `--demoted`  — also lint the SBRP scope-demotion variants
+//! * `--demoted`     — also lint the SBRP scope-demotion variants
 //!   (the §5.3 experiment kernels);
-//! * `--mutants`  — lint the seeded mutant suite instead of the stock
-//!   kernels and verify every broken mutant is flagged (exits non-zero
-//!   if any seeded bug is missed or a correct mutant is dirty).
+//! * `--mutants`     — lint the seeded mutant suite instead of the
+//!   stock kernels and verify every broken mutant is flagged (exits
+//!   non-zero if any seeded bug is missed or a correct mutant is
+//!   dirty). The mutant suite always runs the inter-thread analysis:
+//!   its P007–P012 entries are invisible to the intra-thread rules.
 
 use sbrp_core::ModelKind;
-use sbrp_lint::{lint_kernel, LintConfig, LintReport, Severity};
+use sbrp_isa::Kernel;
+use sbrp_lint::{apply_fix, lint_all, lint_kernel, LintConfig, LintReport, Severity};
 use sbrp_workloads::{BuildOpts, Launchable, Micro, WorkloadKind};
 
 const MODELS: [ModelKind; 3] = [ModelKind::Sbrp, ModelKind::Epoch, ModelKind::Gpm];
 
 struct Args {
     json: bool,
+    sarif: bool,
+    interthread: bool,
+    fix: bool,
     all: bool,
     demoted: bool,
     mutants: bool,
@@ -35,6 +48,9 @@ struct Args {
 fn parse_args() -> Args {
     let mut out = Args {
         json: false,
+        sarif: false,
+        interthread: false,
+        fix: false,
         all: false,
         demoted: false,
         mutants: false,
@@ -42,11 +58,17 @@ fn parse_args() -> Args {
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--json" => out.json = true,
+            "--sarif" => out.sarif = true,
+            "--interthread" => out.interthread = true,
+            "--fix" => out.fix = true,
             "--all" => out.all = true,
             "--demoted" => out.demoted = true,
             "--mutants" => out.mutants = true,
             "--help" | "-h" => {
-                println!("usage: lint [--json] [--all] [--demoted] [--mutants]");
+                println!(
+                    "usage: lint [--json|--sarif] [--interthread] [--fix] [--all] \
+                     [--demoted] [--mutants]"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown flag {other}; try --help"),
@@ -55,60 +77,106 @@ fn parse_args() -> Args {
     out
 }
 
-fn lint_launchable(l: &Launchable) -> LintReport {
-    lint_kernel(&l.kernel, &LintConfig::with_launch(l.launch))
+fn lint_launchable(l: &Launchable, interthread: bool) -> LintReport {
+    let cfg = LintConfig::with_launch(l.launch);
+    if interthread {
+        lint_all(&l.kernel, &cfg)
+    } else {
+        lint_kernel(&l.kernel, &cfg)
+    }
 }
 
-/// Every stock kernel: (context label, report).
-fn stock_reports(demoted: bool) -> Vec<(String, LintReport)> {
+/// Every stock kernel: (context label, kernel, config, report).
+fn stock_reports(args: &Args) -> Vec<(String, Kernel, LintConfig, LintReport)> {
     let mut out = Vec::new();
+    let mut push = |ctx: String, l: &Launchable| {
+        let cfg = LintConfig::with_launch(l.launch);
+        out.push((
+            ctx,
+            l.kernel.clone(),
+            cfg,
+            lint_launchable(l, args.interthread),
+        ));
+    };
     for kind in WorkloadKind::ALL {
         let w = kind.instantiate(256, 42);
         for model in MODELS {
             let opts = BuildOpts::for_model(model);
-            out.push((
-                format!("{kind}/{model:?}/main"),
-                lint_launchable(&w.kernel(opts)),
-            ));
+            push(format!("{kind}/{model:?}/main"), &w.kernel(opts));
             if let Some(rec) = w.recovery(opts) {
-                out.push((format!("{kind}/{model:?}/recovery"), lint_launchable(&rec)));
+                push(format!("{kind}/{model:?}/recovery"), &rec);
             }
         }
-        if demoted {
+        if args.demoted {
             let opts = BuildOpts {
                 model: ModelKind::Sbrp,
                 demote_scopes: true,
             };
-            out.push((
-                format!("{kind}/Sbrp/demoted"),
-                lint_launchable(&w.kernel(opts)),
-            ));
+            push(format!("{kind}/Sbrp/demoted"), &w.kernel(opts));
         }
     }
     for micro in Micro::ALL {
         for model in MODELS {
-            out.push((
+            push(
                 format!("micro-{}/{model:?}", micro.label()),
-                lint_launchable(&micro.kernel(BuildOpts::for_model(model), 8)),
-            ));
+                &micro.kernel(BuildOpts::for_model(model), 8),
+            );
         }
     }
     out
 }
 
+/// Repeatedly applies the first machine fix the linter offers and
+/// re-lints, until no fixable diagnostic remains (each application can
+/// shift locations and legitimately surface a successor finding, e.g.
+/// the second of two stacked dominated fences). Returns failure labels
+/// when the chain does not converge or the converged kernel has more
+/// errors than the original.
+fn check_fixes(kernel: &Kernel, cfg: &LintConfig, report: &LintReport) -> Vec<String> {
+    if report.diags.iter().all(|d| d.fix.is_none()) {
+        return Vec::new();
+    }
+    let base_errors = report.errors();
+    let mut k = kernel.clone();
+    for _ in 0..16 {
+        let r = lint_all(&k, cfg);
+        let Some(d) = r.diags.iter().find(|d| d.fix.is_some()) else {
+            return if r.errors() > base_errors {
+                vec![format!(
+                    "{}: fixes converged but raised the error count ({} -> {})",
+                    report.kernel,
+                    base_errors,
+                    r.errors()
+                )]
+            } else {
+                Vec::new()
+            };
+        };
+        k = apply_fix(&k, d.fix.as_ref().expect("filtered on fix"));
+    }
+    vec![format!("{}: fix chain did not converge", report.kernel)]
+}
+
 fn run_stock(args: &Args) -> i32 {
-    let reports = stock_reports(args.demoted);
+    let reports = stock_reports(args);
     let mut errors = 0usize;
     let mut diags = 0usize;
-    if args.json {
-        let body: Vec<String> = reports.iter().map(|(_, r)| r.to_json()).collect();
+    let mut fix_failures = Vec::new();
+    if args.sarif {
+        let bare: Vec<LintReport> = reports.iter().map(|(_, _, _, r)| r.clone()).collect();
+        println!("{}", sbrp_lint::sarif(&bare));
+    } else if args.json {
+        let body: Vec<String> = reports.iter().map(|(_, _, _, r)| r.to_json()).collect();
         println!("[{}]", body.join(","));
     }
-    for (ctx, r) in &reports {
+    for (ctx, kernel, cfg, r) in &reports {
         errors += r.count(Severity::Error);
         diags += r.diags.len();
-        if !args.json && (args.all || !r.diags.is_empty()) {
+        if !args.json && !args.sarif && (args.all || !r.diags.is_empty()) {
             print!("== {ctx}\n{}", r.to_text());
+        }
+        if args.fix {
+            fix_failures.extend(check_fixes(kernel, cfg, r));
         }
     }
     eprintln!(
@@ -117,19 +185,26 @@ fn run_stock(args: &Args) -> i32 {
         diags,
         errors
     );
-    i32::from(errors > 0)
+    for f in &fix_failures {
+        eprintln!("FIX FAILED: {f}");
+    }
+    i32::from(errors > 0 || !fix_failures.is_empty())
 }
 
 fn run_mutants(args: &Args) -> i32 {
     let suite = sbrp_lint::mutants::suite(sbrp_gpu_sim::config::PM_BASE);
     let mut missed = Vec::new();
     let mut dirty = Vec::new();
+    let mut fix_failures = Vec::new();
     let mut body = Vec::new();
+    let mut sarif_reports = Vec::new();
     for m in &suite {
         let mut cfg = LintConfig::with_launch(m.launch);
         cfg.pm_base = sbrp_gpu_sim::config::PM_BASE;
-        let r = lint_kernel(&m.kernel, &cfg);
-        if args.json {
+        let r = lint_all(&m.kernel, &cfg);
+        if args.sarif {
+            sarif_reports.push(r.clone());
+        } else if args.json {
             body.push(r.to_json());
         } else {
             print!("== {} ({})\n{}", m.name, m.what, r.to_text());
@@ -141,8 +216,13 @@ fn run_mutants(args: &Args) -> i32 {
         } else if r.errors() > 0 {
             dirty.push(m.name);
         }
+        if args.fix {
+            fix_failures.extend(check_fixes(&m.kernel, &cfg, &r));
+        }
     }
-    if args.json {
+    if args.sarif {
+        println!("{}", sbrp_lint::sarif(&sarif_reports));
+    } else if args.json {
         println!("[{}]", body.join(","));
     }
     eprintln!(
@@ -157,7 +237,10 @@ fn run_mutants(args: &Args) -> i32 {
     for n in &dirty {
         eprintln!("FALSE POSITIVE: {n}");
     }
-    i32::from(!missed.is_empty() || !dirty.is_empty())
+    for f in &fix_failures {
+        eprintln!("FIX FAILED: {f}");
+    }
+    i32::from(!missed.is_empty() || !dirty.is_empty() || !fix_failures.is_empty())
 }
 
 fn main() {

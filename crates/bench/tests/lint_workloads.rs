@@ -1,0 +1,105 @@
+//! Golden-diagnostic pin of the inter-thread linter over the stock
+//! workload kernels — the same kernel set the CI `lint-workloads` step
+//! scans with `lint --interthread --fix --sarif`.
+//!
+//! Two snapshots are committed under `tests/golden/`:
+//!
+//! * `workloads.lint.txt` — the text report of every kernel with at
+//!   least one finding;
+//! * `workloads.sarif` — the full SARIF 2.1.0 log (what CI uploads as
+//!   a code-scanning artifact).
+//!
+//! Regenerate after an intentional diagnostic change with:
+//! `SBRP_UPDATE_GOLDEN=1 cargo test -p sbrp-bench --test lint_workloads`
+
+use sbrp_core::ModelKind;
+use sbrp_lint::{lint_all, LintConfig, LintReport, Severity};
+use sbrp_workloads::{BuildOpts, Launchable, Micro, WorkloadKind};
+use std::path::PathBuf;
+
+const MODELS: [ModelKind; 3] = [ModelKind::Sbrp, ModelKind::Epoch, ModelKind::Gpm];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Every stock kernel under every model, in the bench binary's order.
+fn reports() -> Vec<(String, LintReport)> {
+    let mut out = Vec::new();
+    let mut push = |ctx: String, l: &Launchable| {
+        let cfg = LintConfig::with_launch(l.launch);
+        out.push((ctx, lint_all(&l.kernel, &cfg)));
+    };
+    for kind in WorkloadKind::ALL {
+        let w = kind.instantiate(256, 42);
+        for model in MODELS {
+            let opts = BuildOpts::for_model(model);
+            push(format!("{kind}/{model:?}/main"), &w.kernel(opts));
+            if let Some(rec) = w.recovery(opts) {
+                push(format!("{kind}/{model:?}/recovery"), &rec);
+            }
+        }
+    }
+    for micro in Micro::ALL {
+        for model in MODELS {
+            push(
+                format!("micro-{}/{model:?}", micro.label()),
+                &micro.kernel(BuildOpts::for_model(model), 8),
+            );
+        }
+    }
+    out
+}
+
+fn check_snapshot(path: &PathBuf, got: &str, update: bool) {
+    if update {
+        std::fs::write(path, got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        want,
+        got,
+        "{} drifted (SBRP_UPDATE_GOLDEN=1 to regenerate)",
+        path.display()
+    );
+}
+
+#[test]
+fn workload_diagnostics_match_golden_snapshots() {
+    let update = std::env::var("SBRP_UPDATE_GOLDEN").is_ok();
+    let all = reports();
+
+    let mut text = String::new();
+    for (ctx, r) in &all {
+        if !r.diags.is_empty() {
+            text.push_str(&format!("== {ctx}\n{}", r.to_text()));
+        }
+    }
+    check_snapshot(&golden_path("workloads.lint.txt"), &text, update);
+
+    let bare: Vec<LintReport> = all.iter().map(|(_, r)| r.clone()).collect();
+    check_snapshot(
+        &golden_path("workloads.sarif"),
+        &sbrp_lint::sarif(&bare),
+        update,
+    );
+}
+
+/// The gate CI enforces: stock kernels carry warnings (may-alias races
+/// on hash-computed addresses) and perf notes, but never error-severity
+/// findings — those fail the build.
+#[test]
+fn workload_kernels_have_no_error_severity_findings() {
+    for (ctx, r) in reports() {
+        assert_eq!(
+            r.count(Severity::Error),
+            0,
+            "{ctx}: error-severity finding on a stock kernel:\n{}",
+            r.to_text()
+        );
+    }
+}

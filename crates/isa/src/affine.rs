@@ -1,0 +1,236 @@
+//! Affine-in-thread-id value forms for whole-kernel static analysis.
+//!
+//! The inter-thread linter needs to compare the address one thread
+//! stores to against the address *another* thread stores to. Register
+//! contents that matter for that question are almost always affine in
+//! the thread coordinates — `base + 8 * gtid`, `flag + 4 * ctaid`, … —
+//! so the abstract domain here is the linear form
+//!
+//! ```text
+//! k + a·lane + b·warp + c·cta
+//! ```
+//!
+//! over a *fixed* launch geometry (`tid = lane + 32·warp`,
+//! `gtid = tid + threads_per_block·cta`), with `i128` coefficients so
+//! `u64` address arithmetic can never overflow the form. Anything
+//! non-affine (loaded values, data-dependent selects) simply has no
+//! `Affine` and degrades the analysis to may-alias by base object.
+
+use crate::instr::{BinOp, Special};
+use crate::kernel::LaunchConfig;
+use sbrp_core::scope::WARP_SIZE;
+
+/// A linear form `k + lane·l + warp·w + cta·c` over the coordinates of
+/// one thread in a fixed launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Affine {
+    /// Constant term.
+    pub k: i128,
+    /// Coefficient of the lane index within the warp (`0..32`).
+    pub lane: i128,
+    /// Coefficient of the warp index within the block.
+    pub warp: i128,
+    /// Coefficient of the block index within the grid.
+    pub cta: i128,
+}
+
+impl Affine {
+    /// The constant form `k`.
+    #[must_use]
+    pub fn constant(k: u64) -> Affine {
+        Affine {
+            k: i128::from(k),
+            lane: 0,
+            warp: 0,
+            cta: 0,
+        }
+    }
+
+    /// The form a special register denotes under `launch`, or `None`
+    /// for specials with no affine meaning.
+    #[must_use]
+    pub fn of_special(s: Special, launch: LaunchConfig) -> Option<Affine> {
+        let w = WARP_SIZE as i128;
+        let tpb = i128::from(launch.threads_per_block);
+        Some(match s {
+            Special::Lane => Affine {
+                k: 0,
+                lane: 1,
+                warp: 0,
+                cta: 0,
+            },
+            Special::WarpId => Affine {
+                k: 0,
+                lane: 0,
+                warp: 1,
+                cta: 0,
+            },
+            Special::Tid => Affine {
+                k: 0,
+                lane: 1,
+                warp: w,
+                cta: 0,
+            },
+            Special::CtaId => Affine {
+                k: 0,
+                lane: 0,
+                warp: 0,
+                cta: 1,
+            },
+            Special::GlobalTid => Affine {
+                k: 0,
+                lane: 1,
+                warp: w,
+                cta: tpb,
+            },
+            Special::Ntid => Affine::constant(u64::from(launch.threads_per_block)),
+            Special::NCta => Affine::constant(u64::from(launch.blocks)),
+        })
+    }
+
+    /// Whether the form is a constant (no thread dependence).
+    #[must_use]
+    pub fn is_constant(self) -> bool {
+        self.lane == 0 && self.warp == 0 && self.cta == 0
+    }
+
+    /// The constant value, if [`Affine::is_constant`].
+    #[must_use]
+    pub fn as_constant(self) -> Option<i128> {
+        self.is_constant().then_some(self.k)
+    }
+
+    /// `self * c`.
+    #[must_use]
+    pub fn scale(self, c: i128) -> Affine {
+        Affine {
+            k: self.k * c,
+            lane: self.lane * c,
+            warp: self.warp * c,
+            cta: self.cta * c,
+        }
+    }
+
+    /// Applies a binary ALU op when the result stays affine: `Add`/`Sub`
+    /// always, `Mul` when one side is constant, `Shl` by a constant.
+    /// Everything else (and constant folding of the rest) returns `None`
+    /// unless *both* sides are constant, in which case the op is
+    /// evaluated on the `u64` values.
+    #[must_use]
+    pub fn bin(op: BinOp, a: Affine, b: Affine) -> Option<Affine> {
+        match op {
+            BinOp::Add => Some(a + b),
+            BinOp::Sub => Some(a - b),
+            BinOp::Mul => match (a.as_constant(), b.as_constant()) {
+                (_, Some(c)) => Some(a.scale(c)),
+                (Some(c), _) => Some(b.scale(c)),
+                _ => None,
+            },
+            BinOp::Shl => match b.as_constant() {
+                Some(c) if (0..64).contains(&c) => Some(a.scale(1i128 << c)),
+                _ => None,
+            },
+            _ => {
+                let (x, y) = (a.as_constant()?, b.as_constant()?);
+                let (x, y) = (u64::try_from(x).ok()?, u64::try_from(y).ok()?);
+                if matches!(op, BinOp::Div | BinOp::Rem) && y == 0 {
+                    return None;
+                }
+                Some(Affine::constant(op.apply(x, y)))
+            }
+        }
+    }
+
+    /// Evaluates the form at a concrete thread (`tid` is the index
+    /// within the block).
+    #[must_use]
+    pub fn eval(self, tid: u32, cta: u32) -> i128 {
+        let lane = i128::from(tid % WARP_SIZE as u32);
+        let warp = i128::from(tid / WARP_SIZE as u32);
+        self.k + self.lane * lane + self.warp * warp + self.cta * i128::from(cta)
+    }
+
+    /// Evaluates at a thread and converts to an address, `None` when the
+    /// value leaves `u64` range (an analysis artifact, not a real
+    /// address).
+    #[must_use]
+    pub fn eval_addr(self, tid: u32, cta: u32) -> Option<u64> {
+        u64::try_from(self.eval(tid, cta)).ok()
+    }
+}
+
+impl std::ops::Add for Affine {
+    type Output = Affine;
+
+    fn add(self, other: Affine) -> Affine {
+        Affine {
+            k: self.k + other.k,
+            lane: self.lane + other.lane,
+            warp: self.warp + other.warp,
+            cta: self.cta + other.cta,
+        }
+    }
+}
+
+impl std::ops::Sub for Affine {
+    type Output = Affine;
+
+    fn sub(self, other: Affine) -> Affine {
+        Affine {
+            k: self.k - other.k,
+            lane: self.lane - other.lane,
+            warp: self.warp - other.warp,
+            cta: self.cta - other.cta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: fn() -> LaunchConfig = || LaunchConfig::new(4, 64);
+
+    #[test]
+    fn specials_evaluate_like_the_machine() {
+        let l = L();
+        let gtid = Affine::of_special(Special::GlobalTid, l).unwrap();
+        assert_eq!(gtid.eval(5, 3), i128::from(3 * 64 + 5));
+        let tid = Affine::of_special(Special::Tid, l).unwrap();
+        assert_eq!(tid.eval(45, 3), 45);
+        let lane = Affine::of_special(Special::Lane, l).unwrap();
+        assert_eq!(lane.eval(45, 0), 13);
+        let warp = Affine::of_special(Special::WarpId, l).unwrap();
+        assert_eq!(warp.eval(45, 0), 1);
+        let ntid = Affine::of_special(Special::Ntid, l).unwrap();
+        assert_eq!(ntid.as_constant(), Some(64));
+    }
+
+    #[test]
+    fn address_arithmetic_stays_affine() {
+        let l = L();
+        let gtid = Affine::of_special(Special::GlobalTid, l).unwrap();
+        let off = Affine::bin(BinOp::Mul, gtid, Affine::constant(8)).unwrap();
+        let base = Affine::constant(1 << 40);
+        let addr = Affine::bin(BinOp::Add, base, off).unwrap();
+        assert_eq!(addr.eval_addr(2, 1), Some((1 << 40) + 8 * 66));
+    }
+
+    #[test]
+    fn shl_is_scaling_and_div_folds_constants() {
+        let x = Affine::of_special(Special::Tid, L()).unwrap();
+        let shifted = Affine::bin(BinOp::Shl, x, Affine::constant(3)).unwrap();
+        assert_eq!(shifted.eval(7, 0), 56);
+        let c = Affine::bin(BinOp::Div, Affine::constant(42), Affine::constant(6)).unwrap();
+        assert_eq!(c.as_constant(), Some(7));
+        assert!(Affine::bin(BinOp::Div, x, Affine::constant(2)).is_none());
+        assert!(Affine::bin(BinOp::Div, Affine::constant(1), Affine::constant(0)).is_none());
+    }
+
+    #[test]
+    fn non_affine_products_are_rejected() {
+        let t = Affine::of_special(Special::Tid, L()).unwrap();
+        assert!(Affine::bin(BinOp::Mul, t, t).is_none());
+        assert!(Affine::bin(BinOp::And, t, Affine::constant(7)).is_none());
+    }
+}

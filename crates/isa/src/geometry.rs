@@ -1,0 +1,171 @@
+//! Thread-geometry abstraction for inter-thread analysis.
+//!
+//! A launch grid has too many thread pairs to check one by one, but the
+//! scoped persistency rules only distinguish three *levels* of pair:
+//! same warp, same block (different warp), different block. The
+//! abstraction here samples a small set of representative threads from
+//! the grid corners (`lane ∈ {0, 1, last}`, `warp ∈ {0, 1, last}`,
+//! `cta ∈ {0, 1, last}`) and enumerates every unordered pair of them,
+//! classified by level. Kernels whose behaviour is affine in the
+//! thread coordinates (every kernel in this repository) behave
+//! identically at the sampled pair and at any other pair of the same
+//! level, which is what makes the sample representative; kernels that
+//! branch on *specific* thread ids beyond `{0, 1, last}` are outside
+//! the abstraction (documented soundness boundary).
+
+use crate::kernel::LaunchConfig;
+use sbrp_core::scope::{Scope, ThreadPos, WARP_SIZE};
+
+/// How far apart the two threads of a pair sit in the hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ScopeLevel {
+    /// Same warp (lockstep execution).
+    IntraWarp,
+    /// Same block, different warp.
+    IntraBlock,
+    /// Different blocks.
+    CrossBlock,
+}
+
+impl ScopeLevel {
+    /// The narrowest [`Scope`] whose instances contain both threads of
+    /// a pair at this level.
+    #[must_use]
+    pub fn required_scope(self) -> Scope {
+        match self {
+            ScopeLevel::IntraWarp | ScopeLevel::IntraBlock => Scope::Block,
+            ScopeLevel::CrossBlock => Scope::Device,
+        }
+    }
+
+    /// Stable lower-case name (for diagnostics).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScopeLevel::IntraWarp => "intra-warp",
+            ScopeLevel::IntraBlock => "intra-block",
+            ScopeLevel::CrossBlock => "cross-block",
+        }
+    }
+}
+
+/// A sampled concrete thread of the launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RepThread {
+    /// Block index within the grid.
+    pub block: u32,
+    /// Thread index within the block.
+    pub tid: u32,
+}
+
+impl RepThread {
+    /// As a [`ThreadPos`] for scope-inclusion tests.
+    #[must_use]
+    pub fn pos(self) -> ThreadPos {
+        ThreadPos::new(self.block, self.tid)
+    }
+
+    /// Classifies the pair `(self, other)`, or `None` for the same
+    /// thread.
+    #[must_use]
+    pub fn level_with(self, other: RepThread) -> Option<ScopeLevel> {
+        if self == other {
+            return None;
+        }
+        if self.block != other.block {
+            return Some(ScopeLevel::CrossBlock);
+        }
+        let w = WARP_SIZE as u32;
+        if self.tid / w == other.tid / w {
+            Some(ScopeLevel::IntraWarp)
+        } else {
+            Some(ScopeLevel::IntraBlock)
+        }
+    }
+}
+
+/// `{0, 1, last}` clamped into `0..n`, deduplicated, ascending.
+fn corners(n: u32) -> Vec<u32> {
+    let mut out = vec![0];
+    if n > 1 {
+        out.push(1);
+    }
+    if n > 2 {
+        out.push(n - 1);
+    }
+    out
+}
+
+/// The sampled representative threads of `launch` (at most 27).
+#[must_use]
+pub fn sample_threads(launch: LaunchConfig) -> Vec<RepThread> {
+    let w = WARP_SIZE as u32;
+    let warps = launch.threads_per_block / w;
+    let mut out = Vec::new();
+    for &cta in &corners(launch.blocks) {
+        for &warp in &corners(warps) {
+            for &lane in &corners(w) {
+                out.push(RepThread {
+                    block: cta,
+                    tid: warp * w + lane,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Every unordered pair of sampled threads, with its level. Ordered
+/// pairs `(a, b)` are emitted once with `a < b`; analyses that care
+/// about direction check both orientations of each entry.
+#[must_use]
+pub fn rep_pairs(launch: LaunchConfig) -> Vec<(RepThread, RepThread, ScopeLevel)> {
+    let threads = sample_threads(launch);
+    let mut out = Vec::new();
+    for (i, &a) in threads.iter().enumerate() {
+        for &b in &threads[i + 1..] {
+            if let Some(level) = a.level_with(b) {
+                out.push((a, b, level));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_classification() {
+        let t = |block, tid| RepThread { block, tid };
+        assert_eq!(t(0, 0).level_with(t(0, 1)), Some(ScopeLevel::IntraWarp));
+        assert_eq!(t(0, 0).level_with(t(0, 32)), Some(ScopeLevel::IntraBlock));
+        assert_eq!(t(0, 0).level_with(t(1, 0)), Some(ScopeLevel::CrossBlock));
+        assert_eq!(t(0, 5).level_with(t(0, 5)), None);
+    }
+
+    #[test]
+    fn required_scope_matches_the_hierarchy() {
+        assert_eq!(ScopeLevel::IntraWarp.required_scope(), Scope::Block);
+        assert_eq!(ScopeLevel::IntraBlock.required_scope(), Scope::Block);
+        assert_eq!(ScopeLevel::CrossBlock.required_scope(), Scope::Device);
+    }
+
+    #[test]
+    fn single_warp_single_block_has_only_intra_warp_pairs() {
+        let pairs = rep_pairs(LaunchConfig::new(1, 32));
+        assert!(!pairs.is_empty());
+        assert!(pairs.iter().all(|&(_, _, l)| l == ScopeLevel::IntraWarp));
+    }
+
+    #[test]
+    fn full_grid_samples_all_levels() {
+        let pairs = rep_pairs(LaunchConfig::new(4, 128));
+        let has = |lvl| pairs.iter().any(|&(_, _, l)| l == lvl);
+        assert!(has(ScopeLevel::IntraWarp));
+        assert!(has(ScopeLevel::IntraBlock));
+        assert!(has(ScopeLevel::CrossBlock));
+        assert!(sample_threads(LaunchConfig::new(4, 128)).len() <= 27);
+    }
+}

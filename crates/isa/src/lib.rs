@@ -44,14 +44,18 @@
 
 #![deny(missing_docs)]
 
+pub mod affine;
 mod builder;
+pub mod geometry;
 mod instr;
 mod interp;
 mod kernel;
 mod reg;
 mod stmt;
 
+pub use affine::Affine;
 pub use builder::KernelBuilder;
+pub use geometry::{rep_pairs, sample_threads, RepThread, ScopeLevel};
 pub use instr::{BinOp, Instr, MemWidth, Special};
 pub use interp::{AccessKind, FenceAccess, LaneAccess, MemAccess, StepResult, WarpInterp};
 pub use kernel::{BlockIndex, Kernel, LaunchConfig};

@@ -309,7 +309,7 @@ impl AbsVal {
     /// statically known.
     #[must_use]
     pub fn address_with(&self, off: i64) -> Option<u64> {
-        self.concrete.map(|v| v.wrapping_add(off as u64))
+        self.concrete.map(|v| v.wrapping_add(off.cast_unsigned()))
     }
 
     /// Object identity of a pointer: the address of the base object it

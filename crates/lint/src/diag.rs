@@ -1,6 +1,10 @@
 //! Typed diagnostics emitted by the linter.
 
+use sbrp_core::scope::Scope;
 use std::fmt;
+// Writing to a `String` cannot fail; the `let _ =` at the `write!`
+// call sites discard the vacuous `fmt::Result`.
+use std::fmt::Write as _;
 
 /// How bad a finding is.
 ///
@@ -50,6 +54,29 @@ pub enum LintCode {
     /// P006: a persistent store with no reachable fence before kernel
     /// exit on some path.
     TrailingPersist,
+    /// P007: two threads' conflicting persists with no synchronizing
+    /// release/acquire chain (or barrier + drain) between them in either
+    /// direction.
+    CrossThreadRace,
+    /// P008: a release/acquire chain *does* connect the racing pair, but
+    /// its effective scope is narrower than the pair's least common
+    /// scope, so no persist-order edge crosses it (§5.3).
+    PairScopeTooNarrow,
+    /// P009: the racing pair is execution-ordered (barrier, lockstep, or
+    /// volatile handshake) but carries no persist-order edge — the
+    /// durable outcome depends on drain order.
+    DrainOrderRace,
+    /// P010: a cross-thread read of another thread's persist with no
+    /// covering release/acquire chain and no durability point on the
+    /// producer side — the recovery-read races the persist.
+    UnsyncRecoveryRead,
+    /// P011: a fence provably dominated by an adjacent stronger (or
+    /// equal-strength) fence with nothing to order in between; carries a
+    /// machine-applicable fix that drops it.
+    DominatedFence,
+    /// P012: a release/acquire chain whose scope is wider than any pair
+    /// it actually orders; carries a fix narrowing the scope.
+    OverwideScope,
 }
 
 impl LintCode {
@@ -63,6 +90,12 @@ impl LintCode {
             LintCode::RedundantFence => "P004",
             LintCode::DFenceInLoop => "P005",
             LintCode::TrailingPersist => "P006",
+            LintCode::CrossThreadRace => "P007",
+            LintCode::PairScopeTooNarrow => "P008",
+            LintCode::DrainOrderRace => "P009",
+            LintCode::UnsyncRecoveryRead => "P010",
+            LintCode::DominatedFence => "P011",
+            LintCode::OverwideScope => "P012",
         }
     }
 
@@ -70,11 +103,18 @@ impl LintCode {
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            LintCode::UnorderedPersists | LintCode::InsufficientScope => Severity::Error,
+            LintCode::UnorderedPersists
+            | LintCode::InsufficientScope
+            | LintCode::CrossThreadRace
+            | LintCode::PairScopeTooNarrow
+            | LintCode::DrainOrderRace
+            | LintCode::UnsyncRecoveryRead => Severity::Error,
             LintCode::UnmatchedSync => Severity::Warning,
-            LintCode::RedundantFence | LintCode::DFenceInLoop | LintCode::TrailingPersist => {
-                Severity::Perf
-            }
+            LintCode::RedundantFence
+            | LintCode::DFenceInLoop
+            | LintCode::TrailingPersist
+            | LintCode::DominatedFence
+            | LintCode::OverwideScope => Severity::Perf,
         }
     }
 }
@@ -82,6 +122,85 @@ impl LintCode {
 impl fmt::Display for LintCode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.code())
+    }
+}
+
+/// One machine-applicable kernel edit of a [`Fix`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Edit {
+    /// Delete the instruction at the pre-order location.
+    DropInstr {
+        /// Pre-order instruction index to delete.
+        loc: usize,
+    },
+    /// Replace the scope qualifier of the `pRel`/`pAcq` at the location.
+    SetScope {
+        /// Pre-order instruction index of the scoped operation.
+        loc: usize,
+        /// The scope to install.
+        scope: Scope,
+    },
+}
+
+impl fmt::Display for Edit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edit::DropInstr { loc } => write!(f, "drop #{loc}"),
+            Edit::SetScope { loc, scope } => write!(f, "set scope of #{loc} to {scope}"),
+        }
+    }
+}
+
+/// A machine-applicable rewrite suggestion attached to a diagnostic.
+/// Applied with [`crate::apply_fix`]; the mc crate verifies that fixed
+/// kernels model-check clean.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fix {
+    /// One-line description, e.g. `widen both scopes to device`.
+    pub title: String,
+    /// The edits, in any order (locations refer to the *original*
+    /// kernel).
+    pub edits: Vec<Edit>,
+}
+
+/// The concrete crash outcome an error diagnostic claims is reachable —
+/// the model checker's search target when cross-validating.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Hazard {
+    /// A crash can observe the persist named by `durable` (as the
+    /// `(block, tid, nth)` mark of [`sbrp-mc`]'s schedule-independent
+    /// naming) durable while `lost` is not.
+    ///
+    /// [`sbrp-mc`]: https://docs.rs
+    MarkOrder {
+        /// `(block, tid_in_block, nth-persist-of-thread)` that is durable.
+        durable: (u32, u32, u32),
+        /// The mark that is lost in the same crash cut.
+        lost: (u32, u32, u32),
+    },
+    /// A crash can observe a durable write at `durable` while `lost`
+    /// holds no durable write (address-level fallback when per-thread
+    /// persist counts are not statically definite).
+    AddrOrder {
+        /// Address durable in the target crash cut.
+        durable: u64,
+        /// Address not durable in the same cut.
+        lost: u64,
+    },
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Hazard::MarkOrder { durable, lost } => write!(
+                f,
+                "blk{}:t{}#{} durable while blk{}:t{}#{} lost",
+                durable.0, durable.1, durable.2, lost.0, lost.1, lost.2
+            ),
+            Hazard::AddrOrder { durable, lost } => {
+                write!(f, "{durable:#x} durable while {lost:#x} lost")
+            }
+        }
     }
 }
 
@@ -105,13 +224,50 @@ pub struct Diagnostic {
     pub related: Option<(usize, String)>,
     /// Human-readable explanation.
     pub message: String,
+    /// Machine-applicable rewrite, when the rule can compute one.
+    pub fix: Option<Fix>,
+    /// The crash outcome this error claims reachable, when expressible
+    /// (drives MC witness search; `None` for non-error rules).
+    pub hazard: Option<Hazard>,
+    /// True when the finding rests on a *may*-alias (the analysis could
+    /// not prove the accesses overlap, only that they share a base
+    /// object). May-findings of error-class rules demote to warnings:
+    /// they are worth surfacing but must not fail a build on their own.
+    pub may: bool,
 }
 
 impl Diagnostic {
-    /// The severity of this diagnostic (derived from its code).
+    /// A diagnostic with no fix and no hazard (the common case for the
+    /// intra-thread rules).
+    #[must_use]
+    pub fn new(
+        code: LintCode,
+        loc: usize,
+        instr: String,
+        related: Option<(usize, String)>,
+        message: String,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            loc,
+            instr,
+            related,
+            message,
+            fix: None,
+            hazard: None,
+            may: false,
+        }
+    }
+
+    /// The severity of this diagnostic: the code's severity, except
+    /// that may-alias findings of error-class rules demote to
+    /// [`Severity::Warning`].
     #[must_use]
     pub fn severity(&self) -> Severity {
-        self.code.severity()
+        match self.code.severity() {
+            Severity::Error if self.may => Severity::Warning,
+            s => s,
+        }
     }
 }
 
@@ -129,6 +285,12 @@ impl fmt::Display for Diagnostic {
         if let Some((loc, instr)) = &self.related {
             write!(f, " (related: #{loc} `{instr}`)")?;
         }
+        if let Some(h) = &self.hazard {
+            write!(f, " [hazard: {h}]")?;
+        }
+        if let Some(fix) = &self.fix {
+            write!(f, " [fix: {}]", fix.title)?;
+        }
         Ok(())
     }
 }
@@ -143,6 +305,16 @@ pub struct LintReport {
 }
 
 impl LintReport {
+    /// Builds a report from raw findings: sorts by `(loc, code)` and
+    /// drops exact duplicates (path-sensitive and pair-based passes can
+    /// derive the same finding several times).
+    #[must_use]
+    pub fn from_diags(kernel: String, mut diags: Vec<Diagnostic>) -> LintReport {
+        diags.sort_by(|a, b| (a.loc, a.code, &a.message).cmp(&(b.loc, b.code, &b.message)));
+        diags.dedup();
+        LintReport { kernel, diags }
+    }
+
     /// Number of error-severity findings.
     #[must_use]
     pub fn errors(&self) -> usize {
@@ -179,7 +351,7 @@ impl LintReport {
     pub fn to_text(&self) -> String {
         let mut out = format!("kernel {}: {} finding(s)\n", self.kernel, self.diags.len());
         for d in &self.diags {
-            out.push_str(&format!("  {d}\n"));
+            let _ = writeln!(out, "  {d}");
         }
         out
     }
@@ -197,25 +369,127 @@ impl LintReport {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!(
-                "{{\"code\":\"{}\",\"severity\":\"{}\",\"loc\":{},\"instr\":{},\"message\":{}",
+            let _ = write!(
+                out,
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"may\":{},\"loc\":{},\"instr\":{},\"message\":{}",
                 d.code,
                 d.severity(),
+                d.may,
                 d.loc,
                 json_str(&d.instr),
                 json_str(&d.message)
-            ));
+            );
             if let Some((loc, instr)) = &d.related {
-                out.push_str(&format!(
+                let _ = write!(
+                    out,
                     ",\"related\":{{\"loc\":{loc},\"instr\":{}}}",
                     json_str(instr)
-                ));
+                );
             }
-            out.push('}');
+            if let Some(h) = &d.hazard {
+                let _ = write!(out, ",\"hazard\":{}", json_str(&h.to_string()));
+            }
+            if let Some(fix) = &d.fix {
+                let _ = write!(
+                    out,
+                    ",\"fix\":{{\"title\":{},\"edits\":[",
+                    json_str(&fix.title)
+                );
+                for (j, e) in fix.edits.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_str(&e.to_string()));
+                }
+                out.push_str("]}}");
+            } else {
+                out.push('}');
+            }
         }
         out.push_str("]}");
         out
     }
+}
+
+/// SARIF 2.1.0 severity level for a lint severity.
+fn sarif_level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Perf => "note",
+    }
+}
+
+/// Renders a set of reports as a single SARIF 2.1.0 log, one result per
+/// diagnostic. Kernels are addressed as virtual artifacts
+/// `kernel/<name>` with the pre-order instruction index as the
+/// (1-based) line number, so CI annotators can anchor findings without
+/// a source file on disk. Output is deterministic: results appear in
+/// report order, then `(loc, code)` order within a report.
+#[must_use]
+pub fn sarif(reports: &[LintReport]) -> String {
+    let mut rules: Vec<LintCode> = reports
+        .iter()
+        .flat_map(|r| r.diags.iter().map(|d| d.code))
+        .collect();
+    rules.sort_unstable();
+    rules.dedup();
+
+    let mut out = String::from(
+        "{\"version\":\"2.1.0\",\
+         \"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"runs\":[{\"tool\":{\"driver\":{\"name\":\"sbrp-lint\",\
+         \"informationUri\":\"https://github.com/sbrp/sbrp\",\"rules\":[",
+    );
+    for (i, code) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{code}\",\"shortDescription\":{{\"text\":{}}}}}",
+            json_str(&format!("{code:?}"))
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    let mut first = true;
+    for r in reports {
+        for d in &r.diags {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let mut text = d.message.clone();
+            if let Some(fix) = &d.fix {
+                let _ = write!(text, " (fix: {})", fix.title);
+            }
+            let _ = write!(
+                out,
+                "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":{}}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+                 {{\"uri\":{}}},\"region\":{{\"startLine\":{}}}}}}}]",
+                d.code,
+                sarif_level(d.severity()),
+                json_str(&text),
+                json_str(&format!("kernel/{}", r.kernel)),
+                d.loc + 1,
+            );
+            if let Some((loc, instr)) = &d.related {
+                let _ = write!(
+                    out,
+                    ",\"relatedLocations\":[{{\"physicalLocation\":{{\
+                     \"artifactLocation\":{{\"uri\":{}}},\"region\":\
+                     {{\"startLine\":{}}}}},\"message\":{{\"text\":{}}}}}]",
+                    json_str(&format!("kernel/{}", r.kernel)),
+                    loc + 1,
+                    json_str(instr),
+                );
+            }
+            out.push('}');
+        }
+    }
+    out.push_str("]}]}");
+    out
 }
 
 /// Minimal JSON string escaping.
@@ -227,7 +501,9 @@ fn json_str(s: &str) -> String {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
@@ -243,20 +519,20 @@ mod tests {
         LintReport {
             kernel: "k".into(),
             diags: vec![
-                Diagnostic {
-                    code: LintCode::UnorderedPersists,
-                    loc: 7,
-                    instr: "st.8[r1+0] = r2".into(),
-                    related: Some((3, "st.8[r0+0] = r2".into())),
-                    message: "no ordering point".into(),
-                },
-                Diagnostic {
-                    code: LintCode::RedundantFence,
-                    loc: 9,
-                    instr: "oFence".into(),
-                    related: None,
-                    message: "nothing to order".into(),
-                },
+                Diagnostic::new(
+                    LintCode::UnorderedPersists,
+                    7,
+                    "st.8[r1+0] = r2".into(),
+                    Some((3, "st.8[r0+0] = r2".into())),
+                    "no ordering point".into(),
+                ),
+                Diagnostic::new(
+                    LintCode::RedundantFence,
+                    9,
+                    "oFence".into(),
+                    None,
+                    "nothing to order".into(),
+                ),
             ],
         }
     }
@@ -267,6 +543,20 @@ mod tests {
         assert_eq!(LintCode::InsufficientScope.severity(), Severity::Error);
         assert_eq!(LintCode::UnmatchedSync.severity(), Severity::Warning);
         assert_eq!(LintCode::TrailingPersist.severity(), Severity::Perf);
+        assert_eq!(LintCode::CrossThreadRace.severity(), Severity::Error);
+        assert_eq!(LintCode::UnsyncRecoveryRead.severity(), Severity::Error);
+        assert_eq!(LintCode::DominatedFence.severity(), Severity::Perf);
+        assert_eq!(LintCode::OverwideScope.severity(), Severity::Perf);
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(LintCode::CrossThreadRace.code(), "P007");
+        assert_eq!(LintCode::PairScopeTooNarrow.code(), "P008");
+        assert_eq!(LintCode::DrainOrderRace.code(), "P009");
+        assert_eq!(LintCode::UnsyncRecoveryRead.code(), "P010");
+        assert_eq!(LintCode::DominatedFence.code(), "P011");
+        assert_eq!(LintCode::OverwideScope.code(), "P012");
     }
 
     #[test]
@@ -283,12 +573,76 @@ mod tests {
     }
 
     #[test]
+    fn fix_and_hazard_render_in_text_and_json() {
+        let mut d = Diagnostic::new(
+            LintCode::DominatedFence,
+            4,
+            "oFence".into(),
+            None,
+            "dominated".into(),
+        );
+        d.fix = Some(Fix {
+            title: "drop the oFence".into(),
+            edits: vec![Edit::DropInstr { loc: 4 }],
+        });
+        d.hazard = Some(Hazard::AddrOrder {
+            durable: 0x100,
+            lost: 0x200,
+        });
+        let r = LintReport {
+            kernel: "k".into(),
+            diags: vec![d],
+        };
+        let text = r.to_text();
+        assert!(text.contains("[fix: drop the oFence]"), "{text}");
+        assert!(
+            text.contains("[hazard: 0x100 durable while 0x200 lost]"),
+            "{text}"
+        );
+        let json = r.to_json();
+        assert!(
+            json.contains("\"fix\":{\"title\":\"drop the oFence\""),
+            "{json}"
+        );
+        assert!(json.contains("\"edits\":[\"drop #4\"]"), "{json}");
+    }
+
+    #[test]
+    fn from_diags_sorts_and_dedups() {
+        let d = |loc| {
+            Diagnostic::new(
+                LintCode::RedundantFence,
+                loc,
+                "oFence".into(),
+                None,
+                "m".into(),
+            )
+        };
+        let r = LintReport::from_diags("k".into(), vec![d(9), d(3), d(9)]);
+        assert_eq!(r.diags.len(), 2);
+        assert_eq!(r.diags[0].loc, 3);
+    }
+
+    #[test]
     fn json_is_well_formed_enough() {
         let j = sample().to_json();
         assert!(j.starts_with("{\"kernel\":\"k\""));
         assert!(j.contains("\"errors\":1"));
         assert!(j.contains("\"code\":\"P004\""));
         assert!(j.ends_with("]}"));
+    }
+
+    #[test]
+    fn sarif_contains_rules_results_and_regions() {
+        let s = sarif(&[sample()]);
+        assert!(s.starts_with("{\"version\":\"2.1.0\""));
+        assert!(s.contains("\"id\":\"P001\""));
+        assert!(s.contains("\"ruleId\":\"P004\""));
+        assert!(s.contains("\"uri\":\"kernel/k\""));
+        // loc 7 -> startLine 8 (SARIF lines are 1-based).
+        assert!(s.contains("\"startLine\":8"));
+        assert!(s.contains("relatedLocations"));
+        assert!(s.ends_with("]}]}"));
     }
 
     #[test]

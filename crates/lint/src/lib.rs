@@ -16,6 +16,18 @@
 //! | P004 | perf     | back-to-back fences with no persist in between |
 //! | P005 | perf     | `dFence` inside a loop body |
 //! | P006 | perf     | persistent store with no reachable fence before kernel exit |
+//! | P007 | error    | cross-thread conflicting persists with no synchronizing chain ([`interthread`]) |
+//! | P008 | error    | chain present but its effective scope excludes the racing pair (§5.3) |
+//! | P009 | error    | execution-ordered pair whose durable outcome depends on drain order |
+//! | P010 | error    | unsynchronized cross-thread read of a persist, republished durably |
+//! | P011 | perf     | fence dominated by an adjacent stronger fence (machine-applicable fix) |
+//! | P012 | perf     | release/acquire scope wider than any pair it orders (fix narrows it) |
+//!
+//! P001–P006 are intra-thread ([`lint_kernel`]); P007–P012 come from the
+//! whole-kernel inter-thread analysis ([`interthread_kernel`], or both
+//! via [`lint_all`]). Error-severity inter-thread findings carry a
+//! [`Hazard`] the `sbrp-mc` model checker searches for as a witness, and
+//! perf findings carry machine-applicable [`Fix`]es ([`apply_fix`]).
 //!
 //! ```
 //! use sbrp_isa::{KernelBuilder, MemWidth};
@@ -41,11 +53,22 @@
 //! [`sbrp-isa`]: sbrp_isa
 
 #![deny(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions, clippy::missing_panics_doc)]
+// Locations and lane/thread indices are bounded far below u32; the
+// abstract interpreter's usize→u32 narrowing cannot truncate.
+#![allow(clippy::cast_possible_truncation)]
+// Abstract-interpreter and kernel-builder code names registers and
+// operands `d`/`a`/`b`/`x`/`y` after the IR they manipulate; short,
+// systematically similar names are the local idiom.
+#![allow(clippy::similar_names, clippy::many_single_char_names)]
 
 pub mod dataflow;
 mod diag;
+pub mod interthread;
 mod lint;
 pub mod mutants;
 
-pub use diag::{Diagnostic, LintCode, LintReport, Severity};
+pub use diag::{sarif, Diagnostic, Edit, Fix, Hazard, LintCode, LintReport, Severity};
+pub use interthread::{apply_fix, interthread_kernel, lint_all};
 pub use lint::{lint_kernel, LintConfig};

@@ -178,13 +178,13 @@ impl Ctx<'_> {
     ) {
         let rel_loc = related.as_ref().map_or(usize::MAX, |r| r.0);
         if self.seen.insert((code, loc, rel_loc)) {
-            self.diags.push(Diagnostic {
+            self.diags.push(Diagnostic::new(
                 code,
                 loc,
-                instr: instr.to_string(),
+                instr.to_string(),
                 related,
                 message,
-            });
+            ));
         }
     }
 
@@ -220,26 +220,24 @@ pub fn lint_kernel(kernel: &Kernel, cfg: &LintConfig) -> LintReport {
     for p in &state.pending {
         let key = (LintCode::TrailingPersist, p.loc, usize::MAX);
         if ctx.seen.insert(key) {
-            ctx.diags.push(Diagnostic {
-                code: LintCode::TrailingPersist,
-                loc: p.loc,
-                instr: p.instr.clone(),
-                related: None,
-                message: "persistent store not ordered by any fence before kernel exit; \
-                          its durability is unconstrained"
+            ctx.diags.push(Diagnostic::new(
+                LintCode::TrailingPersist,
+                p.loc,
+                p.instr.clone(),
+                None,
+                "persistent store not ordered by any fence before kernel exit; \
+                 its durability is unconstrained"
                     .into(),
-            });
+            ));
         }
     }
 
     check_sync_sites(&mut ctx);
 
-    let mut diags = ctx.diags;
-    diags.sort_by_key(|a| (a.loc, a.code));
-    LintReport {
-        kernel: kernel.name().to_string(),
-        diags,
-    }
+    // Sort by (loc, code) and drop exact duplicates: the walk visits
+    // loop bodies twice and joins forked paths, so the same finding can
+    // be derived more than once.
+    LintReport::from_diags(kernel.name().to_string(), ctx.diags)
 }
 
 /// P002/P003: match release sites against acquire sites by flag identity.
@@ -277,18 +275,18 @@ fn check_sync_sites(ctx: &mut Ctx<'_>) {
     }
     for (loc, instr, rloc, rinstr, rscope, ascope) in p002 {
         if ctx.seen.insert((LintCode::InsufficientScope, loc, rloc)) {
-            ctx.diags.push(Diagnostic {
-                code: LintCode::InsufficientScope,
+            ctx.diags.push(Diagnostic::new(
+                LintCode::InsufficientScope,
                 loc,
                 instr,
-                related: Some((rloc, rinstr)),
-                message: format!(
+                Some((rloc, rinstr)),
+                format!(
                     "effective scope of this release/acquire pair is `block` \
                      (release: {rscope}, acquire: {ascope}) but the launch has \
                      multiple blocks sharing the flag; persist ordering is not \
                      guaranteed across blocks (paper §5.3) — widen to `device`"
                 ),
-            });
+            ));
         }
     }
 
@@ -306,16 +304,16 @@ fn check_sync_sites(ctx: &mut Ctx<'_>) {
         .collect();
     for (loc, instr, this, other) in unmatched_rels.into_iter().chain(unmatched_acqs) {
         if ctx.seen.insert((LintCode::UnmatchedSync, loc, usize::MAX)) {
-            ctx.diags.push(Diagnostic {
-                code: LintCode::UnmatchedSync,
+            ctx.diags.push(Diagnostic::new(
+                LintCode::UnmatchedSync,
                 loc,
                 instr,
-                related: None,
-                message: format!(
+                None,
+                format!(
                     "{this} has no matching {other} on this flag in the kernel; \
                      fine for cross-kernel handoff, a bug otherwise"
                 ),
-            });
+            ));
         }
     }
 }
@@ -541,11 +539,9 @@ fn step(i: &Instr, loc: usize, state: &mut State, ctx: &mut Ctx<'_>) {
             state.fence_run = None;
             kill_epoch(state);
         }
-        Instr::SyncBlock => {
-            // An execution barrier, not a persist ordering point: persists
-            // before and after it stay in the same epoch (the formal model
-            // records no event for it).
-        }
-        Instr::Sleep(_) => {}
+        // SyncBlock is an execution barrier, not a persist ordering
+        // point: persists before and after it stay in the same epoch
+        // (the formal model records no event for it).
+        Instr::SyncBlock | Instr::Sleep(_) => {}
     }
 }

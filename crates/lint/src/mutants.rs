@@ -127,6 +127,166 @@ fn epoch(pm_base: u64, barrier: bool) -> Kernel {
     })
 }
 
+/// Message passing with a *persistent* consumer side: block 0 persists
+/// data and releases a flag; block 1 acquire-spins, reads the data,
+/// republishes it to a persistent sink, and drains. The producer and
+/// consumer scopes are independent so the inter-thread analyzer's
+/// widening fix (P008) can be exercised one side at a time.
+pub(crate) fn message_pass_pm(
+    pm_base: u64,
+    prod: Scope,
+    cons: Scope,
+    name: &'static str,
+) -> Kernel {
+    let mut b = KernelBuilder::new();
+    let data = b.param(0);
+    let flag = b.param(1);
+    let sink = b.param(2);
+    let cta = b.special(Special::CtaId);
+    let is_prod = b.eqi(cta, 0);
+    b.if_then_else(
+        is_prod,
+        |b| {
+            let v = b.movi(42);
+            b.st(data, 0, v, W8);
+            let one = b.movi(1);
+            b.prel(flag, one, prod);
+        },
+        |b| {
+            b.while_loop(
+                |b| {
+                    let a = b.pacq(flag, cons);
+                    b.eqi(a, 0)
+                },
+                |b| b.sleep(16),
+            );
+            let v = b.ld(data, 0, W8);
+            b.st(sink, 0, v, W8);
+            b.dfence();
+        },
+    );
+    b.set_params(vec![pm_base, 0x8000, pm_base + 0x2000]);
+    b.build(name)
+}
+
+/// Same handoff inside one block: warp 0 persists and releases, warp 1
+/// acquire-spins, republishes to a persistent sink, and drains. With
+/// `scope` = `Device` the chain is wider than the intra-block pair it
+/// orders (P012's subject).
+pub(crate) fn two_warp_handoff(pm_base: u64, scope: Scope, name: &'static str) -> Kernel {
+    let mut b = KernelBuilder::new();
+    let data = b.param(0);
+    let flag = b.param(1);
+    let sink = b.param(2);
+    let t = b.special(Special::Tid);
+    let is_prod = b.lti(t, 32);
+    b.if_then_else(
+        is_prod,
+        |b| {
+            let v = b.movi(7);
+            b.st(data, 0, v, W8);
+            b.prel(flag, v, scope);
+        },
+        |b| {
+            b.while_loop(
+                |b| {
+                    let a = b.pacq(flag, scope);
+                    b.eqi(a, 0)
+                },
+                |b| b.sleep(16),
+            );
+            let v = b.ld(data, 0, W8);
+            b.st(sink, 0, v, W8);
+            b.dfence();
+        },
+    );
+    b.set_params(vec![pm_base, 0x8000, pm_base + 0x2000]);
+    b.build(name)
+}
+
+/// The lead thread of *every* block persists its block id to the same
+/// word, with no inter-block synchronization anywhere — the minimal
+/// cross-thread persist race (P007).
+fn it_race_cross_block(pm_base: u64) -> Kernel {
+    let mut b = KernelBuilder::new();
+    let data = b.param(0);
+    let cta = b.special(Special::CtaId);
+    let t = b.special(Special::Tid);
+    let lead = b.eqi(t, 0);
+    b.if_then(lead, |b| {
+        let v = b.addi(cta, 1);
+        b.st(data, 0, v, W8);
+        b.dfence();
+    });
+    b.set_params(vec![pm_base]);
+    b.build("it_race_cross_block")
+}
+
+/// Thread 0 persists, the block barrier orders execution, thread 32
+/// overwrites — but nothing drains the first store before the barrier,
+/// so which value survives a crash depends on drain order (P009). The
+/// two stores overlap across a cache-line boundary (offsets 124 and
+/// 128, 8 bytes each), putting them in different persist-buffer lines:
+/// the drain order between them really is free.
+fn it_drain_order(pm_base: u64) -> Kernel {
+    let mut b = KernelBuilder::new();
+    let data = b.param(0);
+    let t = b.special(Special::Tid);
+    let is0 = b.eqi(t, 0);
+    b.if_then(is0, |b| {
+        let v = b.movi(1);
+        b.st(data, 124, v, W8);
+    });
+    b.sync_block();
+    let is32 = b.eqi(t, 32);
+    b.if_then(is32, |b| {
+        let v = b.movi(2);
+        b.st(data, 128, v, W8);
+        b.dfence();
+    });
+    b.set_params(vec![pm_base]);
+    b.build("it_drain_order")
+}
+
+/// Block 1 reads block 0's persist with no synchronization at all and
+/// republishes durable state derived from it (P010): the sink can be
+/// durable while the source persist is lost.
+fn it_recovery_read(pm_base: u64) -> Kernel {
+    let mut b = KernelBuilder::new();
+    let data = b.param(0);
+    let sink = b.param(1);
+    let cta = b.special(Special::CtaId);
+    let is_prod = b.eqi(cta, 0);
+    b.if_then_else(
+        is_prod,
+        |b| {
+            let v = b.movi(9);
+            b.st(data, 0, v, W8);
+        },
+        |b| {
+            let v = b.ld(data, 0, W8);
+            b.st(sink, 0, v, W8);
+            b.dfence();
+        },
+    );
+    b.set_params(vec![pm_base, pm_base + 0x2000]);
+    b.build("it_recovery_read")
+}
+
+/// An `oFence` immediately followed by a `dFence` with nothing in
+/// between: the drain already implies the ordering (P011; the fix drops
+/// the dominated fence).
+fn it_dominated_fence(pm_base: u64) -> Kernel {
+    let mut b = KernelBuilder::new();
+    let data = b.param(0);
+    let v = b.movi(1);
+    b.st(data, 0, v, W8);
+    b.ofence();
+    b.dfence();
+    b.set_params(vec![pm_base]);
+    b.build("it_dominated_fence")
+}
+
 /// Persist + release with no acquire anywhere in the kernel.
 fn unmatched_release(pm_base: u64) -> Kernel {
     let mut b = KernelBuilder::new();
@@ -193,6 +353,7 @@ fn trailing_persist(pm_base: u64) -> Kernel {
 /// The order is stable (golden files key on it) and correct/broken
 /// variants are adjacent so reports read as before/after pairs.
 #[must_use]
+#[allow(clippy::too_many_lines)] // one entry per mutant, a flat list
 pub fn suite(pm_base: u64) -> Vec<Mutant> {
     let small = LaunchConfig::new(1, 32);
     let two_blocks = LaunchConfig::new(2, 32);
@@ -267,13 +428,55 @@ pub fn suite(pm_base: u64) -> Vec<Mutant> {
             launch: small,
             expect: &[LintCode::TrailingPersist],
         },
+        Mutant {
+            name: "it_race_cross_block",
+            what: "every block's leader persists to the same word, unsynchronized",
+            kernel: it_race_cross_block(pm_base),
+            launch: two_blocks,
+            expect: &[LintCode::CrossThreadRace],
+        },
+        Mutant {
+            name: "it_scope_narrow_pair",
+            what: "cross-block handoff over a block-scoped rel/acq chain",
+            kernel: message_pass_pm(pm_base, Scope::Block, Scope::Block, "it_scope_narrow_pair"),
+            launch: two_blocks,
+            expect: &[LintCode::PairScopeTooNarrow],
+        },
+        Mutant {
+            name: "it_drain_order",
+            what: "barrier-ordered overwrite with no drain before the barrier",
+            kernel: it_drain_order(pm_base),
+            launch: LaunchConfig::new(1, 64),
+            expect: &[LintCode::DrainOrderRace],
+        },
+        Mutant {
+            name: "it_recovery_read",
+            what: "cross-block read of an unpublished persist, republished durably",
+            kernel: it_recovery_read(pm_base),
+            launch: two_blocks,
+            expect: &[LintCode::UnsyncRecoveryRead],
+        },
+        Mutant {
+            name: "it_dominated_fence",
+            what: "oFence immediately dominated by a dFence",
+            kernel: it_dominated_fence(pm_base),
+            launch: small,
+            expect: &[LintCode::DominatedFence],
+        },
+        Mutant {
+            name: "it_overwide_scope",
+            what: "intra-block handoff over a device-scoped rel/acq chain",
+            kernel: two_warp_handoff(pm_base, Scope::Device, "it_overwide_scope"),
+            launch: LaunchConfig::new(1, 64),
+            expect: &[LintCode::OverwideScope],
+        },
     ]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{lint_kernel, LintConfig, Severity};
+    use crate::{lint_all, lint_kernel, LintConfig, Severity};
 
     const PM: u64 = 1 << 40;
 
@@ -282,7 +485,7 @@ mod tests {
         for m in suite(PM) {
             let mut cfg = LintConfig::with_launch(m.launch);
             cfg.pm_base = PM;
-            let report = lint_kernel(&m.kernel, &cfg);
+            let report = lint_all(&m.kernel, &cfg);
             if m.is_broken() {
                 for &code in m.expect {
                     assert!(
@@ -308,7 +511,7 @@ mod tests {
     fn widening_the_scope_fixes_the_scope_mutant() {
         let m = message_pass(PM, Scope::Device, "mp");
         let cfg = LintConfig::with_launch(LaunchConfig::new(2, 32));
-        let report = lint_kernel(&m, &cfg);
+        let report = lint_all(&m, &cfg);
         assert_eq!(report.errors(), 0, "{}", report.to_text());
     }
 
@@ -317,6 +520,8 @@ mod tests {
         let m = message_pass(PM, Scope::Block, "mp_one_block");
         let cfg = LintConfig::with_launch(LaunchConfig::new(1, 64));
         let report = lint_kernel(&m, &cfg);
+        assert_eq!(report.errors(), 0, "{}", report.to_text());
+        let report = lint_all(&m, &cfg);
         assert_eq!(report.errors(), 0, "{}", report.to_text());
     }
 }

@@ -5,7 +5,7 @@
 //! `SBRP_UPDATE_GOLDEN=1 cargo test -p sbrp-lint --test golden`
 
 use sbrp_lint::mutants::suite;
-use sbrp_lint::{lint_kernel, LintConfig};
+use sbrp_lint::{lint_all, lint_kernel, LintConfig};
 use std::path::PathBuf;
 
 const PM_BASE: u64 = 1 << 40;
@@ -23,7 +23,7 @@ fn mutant_diagnostics_match_golden_files() {
     for m in suite(PM_BASE) {
         let mut cfg = LintConfig::with_launch(m.launch);
         cfg.pm_base = PM_BASE;
-        let report = lint_kernel(&m.kernel, &cfg);
+        let report = lint_all(&m.kernel, &cfg);
         let text = format!("# {}: {}\n{}", m.name, m.what, report.to_text());
         let path = golden_path(m.name);
         if update {
@@ -43,6 +43,31 @@ fn mutant_diagnostics_match_golden_files() {
         mismatches.is_empty(),
         "golden mismatches (SBRP_UPDATE_GOLDEN=1 to regenerate):\n{}",
         mismatches.join("\n")
+    );
+}
+
+#[test]
+fn sarif_output_matches_golden_snapshot() {
+    let update = std::env::var("SBRP_UPDATE_GOLDEN").is_ok();
+    let reports: Vec<_> = suite(PM_BASE)
+        .iter()
+        .map(|m| {
+            let mut cfg = LintConfig::with_launch(m.launch);
+            cfg.pm_base = PM_BASE;
+            lint_all(&m.kernel, &cfg)
+        })
+        .collect();
+    let log = sbrp_lint::sarif(&reports);
+    let path = golden_path("mutants.sarif");
+    if update {
+        std::fs::write(&path, &log).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        want, log,
+        "SARIF snapshot drifted (SBRP_UPDATE_GOLDEN=1 to regenerate)"
     );
 }
 

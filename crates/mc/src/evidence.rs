@@ -24,15 +24,138 @@
 //! ordering, so the dynamic witness must be a persist that becomes
 //! durable before the data it depends on.
 
-use crate::explore::{explore, shrink, McOpts};
+use crate::explore::{explore, shrink, witness_reach, McOpts, WitnessTarget};
 use crate::spec::{
     Choice, Invariant, McReport, PersistDomain, Program, Reach, Spec, ViolationKind,
 };
 use sbrp_core::ops::ModelKind;
+use sbrp_isa::LaunchConfig;
 use sbrp_lint::mutants::{suite, Mutant};
+use sbrp_lint::{apply_fix, lint_all, Diagnostic, Hazard, LintConfig, Severity};
 
 /// PM window base used for cross-validation (matches the lint tests).
 pub const PM_BASE: u64 = 1 << 40;
+
+/// Launch sizes up to this many threads are exhaustively explorable
+/// within the default state budget; larger launches get `Approx`
+/// witnesses instead of a search.
+pub const TRACTABLE_THREADS: u64 = 128;
+
+/// Whether a launch is small enough for exhaustive witness search.
+#[must_use]
+pub fn mc_tractable(launch: LaunchConfig) -> bool {
+    launch.total_threads() <= TRACTABLE_THREADS
+}
+
+/// Outcome of the model-checked witness search for one error-severity
+/// inter-thread lint diagnostic.
+#[derive(Clone, Debug)]
+pub enum WitnessOutcome {
+    /// Shortest schedule reaching the hazard state the lint named.
+    Schedule(Vec<Choice>),
+    /// No search ran; the diagnostic stands as an approximation and
+    /// the reason says why (launch too large, or no definite hazard).
+    Approx(&'static str),
+    /// The search exhausted the reachable states without meeting the
+    /// hazard: the lint finding is conservative under this model.
+    NotReached,
+}
+
+impl WitnessOutcome {
+    /// True for [`WitnessOutcome::Schedule`].
+    #[must_use]
+    pub fn is_schedule(&self) -> bool {
+        matches!(self, WitnessOutcome::Schedule(_))
+    }
+}
+
+/// Searches for a reachable state matching `diag`'s hazard claim.
+///
+/// Error-severity inter-thread diagnostics name their crash scenario
+/// as a [`Hazard`]; this turns the claim into a [`WitnessTarget`] and
+/// asks the checker for the shortest schedule reaching it. Launches
+/// beyond [`TRACTABLE_THREADS`] and diagnostics without a hazard are
+/// reported [`WitnessOutcome::Approx`] rather than searched.
+#[must_use]
+pub fn interthread_witness(prog: &Program, diag: &Diagnostic, opts: &McOpts) -> WitnessOutcome {
+    if !mc_tractable(prog.launch) {
+        return WitnessOutcome::Approx("launch too large for exhaustive search");
+    }
+    let Some(h) = &diag.hazard else {
+        return WitnessOutcome::Approx("hazard not statically definite");
+    };
+    let target = match *h {
+        Hazard::MarkOrder { durable, lost } => WitnessTarget::Marks { durable, lost },
+        Hazard::AddrOrder { durable, lost } => WitnessTarget::Addrs { durable, lost },
+    };
+    match witness_reach(prog, target, opts) {
+        Some(s) => WitnessOutcome::Schedule(s),
+        None => WitnessOutcome::NotReached,
+    }
+}
+
+/// Applies `diag`'s machine fix to the program's kernel and explores
+/// the result under `spec`: a sound fix model-checks clean.
+///
+/// # Panics
+///
+/// Panics when `diag` carries no fix.
+#[must_use]
+pub fn verify_fix(prog: &Program, spec: &Spec, diag: &Diagnostic, opts: &McOpts) -> McReport {
+    let fix = diag.fix.as_ref().expect("diagnostic carries no fix");
+    let mut fixed = prog.clone();
+    fixed.kernel = apply_fix(&prog.kernel, fix);
+    explore(&fixed, spec, opts)
+}
+
+/// The full inter-thread lint report for a mutant, at the geometry it
+/// is meant for.
+fn lint_report(m: &Mutant) -> sbrp_lint::LintReport {
+    let cfg = LintConfig {
+        pm_base: PM_BASE,
+        launch: Some(m.launch),
+    };
+    lint_all(&m.kernel, &cfg)
+}
+
+/// Every error-severity diagnostic's witness outcome for `m`, plus the
+/// first found schedule (stored as the evidence witness).
+fn hazard_witnesses(
+    m: &Mutant,
+    prog: &Program,
+    opts: &McOpts,
+) -> (Vec<WitnessOutcome>, Option<Vec<Choice>>) {
+    let report = lint_report(m);
+    let outcomes: Vec<WitnessOutcome> = report
+        .diags
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .map(|d| interthread_witness(prog, d, opts))
+        .collect();
+    let first = outcomes.iter().find_map(|o| match o {
+        WitnessOutcome::Schedule(s) => Some(s.clone()),
+        _ => None,
+    });
+    (outcomes, first)
+}
+
+/// Explores the fix-rewritten kernel for the first diagnostic of `m`
+/// with code `code`, under `spec`.
+fn explore_fixed(
+    m: &Mutant,
+    prog: &Program,
+    spec: &Spec,
+    code: sbrp_lint::LintCode,
+    opts: &McOpts,
+) -> McReport {
+    let report = lint_report(m);
+    let diag = report
+        .diags
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("{}: lint reports no {code:?}", m.name));
+    verify_fix(prog, spec, diag, opts)
+}
 
 /// The model-checking verdict for one lint mutant.
 pub struct MutantEvidence {
@@ -137,18 +260,51 @@ fn subject(m: &Mutant) -> (Program, Spec, bool) {
             };
             (program(m, ModelKind::Sbrp), spec, true)
         }
-        // Warning-class mutants: explored with no extra invariants; the
-        // evidence is structural.
-        "unmatched_release" | "redundant_fence" | "dfence_in_loop" => {
-            (program(m, ModelKind::Sbrp), Spec::default(), false)
+        // Warning-class mutants are explored with no extra invariants
+        // (the evidence is structural), and so are the race-class
+        // inter-thread mutants — those have no single recovery
+        // invariant to state; their evidence is the reachability of the
+        // lint hazard itself ([`hazard_witnesses`]).
+        "unmatched_release"
+        | "redundant_fence"
+        | "dfence_in_loop"
+        | "it_race_cross_block"
+        | "it_drain_order" => (program(m, ModelKind::Sbrp), Spec::default(), false),
+        "it_scope_narrow_pair" | "it_recovery_read" => {
+            let (inv, reach) = implies(mp_sink, mp_data);
+            let spec = Spec {
+                invariants: vec![inv],
+                reach: vec![reach],
+                ..Spec::default()
+            };
+            (program(m, ModelKind::Sbrp), spec, true)
+        }
+        "it_dominated_fence" => {
+            let spec = Spec {
+                invariants: vec![Invariant::DurableAtExit { addr: PM_BASE }],
+                ..Spec::default()
+            };
+            (program(m, ModelKind::Sbrp), spec, false)
+        }
+        "it_overwide_scope" => {
+            let (inv, _) = implies(mp_sink, mp_data);
+            let spec = Spec {
+                invariants: vec![inv],
+                ..Spec::default()
+            };
+            (program(m, ModelKind::Sbrp), spec, false)
         }
         other => panic!("no mc mapping for lint mutant `{other}`"),
     }
 }
 
+#[allow(clippy::too_many_lines)] // one arm per mutant family
 fn check_one(m: &Mutant, opts: &McOpts) -> MutantEvidence {
     let (prog, spec, expect_violation) = subject(m);
     let report = explore(&prog, &spec, opts);
+    // Hazard-reachability schedule for the race-class inter-thread
+    // mutants (whose witness is not a spec violation).
+    let mut it_witness: Option<Vec<Choice>> = None;
 
     let (agrees, finding) = match m.name {
         "wal_correct" | "mp_device_correct" | "epoch_correct" => (
@@ -214,6 +370,83 @@ fn check_one(m: &Mutant, opts: &McOpts) -> MutantEvidence {
                 ),
             )
         }
+        "it_race_cross_block" | "it_drain_order" => {
+            // No single recovery invariant: the evidence is that the
+            // hazard state each error diagnostic names — "that persist
+            // durable while this one lost" — is reachable.
+            let (outcomes, first) = hazard_witnesses(m, &prog, opts);
+            it_witness = first;
+            let none_refuted = outcomes
+                .iter()
+                .all(|o| !matches!(o, WitnessOutcome::NotReached));
+            let some = outcomes.iter().any(WitnessOutcome::is_schedule);
+            (
+                report.verified() && none_refuted && some,
+                format!(
+                    "every lint hazard state is reachable ({} witness schedule(s))",
+                    outcomes.len()
+                ),
+            )
+        }
+        "it_scope_narrow_pair" | "it_recovery_read" => {
+            let has = report
+                .violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::AddrImplies);
+            let reached = report.reached.first().is_some_and(Option::is_some);
+            let scope_ok = m.name != "it_scope_narrow_pair" || report.evidence.any_scope_bug;
+            let (outcomes, _) = hazard_witnesses(m, &prog, opts);
+            let witnessed = outcomes.iter().any(WitnessOutcome::is_schedule)
+                && outcomes
+                    .iter()
+                    .all(|o| !matches!(o, WitnessOutcome::NotReached));
+            // The P008 fix widens both scopes to the pair's least
+            // common scope; the rewritten kernel must check clean.
+            let fixed_clean = if m.name == "it_scope_narrow_pair" {
+                let clean_spec = Spec {
+                    invariants: spec.invariants.clone(),
+                    ..Spec::default()
+                };
+                explore_fixed(
+                    m,
+                    &prog,
+                    &clean_spec,
+                    sbrp_lint::LintCode::PairScopeTooNarrow,
+                    opts,
+                )
+                .verified()
+            } else {
+                true
+            };
+            (
+                has && reached && scope_ok && witnessed && fixed_clean,
+                format!(
+                    "republication durable with its source lost; {} lint hazard(s) \
+                     witnessed; fix model-checks clean",
+                    outcomes.len()
+                ),
+            )
+        }
+        "it_dominated_fence" => {
+            let fixed = explore_fixed(m, &prog, &spec, sbrp_lint::LintCode::DominatedFence, opts);
+            let equiv = fixed.verified() && fixed.signatures == report.signatures;
+            (
+                report.verified() && equiv,
+                "dropping the dominated fence preserves durability and the \
+                 execution-signature set"
+                    .into(),
+            )
+        }
+        "it_overwide_scope" => {
+            let fixed = explore_fixed(m, &prog, &spec, sbrp_lint::LintCode::OverwideScope, opts);
+            let equiv = fixed.verified() && fixed.signatures == report.signatures;
+            (
+                report.verified() && equiv,
+                "narrowing the pair to block scope preserves the handoff \
+                 invariant and the execution-signature set"
+                    .into(),
+            )
+        }
         _ => unreachable!(),
     };
 
@@ -225,7 +458,7 @@ fn check_one(m: &Mutant, opts: &McOpts) -> MutantEvidence {
         };
         shrink(&prog, &spec, kind, opts)
     } else {
-        None
+        it_witness
     };
 
     MutantEvidence {

@@ -460,6 +460,92 @@ pub fn shrink(
     None
 }
 
+/// The state predicate a lint hazard names: one persist durable while
+/// another is lost. Since every reachable state is a crash cut, a
+/// schedule reaching such a state *is* the crash scenario the lint
+/// diagnostic warns about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WitnessTarget {
+    /// `durable`'s `(block, tid_in_block, nth)` persist has drained
+    /// while `lost`'s has not (it may still be buffered, or not yet
+    /// issued at all — a crash loses it either way).
+    Marks {
+        /// Mark of the persist that survived.
+        durable: (u32, u32, u32),
+        /// Mark of the persist a crash would lose.
+        lost: (u32, u32, u32),
+    },
+    /// Address-granular form, for hazards whose persists are not
+    /// statically definite marks.
+    Addrs {
+        /// Address with a durable write.
+        durable: u64,
+        /// Address with no durable write.
+        lost: u64,
+    },
+}
+
+impl WitnessTarget {
+    fn holds(self, st: &State) -> bool {
+        match self {
+            WitnessTarget::Marks { durable, lost } => {
+                st.mark_durable(durable) && !st.mark_durable(lost)
+            }
+            WitnessTarget::Addrs { durable, lost } => {
+                st.durable_addrs().contains(&durable) && !st.durable_addrs().contains(&lost)
+            }
+        }
+    }
+}
+
+/// Breadth-first search for the *shortest* schedule reaching a state
+/// where `target` holds, or `None` when no reachable state matches
+/// (the hazard the lint claimed is spurious under this model).
+///
+/// Serial like [`shrink`], and for the same reason: shortest-path
+/// structure matters more than throughput at witness sizes.
+#[must_use]
+pub fn witness_reach(
+    program: &Program,
+    target: WitnessTarget,
+    opts: &McOpts,
+) -> Option<Vec<Choice>> {
+    let bidx = program.kernel.block_index();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    let mut states: u64 = 0;
+
+    let init = State::initial(program);
+    if target.holds(&init) {
+        return Some(Vec::new());
+    }
+    visited.insert(init.fingerprint(program, &bidx));
+    queue.push_back(init);
+
+    while let Some(st) = queue.pop_front() {
+        for choice in st.choices(program) {
+            let mut next = st.clone();
+            let mut vios = Vec::new();
+            let mut ev = Evidence::new();
+            next.apply(program, choice, &mut ev, &mut vios);
+            if target.holds(&next) {
+                return Some(next.schedule().to_vec());
+            }
+            if visited.insert(next.fingerprint(program, &bidx)) {
+                states += 1;
+                assert!(
+                    states <= opts.max_states,
+                    "mc: exceeded {} states searching `{}` for a witness",
+                    opts.max_states,
+                    program.kernel.name(),
+                );
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
 /// Replays `schedule` from the initial state, returning the resulting
 /// state and every violation the built-in and spec-level checks raise
 /// along the way — the reproduction tool for a counterexample from

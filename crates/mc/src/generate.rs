@@ -1,0 +1,241 @@
+//! Seeded generator of scoped message-passing kernels, for pinning the
+//! static linter's false-negative rate at zero.
+//!
+//! Each seed deterministically picks a point in a small combinatorial
+//! space of producer→consumer handoff kernels: launch geometry
+//! (cross-block or two warps of one block), how the producer publishes
+//! (`pRel` at block or device scope, a volatile flag store, or not at
+//! all), whether it drains before publishing, and how the consumer
+//! synchronizes (an acquire spin at either scope, a volatile spin, a
+//! single non-spinning `pAcq`, or nothing). The consumer always reads
+//! the data and republishes it to a persistent `sink`, so every kernel
+//! carries the same recovery invariant: *durable(sink) ⇒
+//! durable(data)*.
+//!
+//! The harness (`tests/generative_mc.rs`) lints each kernel with
+//! [`sbrp_lint::lint_all`] and model-checks it with [`crate::explore`]
+//! under that invariant, and asserts the soundness direction: **no
+//! kernel is lint-error-clean yet has a model-checked violation**. The
+//! linter may be conservative (flag a kernel the model proves safe —
+//! e.g. a device-scope release that must drain before publishing), but
+//! it must never be silent on a kernel with a real violating execution.
+
+use crate::spec::{Invariant, PersistDomain, Program, Spec};
+use sbrp_core::ops::ModelKind;
+use sbrp_core::scope::Scope;
+use sbrp_isa::{Kernel, KernelBuilder, LaunchConfig, MemWidth, Special};
+
+/// How the producer publishes its flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Publish {
+    /// `pRel` at block scope.
+    RelBlock,
+    /// `pRel` at device scope.
+    RelDevice,
+    /// Plain (volatile) store to a non-persistent flag word.
+    VolStore,
+    /// No publication at all.
+    None,
+}
+
+/// How the consumer synchronizes before reading.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsumerSync {
+    /// Acquire-spin at block scope.
+    SpinAcqBlock,
+    /// Acquire-spin at device scope.
+    SpinAcqDevice,
+    /// Volatile-load spin on the flag word.
+    SpinVolatile,
+    /// A single non-spinning `pAcq` (proceeds regardless of the value).
+    BareAcq,
+    /// No synchronization.
+    None,
+}
+
+/// One generated case: the kernel, its geometry, and the addresses the
+/// recovery invariant *durable(sink) ⇒ durable(data)* is about.
+pub struct GenCase {
+    /// The generated kernel, parameters baked in.
+    pub kernel: Kernel,
+    /// Launch geometry the kernel was generated for.
+    pub launch: LaunchConfig,
+    /// Producer-persisted address the invariant requires.
+    pub data: u64,
+    /// Consumer-republished address the invariant guards.
+    pub sink: u64,
+    /// Human-readable knob assignment, for failure messages.
+    pub describe: String,
+}
+
+impl GenCase {
+    /// The model-checking program and spec for this case.
+    #[must_use]
+    pub fn program_and_spec(&self, pm_base: u64) -> (Program, Spec) {
+        let prog = Program {
+            kernel: self.kernel.clone(),
+            launch: self.launch,
+            model: ModelKind::Sbrp,
+            domain: PersistDomain::Adr,
+            pm_base,
+        };
+        let spec = Spec {
+            invariants: vec![Invariant::AddrImplies {
+                if_durable: self.sink,
+                then_durable: self.data,
+            }],
+            ..Spec::default()
+        };
+        (prog, spec)
+    }
+}
+
+/// `splitmix64` — tiny, deterministic, and well-distributed; the same
+/// generator the sweep engine's seeding uses.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// Deterministically generates the kernel for `seed`.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+#[allow(clippy::similar_names)] // prod_ofence/prod_dfence are the knobs
+pub fn generate(seed: u64, pm_base: u64) -> GenCase {
+    const W8: MemWidth = MemWidth::W8;
+    let mut rng = Rng(seed);
+
+    let cross_block = rng.flag();
+    let publish = match rng.pick(4) {
+        0 => Publish::RelBlock,
+        1 => Publish::RelDevice,
+        2 => Publish::VolStore,
+        _ => Publish::None,
+    };
+    let sync = match rng.pick(5) {
+        0 => ConsumerSync::SpinAcqBlock,
+        1 => ConsumerSync::SpinAcqDevice,
+        2 => ConsumerSync::SpinVolatile,
+        3 => ConsumerSync::BareAcq,
+        _ => ConsumerSync::None,
+    };
+    let second_store = rng.flag();
+    let prod_ofence = rng.flag();
+    let prod_dfence = rng.flag();
+    let cons_dfence = rng.flag();
+    let value = 1 + rng.pick(250);
+
+    let launch = if cross_block {
+        LaunchConfig::new(2, 32)
+    } else {
+        LaunchConfig::new(1, 64)
+    };
+
+    let mut b = KernelBuilder::new();
+    let data = b.param(0);
+    let flag = b.param(1);
+    let sink = b.param(2);
+    let is_prod = if cross_block {
+        let cta = b.special(Special::CtaId);
+        b.eqi(cta, 0)
+    } else {
+        let t = b.special(Special::Tid);
+        b.lti(t, 32)
+    };
+    b.if_then_else(
+        is_prod,
+        |b| {
+            let v = b.movi(value);
+            b.st(data, 0, v, W8);
+            if second_store {
+                b.st(data, 8, v, W8);
+            }
+            if prod_ofence {
+                b.ofence();
+            }
+            if prod_dfence {
+                b.dfence();
+            }
+            match publish {
+                Publish::RelBlock => {
+                    let one = b.movi(1);
+                    b.prel(flag, one, Scope::Block);
+                }
+                Publish::RelDevice => {
+                    let one = b.movi(1);
+                    b.prel(flag, one, Scope::Device);
+                }
+                Publish::VolStore => {
+                    let one = b.movi(1);
+                    b.st(flag, 0, one, W8);
+                }
+                Publish::None => {}
+            }
+        },
+        |b| {
+            match sync {
+                ConsumerSync::SpinAcqBlock | ConsumerSync::SpinAcqDevice => {
+                    let sc = if sync == ConsumerSync::SpinAcqBlock {
+                        Scope::Block
+                    } else {
+                        Scope::Device
+                    };
+                    b.while_loop(
+                        |b| {
+                            let a = b.pacq(flag, sc);
+                            b.eqi(a, 0)
+                        },
+                        |b| b.sleep(16),
+                    );
+                }
+                ConsumerSync::SpinVolatile => {
+                    b.while_loop(
+                        |b| {
+                            let a = b.ld_volatile(flag, 0, W8);
+                            b.eqi(a, 0)
+                        },
+                        |b| b.sleep(16),
+                    );
+                }
+                ConsumerSync::BareAcq => {
+                    b.pacq(flag, Scope::Block);
+                }
+                ConsumerSync::None => {}
+            }
+            let v = b.ld(data, 0, W8);
+            b.st(sink, 0, v, W8);
+            if cons_dfence {
+                b.dfence();
+            }
+        },
+    );
+    b.set_params(vec![pm_base, 0x8000, pm_base + 0x2000]);
+    let kernel = b.build(format!("gen_{seed}"));
+
+    GenCase {
+        kernel,
+        launch,
+        data: pm_base,
+        sink: pm_base + 0x2000,
+        describe: format!(
+            "cross_block={cross_block} publish={publish:?} sync={sync:?} \
+             second_store={second_store} prod_ofence={prod_ofence} \
+             prod_dfence={prod_dfence} cons_dfence={cons_dfence}"
+        ),
+    }
+}

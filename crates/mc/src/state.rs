@@ -222,6 +222,16 @@ impl State {
         &self.durable_addrs
     }
 
+    /// Whether the persist named by `(block, tid_in_block, nth)` —
+    /// the thread's `nth` program-order persist — has drained. The
+    /// mark naming matches the static linter's hazards, so a lint
+    /// claim "`blkB:tT#N` durable while … lost" is directly checkable
+    /// against a reachable state.
+    #[must_use]
+    pub fn mark_durable(&self, mark: (u32, u32, u32)) -> bool {
+        self.durable_marks.contains(&mark)
+    }
+
     /// The schedule that produced this state.
     #[must_use]
     pub fn schedule(&self) -> &[Choice] {

@@ -1,0 +1,118 @@
+//! Generative false-negative pinning of the static linter.
+//!
+//! 200 seeded message-passing kernels (`sbrp_mc::generate`) are each
+//! linted and exhaustively model-checked under the recovery invariant
+//! *durable(sink) ⇒ durable(data)*. The soundness claim under test:
+//! **no kernel the linter reports error-free has a model-checked
+//! violating execution.** Conservatism in the other direction (lint
+//! error on a kernel the checker proves safe) is permitted and also
+//! counted, as are both outcome classes, so a generator regression
+//! that stops producing one side fails loudly.
+
+use sbrp_lint::{lint_all, LintConfig};
+use sbrp_mc::evidence::PM_BASE;
+use sbrp_mc::generate::generate;
+use sbrp_mc::{explore, McOpts, ViolationKind};
+
+const SEEDS: u64 = 200;
+
+struct Outcome {
+    seed: u64,
+    describe: String,
+    lint_errors: usize,
+    violated: bool,
+    other_violations: usize,
+}
+
+fn check_seed(seed: u64) -> Outcome {
+    let case = generate(seed, PM_BASE);
+    let cfg = LintConfig {
+        pm_base: PM_BASE,
+        launch: Some(case.launch),
+    };
+    let lint = lint_all(&case.kernel, &cfg);
+    let (prog, spec) = case.program_and_spec(PM_BASE);
+    let opts = McOpts {
+        jobs: 1,
+        ..McOpts::default()
+    };
+    let report = explore(&prog, &spec, &opts);
+    let violated = report
+        .violations
+        .iter()
+        .any(|v| v.kind == ViolationKind::AddrImplies);
+    let other_violations = report
+        .violations
+        .iter()
+        .filter(|v| v.kind != ViolationKind::AddrImplies)
+        .count();
+    Outcome {
+        seed,
+        describe: case.describe,
+        lint_errors: lint.errors(),
+        violated,
+        other_violations,
+    }
+}
+
+#[test]
+fn lint_clean_kernels_never_violate_the_model() {
+    let threads: u64 = std::thread::available_parallelism().map_or(4, |n| n.get() as u64);
+    let mut outcomes: Vec<Outcome> = Vec::with_capacity(SEEDS as usize);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    (t..SEEDS)
+                        .step_by(threads as usize)
+                        .map(check_seed)
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            outcomes.extend(h.join().expect("seed worker panicked"));
+        }
+    });
+    outcomes.sort_by_key(|o| o.seed);
+    assert_eq!(outcomes.len(), SEEDS as usize);
+
+    let mut clean_and_safe = 0u32;
+    let mut flagged_and_violating = 0u32;
+    let mut conservative = 0u32;
+    for o in &outcomes {
+        assert_eq!(
+            o.other_violations, 0,
+            "seed {} ({}): unexpected non-invariant violations",
+            o.seed, o.describe
+        );
+        // The soundness direction: a lint-error-clean kernel must have
+        // no violating execution.
+        assert!(
+            !(o.lint_errors == 0 && o.violated),
+            "FALSE NEGATIVE at seed {}: lint reports no errors but the \
+             model checker found a violating execution ({})",
+            o.seed,
+            o.describe
+        );
+        match (o.lint_errors > 0, o.violated) {
+            (false, false) => clean_and_safe += 1,
+            (true, true) => flagged_and_violating += 1,
+            (true, false) => conservative += 1,
+            (false, true) => unreachable!(),
+        }
+    }
+    // The generator must keep exercising both sides of the verdict.
+    assert!(
+        clean_and_safe >= 20,
+        "only {clean_and_safe} lint-clean verified kernels in {SEEDS} seeds"
+    );
+    assert!(
+        flagged_and_violating >= 20,
+        "only {flagged_and_violating} flagged violating kernels in {SEEDS} seeds"
+    );
+    eprintln!(
+        "generative: {SEEDS} seeds — {clean_and_safe} clean+safe, \
+         {flagged_and_violating} flagged+violating, {conservative} conservative, 0 false negatives"
+    );
+}

@@ -1,5 +1,6 @@
 //! Dynamic cross-validation of the static linter: every broken mutant
-//! has a real violating execution; every correct counterpart verifies.
+//! has a real violating execution; every correct counterpart verifies;
+//! every inter-thread hazard claim is matched by a reachable state.
 
 use sbrp_mc::evidence::{cross_validate, MutantEvidence};
 use sbrp_mc::{replay, McOpts, ViolationKind};
@@ -17,24 +18,31 @@ fn durability_kind(name: &str) -> Option<ViolationKind> {
             Some(ViolationKind::AddrImplies)
         }
         "trailing_persist" => Some(ViolationKind::DurableAtExit),
+        "it_scope_narrow_pair" | "it_recovery_read" => Some(ViolationKind::AddrImplies),
         _ => None,
     }
+}
+
+/// Race-class inter-thread mutants whose witness is a lint-hazard
+/// reachability schedule rather than a spec violation.
+fn hazard_witnessed(name: &str) -> bool {
+    matches!(name, "it_race_cross_block" | "it_drain_order")
 }
 
 #[test]
 fn every_mutant_verdict_is_backed_by_executions() {
     let all: Vec<MutantEvidence> = cross_validate(&opts());
-    assert_eq!(all.len(), 10);
+    assert_eq!(all.len(), 16);
     for ev in &all {
         assert!(
             ev.agrees,
             "{}: dynamic evidence disagrees with lint ({})",
             ev.name, ev.finding
         );
-        if durability_kind(ev.name).is_some() {
+        if durability_kind(ev.name).is_some() || hazard_witnessed(ev.name) {
             assert!(
                 ev.witness.is_some(),
-                "{}: no shrunk counterexample produced",
+                "{}: no counterexample/witness schedule produced",
                 ev.name
             );
         } else {
@@ -67,6 +75,35 @@ fn shrunk_witnesses_replay_to_the_same_violation() {
             vios.iter().any(|v| v.kind == kind),
             "{}: replayed witness shows no {kind} violation",
             ev.name
+        );
+    }
+}
+
+#[test]
+fn hazard_witnesses_replay_to_the_claimed_crash_state() {
+    // The race-class mutants' lint hazards name an exact crash state:
+    // `blkB:tT#N durable while blkB':tT'#N' lost`. Replaying the
+    // witness schedule must land in a state where that holds.
+    type Mark = (u32, u32, u32);
+    let expected: &[(&str, Mark, Mark)] = &[
+        ("it_race_cross_block", (1, 0, 0), (0, 0, 0)),
+        ("it_drain_order", (0, 32, 0), (0, 0, 0)),
+    ];
+    let all = cross_validate(&opts());
+    for &(name, durable, lost) in expected {
+        let ev = all
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from suite"));
+        let witness = ev
+            .witness
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: no hazard witness"));
+        let (prog, spec) = sbrp_mc::evidence::program_and_spec(name).expect("known mutant");
+        let (st, _) = replay(&prog, &spec, witness);
+        assert!(
+            st.mark_durable(durable) && !st.mark_durable(lost),
+            "{name}: replayed witness does not show {durable:?} durable / {lost:?} lost"
         );
     }
 }

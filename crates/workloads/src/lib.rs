@@ -21,7 +21,20 @@
 //! [`BuildOpts::demote_scopes`] knob converts block-scoped operations to
 //! device scope for the Figure 7 scope/buffer breakdown.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions, clippy::missing_panics_doc)]
+// Element counts and lane indices are bounded by launch geometry;
+// usize↔u64 conversions in the builders cannot truncate.
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss,
+    clippy::cast_sign_loss
+)]
+// Kernel-builder code names virtual registers after the values they
+// hold (`poff8`/`pparr`, `b` for the builder): short and systematically
+// similar names are the local idiom, not an accident.
+#![allow(clippy::similar_names, clippy::many_single_char_names)]
 
 mod gpkvs;
 mod hashmap;

@@ -61,6 +61,7 @@ impl Micro {
 
     /// Builds the kernel for a model. `iters` controls per-thread work.
     #[must_use]
+    #[allow(clippy::too_many_lines)] // one arm per microbenchmark
     pub fn kernel(self, opts: BuildOpts, iters: u64) -> Launchable {
         let mut l = Layout::new();
         let fence = |b: &mut KernelBuilder| match opts.model {
@@ -186,9 +187,10 @@ impl Micro {
                         let target = b.addi(i, 1);
                         b.if_then(is_w0, |b| {
                             b.st(waddr, 0, i, MemWidth::W8); // persist
-                            b.if_then(is_lane0, |b| match opts.model {
-                                ModelKind::Sbrp => b.prel(f0, target, Scope::Block),
-                                _ => {
+                            b.if_then(is_lane0, |b| {
+                                if opts.model == ModelKind::Sbrp {
+                                    b.prel(f0, target, Scope::Block);
+                                } else {
                                     b.epoch_barrier();
                                     b.st(f0, 0, target, MemWidth::W4);
                                 }
@@ -218,9 +220,10 @@ impl Micro {
                                 |_| {},
                             );
                             b.st(waddr, 0, i, MemWidth::W8);
-                            b.if_then(is_lane0, |b| match opts.model {
-                                ModelKind::Sbrp => b.prel(f1, target, Scope::Block),
-                                _ => {
+                            b.if_then(is_lane0, |b| {
+                                if opts.model == ModelKind::Sbrp {
+                                    b.prel(f1, target, Scope::Block);
+                                } else {
                                     b.epoch_barrier();
                                     b.st(f1, 0, target, MemWidth::W4);
                                 }

@@ -197,6 +197,7 @@ impl Workload for Reduction {
         );
     }
 
+    #[allow(clippy::too_many_lines)] // the tree + device phases inline
     fn kernel(&self, opts: BuildOpts) -> Launchable {
         let mut b = KernelBuilder::new();
         b.set_params(vec![
@@ -386,7 +387,7 @@ impl Workload for Reduction {
                 ));
             }
         }
-        for bid in 0..self.blocks() as u64 {
+        for bid in 0..u64::from(self.blocks()) {
             let v = image.read_u64(self.a_blocksum + bid * 8);
             if v != EMPTY && v != block_totals[bid as usize] {
                 return Err(format!(

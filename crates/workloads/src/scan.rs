@@ -172,6 +172,7 @@ impl Workload for Scan {
         gpu.load_gddr(self.a_flags, &vec![0u8; n as usize]);
     }
 
+    #[allow(clippy::too_many_lines)] // all scan rounds built inline
     fn kernel(&self, opts: BuildOpts) -> Launchable {
         let rounds = self.rounds();
         let mut b = KernelBuilder::new();
