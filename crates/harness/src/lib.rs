@@ -12,6 +12,7 @@ pub mod campaign;
 pub mod json;
 pub mod perf;
 pub mod report;
+pub mod serve;
 pub mod sweep;
 
 use sbrp_core::ModelKind;

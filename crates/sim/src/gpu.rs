@@ -187,6 +187,31 @@ impl Gpu {
         self.cycle
     }
 
+    /// Advances the clock of an **idle** GPU by `cycles` without
+    /// simulating anything. The request-serving harness uses this to
+    /// model host-side gaps between batch launches (waiting for
+    /// arrivals, linger timers) on the same clock the simulator keeps,
+    /// so kernel durations and inter-batch idle time compose into one
+    /// consistent service timeline. A recovered GPU can also be
+    /// fast-forwarded to the crash cycle so the timeline survives
+    /// crash + `from_image` reconstruction.
+    ///
+    /// # Panics
+    /// Panics if a launch is still active — idle time only exists
+    /// between launches, when every persist has drained and no memory
+    /// event is pending.
+    pub fn skip_idle(&mut self, cycles: u64) {
+        assert!(
+            self.active.is_none(),
+            "skip_idle with an active launch: the GPU is not idle"
+        );
+        debug_assert!(
+            self.ms.next_event().is_none(),
+            "skip_idle with pending memory events"
+        );
+        self.cycle = self.cycle.saturating_add(cycles);
+    }
+
     // ------------------------------------------------------------------
     // Memory setup / inspection
     // ------------------------------------------------------------------

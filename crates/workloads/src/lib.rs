@@ -43,6 +43,7 @@ pub mod micro;
 mod multiqueue;
 mod reduction;
 mod scan;
+pub mod service;
 mod srad;
 
 pub use gpkvs::Gpkvs;
@@ -52,6 +53,7 @@ pub use micro::Micro;
 pub use multiqueue::Multiqueue;
 pub use reduction::Reduction;
 pub use scan::Scan;
+pub use service::ServiceStore;
 pub use srad::Srad;
 
 use sbrp_core::ModelKind;

@@ -1,0 +1,629 @@
+//! Online-serving gpKVS — the request-serving counterpart of the batch
+//! [`crate::Gpkvs`] workload (§7.1), built for the open-loop serving
+//! harness (`sbrp-harness::serve`).
+//!
+//! The store is a PM-resident table of 8-byte values, **sharded** the
+//! way a real gpKVS partitions its key space: key `k` lives in shard
+//! `k % shards`, and each shard owns a contiguous slot range, so a
+//! batch that touches many shards spreads across the table instead of
+//! converging on one region. The serving harness forms batches of
+//! get/put/delete requests, encodes them one-request-per-lane into a
+//! volatile ops buffer, and launches [`ServiceStore::batch_kernel`];
+//! every write is protected by a per-lane write-ahead **undo log** on
+//! PM, ordered purely intra-thread (`oFence`, the gpKVS contract).
+//!
+//! Unlike the offline gpKVS batch, there is **no per-lane commit
+//! mark**: kernel completion on `sbrp-sim` means every buffered persist
+//! drained (the durable ack), so the ack itself is the batch-level
+//! commit point. Recovery therefore rolls back *every* armed lane —
+//! un-acked writes are undone wholesale and re-served by the harness —
+//! which saves one fence + one persist per write relative to the
+//! Fig. 4 transaction. The cost is a host contract: armed marks must be
+//! cleared (host-side, durably) after each acked batch, or a crash in
+//! batch *n+1* would undo lane writes acked in batch *n* using stale
+//! logs.
+//!
+//! This module also owns the **request codecs**: the deterministic,
+//! seeded arrival processes (Poisson and bursty interarrivals, Zipfian
+//! key popularity) that make a serving experiment a pure function of
+//! its parameters.
+
+use crate::layout::Layout;
+use crate::Launchable;
+use sbrp_core::ModelKind;
+use sbrp_gpu_sim::Gpu;
+use sbrp_isa::{KernelBuilder, LaunchConfig, MemWidth, Special};
+
+/// Lane encoding: no request mapped to this lane.
+pub const OP_NONE: u64 = 0;
+/// Lane encoding: read the key's value into the results buffer.
+pub const OP_GET: u64 = 1;
+/// Lane encoding: WAL-protected write of the value (puts and deletes).
+pub const OP_WRITE: u64 = 2;
+
+/// The stored value that encodes "no value" — deletes write it, gets on
+/// absent keys return it. Value generators never produce it.
+pub const TOMBSTONE: u64 = u64::MAX;
+
+/// Values keep their top bit clear so no generated value collides with
+/// [`TOMBSTONE`].
+const VALUE_MASK: u64 = (1 << 63) - 1;
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The value key `k` holds before any request touches it.
+#[must_use]
+pub fn initial_value(key: u64) -> u64 {
+    splitmix64(key ^ 0xA5A5_0000_0001) & VALUE_MASK
+}
+
+/// The value a put request with sequence number `seq` writes.
+#[must_use]
+pub fn request_value(seq: u64) -> u64 {
+    splitmix64(seq ^ 0xC3C3_0000_0002) & VALUE_MASK
+}
+
+// ---------------------------------------------------------------------
+// Request codecs: deterministic arrival processes
+// ---------------------------------------------------------------------
+
+/// Seeded deterministic RNG for trace generation (splitmix64 — the
+/// repo-standard generator; no external entropy ever enters a trace).
+struct TraceRng(u64);
+
+impl TraceRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.0)
+    }
+
+    /// Uniform in `(0, 1]` — the open lower bound keeps `ln` finite.
+    fn next_unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+}
+
+/// Shape of the arrival process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArrivalKind {
+    /// Memoryless: exponential interarrival gaps at the configured rate.
+    Poisson,
+    /// On/off bursts: gaps inside a burst run at 4× the configured rate,
+    /// separated by off-phases sized so the long-run mean rate is
+    /// unchanged — same offered load, far worse queueing.
+    Bursty,
+}
+
+impl ArrivalKind {
+    /// CLI / report label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ArrivalKind::Poisson => "poisson",
+            ArrivalKind::Bursty => "bursty",
+        }
+    }
+}
+
+/// A request operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReqOp {
+    /// Read the key's current value.
+    Get,
+    /// Store a new value under the key.
+    Put,
+    /// Remove the key (stores [`TOMBSTONE`]).
+    Delete,
+}
+
+/// One request of a serving trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Service-clock cycle the request enters the host queue.
+    pub arrival: u64,
+    /// What the request does.
+    pub op: ReqOp,
+    /// The key it touches.
+    pub key: u64,
+    /// The value a put writes ([`TOMBSTONE`] for deletes, 0 for gets).
+    pub value: u64,
+}
+
+/// Parameters of a generated request trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceParams {
+    /// Arrival-process shape.
+    pub arrival: ArrivalKind,
+    /// Offered rate in milli-requests per kilocycle (fixed-point ×1000,
+    /// so `2000` = 2 requests per 1000 cycles; the mean interarrival gap
+    /// is `1_000_000 / rate_milli` cycles).
+    pub rate_milli: u64,
+    /// Zipf skew θ ×1000 (`0` = uniform, `990` ≈ the classic 0.99).
+    pub zipf_milli: u64,
+    /// Number of requests to generate.
+    pub requests: u64,
+    /// Key-space size (ranks map to keys identically; rank 0 is the
+    /// hottest key).
+    pub keys: u64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// Generates the full request trace for one serving run: a pure
+/// function of [`TraceParams`], so jobs-1 and jobs-N sweeps (and
+/// crash/recovery replays) observe the identical stream. Arrivals are
+/// strictly increasing (gaps are at least one cycle).
+///
+/// # Panics
+/// Panics if `rate_milli` or `keys` is zero.
+#[must_use]
+pub fn generate_trace(p: &TraceParams) -> Vec<Request> {
+    assert!(p.rate_milli > 0, "zero offered rate");
+    assert!(p.keys > 0, "empty key space");
+    let mean_gap = 1_000_000.0 / p.rate_milli as f64;
+    let zipf = ZipfSampler::new(p.keys, p.zipf_milli as f64 / 1000.0);
+    let mut rng = TraceRng(splitmix64(p.seed ^ 0x5E11_CE00));
+    let mut now = 0u64;
+    let mut burst_left = 0u64;
+    let mut reqs = Vec::with_capacity(p.requests as usize);
+    let gap = |u: f64, mean: f64| ((-u.ln() * mean).round() as u64).max(1);
+    for seq in 0..p.requests {
+        let g = match p.arrival {
+            ArrivalKind::Poisson => gap(rng.next_unit(), mean_gap),
+            ArrivalKind::Bursty => {
+                // Bursts of 16–47 arrivals at 4× rate; the off-phase
+                // before each burst restores the long-run mean (a burst
+                // of n requests at mean_gap/4 plus an off-gap with mean
+                // 3n/4·mean_gap spans n·mean_gap in expectation).
+                if burst_left == 0 {
+                    burst_left = 16 + rng.next_u64() % 32;
+                    now += gap(rng.next_unit(), mean_gap * 0.75 * burst_left as f64);
+                }
+                burst_left -= 1;
+                gap(rng.next_unit(), mean_gap * 0.25)
+            }
+        };
+        now += g;
+        let key = zipf.sample(rng.next_unit());
+        let (op, value) = match rng.next_u64() % 10 {
+            0..=4 => (ReqOp::Get, 0),
+            5..=8 => (ReqOp::Put, request_value(seq)),
+            _ => (ReqOp::Delete, TOMBSTONE),
+        };
+        reqs.push(Request {
+            arrival: now,
+            op,
+            key,
+            value,
+        });
+    }
+    reqs
+}
+
+/// Zipfian key popularity: rank `r` (0 = hottest) is drawn with weight
+/// `1/(r+1)^θ`, via a precomputed cumulative table and binary search —
+/// exact, deterministic, and O(log keys) per sample.
+struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(keys: u64, theta: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(keys as usize);
+        let mut total = 0.0;
+        for rank in 0..keys {
+            total += 1.0 / ((rank + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    fn sample(&self, unit: f64) -> u64 {
+        let target = unit * self.cumulative[self.cumulative.len() - 1];
+        // partition_point: first rank whose cumulative weight reaches
+        // the target.
+        self.cumulative.partition_point(|&c| c < target) as u64
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sharded persistent store and its kernels
+// ---------------------------------------------------------------------
+
+/// One lane of an encoded batch: [`OP_NONE`], [`OP_GET`], or
+/// [`OP_WRITE`] with its key and (for writes) value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneOp {
+    /// [`OP_NONE`] / [`OP_GET`] / [`OP_WRITE`].
+    pub op: u64,
+    /// Key the lane touches (ignored for [`OP_NONE`]).
+    pub key: u64,
+    /// Value an [`OP_WRITE`] stores ([`TOMBSTONE`] encodes a delete).
+    pub value: u64,
+}
+
+impl LaneOp {
+    /// An idle lane.
+    #[must_use]
+    pub fn none() -> Self {
+        LaneOp {
+            op: OP_NONE,
+            key: 0,
+            value: 0,
+        }
+    }
+}
+
+/// The sharded persistent KVS the serving harness drives: table layout,
+/// per-batch kernels, and host-side encode/inspect helpers.
+#[derive(Debug)]
+pub struct ServiceStore {
+    keys: u64,
+    shards: u64,
+    lanes: u64,
+    tpb: u32,
+    a_ops: u64,
+    a_results: u64,
+    a_table: u64,
+    a_log: u64,
+    a_armed: u64,
+}
+
+impl ServiceStore {
+    /// Creates a store of at least `scale` keys spread over `shards`
+    /// shards, serving batches of up to `batch` requests. The key count
+    /// is rounded up to a multiple of the shard count so every shard
+    /// owns the same number of slots.
+    ///
+    /// # Panics
+    /// Panics if `shards` or `batch` is zero.
+    #[must_use]
+    pub fn new(scale: u64, shards: u64, batch: u32) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(batch > 0, "need at least one lane");
+        let keys = scale.max(1).div_ceil(shards) * shards;
+        let tpb: u32 = if batch <= 32 {
+            32
+        } else if batch <= 128 {
+            64
+        } else {
+            256
+        };
+        let lanes = u64::from(batch).div_ceil(u64::from(tpb)) * u64::from(tpb);
+        let mut l = Layout::new();
+        let a_ops = l.gddr(lanes * 24); // (op, key, value) per lane
+        let a_results = l.gddr(lanes * 8);
+        let a_table = l.nvm(keys * 8);
+        let a_log = l.nvm(lanes * 16); // (key, old value) per lane
+        let a_armed = l.nvm(lanes * 8);
+        ServiceStore {
+            keys,
+            shards,
+            lanes,
+            tpb,
+            a_ops,
+            a_results,
+            a_table,
+            a_log,
+            a_armed,
+        }
+    }
+
+    /// Key-space size (table slots).
+    #[must_use]
+    pub fn keys(&self) -> u64 {
+        self.keys
+    }
+
+    /// Shard count.
+    #[must_use]
+    pub fn shards(&self) -> u64 {
+        self.shards
+    }
+
+    /// Lanes per batch launch (the batch limit padded to full warps).
+    #[must_use]
+    pub fn lanes(&self) -> u64 {
+        self.lanes
+    }
+
+    /// The table slot of a key: shard `key % shards` owns the
+    /// contiguous range `[shard·keys/shards, (shard+1)·keys/shards)`,
+    /// and the key's position inside it is `key / shards`.
+    #[must_use]
+    pub fn slot_of(&self, key: u64) -> u64 {
+        let kps = self.keys / self.shards;
+        (key % self.shards) * kps + key / self.shards
+    }
+
+    /// Writes the initial durable image: every key holds
+    /// [`initial_value`], the log is empty, no lane is armed.
+    pub fn init(&self, gpu: &mut Gpu) {
+        self.init_volatile(gpu);
+        let mut table = vec![0u8; (self.keys * 8) as usize];
+        for key in 0..self.keys {
+            let off = (self.slot_of(key) * 8) as usize;
+            table[off..off + 8].copy_from_slice(&initial_value(key).to_le_bytes());
+        }
+        gpu.load_nvm(self.a_table, &table);
+        gpu.load_nvm(self.a_log, &vec![0u8; (self.lanes * 16) as usize]);
+        self.clear_marks(gpu);
+    }
+
+    /// Re-writes the volatile buffers (ops + results) — what the host
+    /// reloads after a crash; the table/log/marks come from the durable
+    /// image.
+    pub fn init_volatile(&self, gpu: &mut Gpu) {
+        gpu.load_gddr(self.a_ops, &vec![0u8; (self.lanes * 24) as usize]);
+        gpu.load_gddr(self.a_results, &vec![0u8; (self.lanes * 8) as usize]);
+    }
+
+    /// Encodes one batch into the ops buffer (unused lanes become
+    /// [`OP_NONE`]) and zeroes the results buffer.
+    ///
+    /// # Panics
+    /// Panics if the batch exceeds the lane count.
+    pub fn encode_batch(&self, gpu: &mut Gpu, batch: &[LaneOp]) {
+        assert!(batch.len() as u64 <= self.lanes, "batch exceeds lanes");
+        let mut ops = vec![0u8; (self.lanes * 24) as usize];
+        for (i, lane) in batch.iter().enumerate() {
+            let off = i * 24;
+            ops[off..off + 8].copy_from_slice(&lane.op.to_le_bytes());
+            ops[off + 8..off + 16].copy_from_slice(&lane.key.to_le_bytes());
+            ops[off + 16..off + 24].copy_from_slice(&lane.value.to_le_bytes());
+        }
+        gpu.load_gddr(self.a_ops, &ops);
+        gpu.load_gddr(self.a_results, &vec![0u8; (self.lanes * 8) as usize]);
+    }
+
+    /// Durably clears every armed mark — the host's obligation after
+    /// each acked batch (see the module docs: recovery rolls back *all*
+    /// armed lanes, so marks from an acked batch must not survive into
+    /// the next one). Host NVM writes land in both the functional and
+    /// durable images, so this models a CPU-side persistent store +
+    /// flush at zero simulated cost.
+    pub fn clear_marks(&self, gpu: &mut Gpu) {
+        gpu.load_nvm(self.a_armed, &vec![0u8; (self.lanes * 8) as usize]);
+    }
+
+    /// Reads the get-result a lane produced in the last batch.
+    #[must_use]
+    pub fn read_result(&self, gpu: &Gpu, lane: u64) -> u64 {
+        gpu.read_u64(self.a_results + lane * 8)
+    }
+
+    /// Reads a key's current (functional) stored value.
+    #[must_use]
+    pub fn read_value(&self, gpu: &Gpu, key: u64) -> u64 {
+        gpu.read_nvm_u64(self.a_table + self.slot_of(key) * 8)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new((self.lanes / u64::from(self.tpb)) as u32, self.tpb)
+    }
+
+    fn emit_fence(b: &mut KernelBuilder, model: ModelKind) {
+        match model {
+            ModelKind::Sbrp => b.ofence(),
+            ModelKind::Epoch | ModelKind::Gpm => b.epoch_barrier(),
+        }
+    }
+
+    /// Emits `slot_of(key) * 8 + table_base` in kernel registers.
+    fn emit_slot_addr(
+        &self,
+        b: &mut KernelBuilder,
+        table: sbrp_isa::Reg,
+        key: sbrp_isa::Reg,
+    ) -> sbrp_isa::Reg {
+        let kps = self.keys / self.shards;
+        let shard = b.remi(key, self.shards);
+        let idx = b.divi(key, self.shards);
+        let base = b.muli(shard, kps);
+        let slot = b.add(base, idx);
+        let toff = b.muli(slot, 8);
+        b.add(table, toff)
+    }
+
+    /// The per-batch serving kernel: one lane per (coalesced) request.
+    /// Gets read the table into the results buffer; writes run the WAL
+    /// sequence *log fields → fence → armed → fence → table* (no commit
+    /// mark — the durable ack at kernel completion is the commit; see
+    /// the module docs). The ops buffer is re-written by the host
+    /// between launches, so lanes read it with volatile loads (L1 keeps
+    /// state across sequential launches on the same GPU).
+    #[must_use]
+    pub fn batch_kernel(&self, model: ModelKind) -> Launchable {
+        let mut b = KernelBuilder::new();
+        b.set_params(vec![
+            self.a_ops,
+            self.a_results,
+            self.a_table,
+            self.a_log,
+            self.a_armed,
+        ]);
+        let ops = b.param(0);
+        let results = b.param(1);
+        let table = b.param(2);
+        let log = b.param(3);
+        let armed_r = b.param(4);
+
+        let gtid = b.special(Special::GlobalTid);
+        let ooff = b.muli(gtid, 24);
+        let oaddr = b.add(ops, ooff);
+        let goff8 = b.muli(gtid, 8);
+        let op = b.ld_volatile(oaddr, 0, MemWidth::W8);
+
+        let is_get = b.eqi(op, OP_GET);
+        b.if_then(is_get, |b| {
+            let key = b.ld_volatile(oaddr, 8, MemWidth::W8);
+            let taddr = self.emit_slot_addr(b, table, key);
+            let v = b.ld(taddr, 0, MemWidth::W8);
+            let raddr = b.add(results, goff8);
+            b.st(raddr, 0, v, MemWidth::W8);
+        });
+
+        let is_write = b.eqi(op, OP_WRITE);
+        b.if_then(is_write, |b| {
+            let key = b.ld_volatile(oaddr, 8, MemWidth::W8);
+            let taddr = self.emit_slot_addr(b, table, key);
+            let old = b.ld(taddr, 0, MemWidth::W8);
+            let loff = b.muli(gtid, 16);
+            let laddr = b.add(log, loff);
+            // WAL: undo record persists before the lane is armed, the
+            // armed mark persists before the table is overwritten.
+            b.st(laddr, 0, key, MemWidth::W8);
+            b.st(laddr, 8, old, MemWidth::W8);
+            Self::emit_fence(b, model);
+            let one = b.movi(1);
+            let my_armed = b.add(armed_r, goff8);
+            b.st(my_armed, 0, one, MemWidth::W8);
+            Self::emit_fence(b, model);
+            let val = b.ld_volatile(oaddr, 16, MemWidth::W8);
+            b.st(taddr, 0, val, MemWidth::W8);
+        });
+
+        Launchable {
+            kernel: b.build("service_batch"),
+            launch: self.launch(),
+        }
+    }
+
+    /// The recovery kernel: every armed lane is rolled back from its
+    /// undo log (the batch never acked, so *all* of its writes are
+    /// undone and the harness re-serves them), the restored table is
+    /// made durable (`dFence`), and the mark is cleared.
+    #[must_use]
+    pub fn recovery_kernel(&self, model: ModelKind) -> Launchable {
+        let mut b = KernelBuilder::new();
+        b.set_params(vec![self.a_table, self.a_log, self.a_armed]);
+        let table = b.param(0);
+        let log = b.param(1);
+        let armed_r = b.param(2);
+
+        let gtid = b.special(Special::GlobalTid);
+        let goff8 = b.muli(gtid, 8);
+        let my_armed = b.add(armed_r, goff8);
+        let armed = b.ld(my_armed, 0, MemWidth::W8);
+        let in_doubt = b.nei(armed, 0);
+        b.if_then(in_doubt, |b| {
+            let loff = b.muli(gtid, 16);
+            let laddr = b.add(log, loff);
+            let key = b.ld(laddr, 0, MemWidth::W8);
+            let old = b.ld(laddr, 8, MemWidth::W8);
+            let taddr = self.emit_slot_addr(b, table, key);
+            b.st(taddr, 0, old, MemWidth::W8);
+            // The restored value must be durable before the mark is
+            // discarded (Fig. 4 line 13).
+            match model {
+                ModelKind::Sbrp => b.dfence(),
+                ModelKind::Epoch | ModelKind::Gpm => b.epoch_barrier(),
+            }
+            let zero = b.movi(0);
+            b.st(my_armed, 0, zero, MemWidth::W8);
+        });
+
+        Launchable {
+            kernel: b.build("service_recover"),
+            launch: self.launch(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(arrival: ArrivalKind, seed: u64) -> TraceParams {
+        TraceParams {
+            arrival,
+            rate_milli: 2000,
+            zipf_milli: 990,
+            requests: 2000,
+            keys: 256,
+            seed,
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_seed_sensitive() {
+        for arrival in [ArrivalKind::Poisson, ArrivalKind::Bursty] {
+            let a = generate_trace(&params(arrival, 7));
+            let b = generate_trace(&params(arrival, 7));
+            assert_eq!(a, b, "{arrival:?} trace must be a pure function");
+            let c = generate_trace(&params(arrival, 8));
+            assert_ne!(a, c, "{arrival:?} trace must depend on the seed");
+        }
+    }
+
+    #[test]
+    fn arrivals_increase_and_mean_rate_is_close() {
+        for arrival in [ArrivalKind::Poisson, ArrivalKind::Bursty] {
+            let reqs = generate_trace(&params(arrival, 42));
+            assert!(reqs.windows(2).all(|w| w[1].arrival > w[0].arrival));
+            // 2000 requests at 2 req/kcycle should span ~1M cycles.
+            let span = reqs.last().unwrap().arrival as f64;
+            let expected = 2000.0 * 500.0;
+            assert!(
+                (span / expected - 1.0).abs() < 0.25,
+                "{arrival:?}: span {span} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let reqs = generate_trace(&params(ArrivalKind::Poisson, 1));
+        let hot = reqs.iter().filter(|r| r.key < 8).count();
+        let cold = reqs.iter().filter(|r| r.key >= 248).count();
+        assert!(
+            hot > 8 * cold.max(1),
+            "hot ranks {hot} should dominate cold {cold}"
+        );
+        // θ = 0 is uniform: the hottest 8 keys draw about 8/256 of it.
+        let uniform = generate_trace(&TraceParams {
+            zipf_milli: 0,
+            ..params(ArrivalKind::Poisson, 1)
+        });
+        let hot_u = uniform.iter().filter(|r| r.key < 8).count();
+        assert!(hot_u < hot / 4, "uniform hot {hot_u} vs zipf hot {hot}");
+    }
+
+    #[test]
+    fn values_never_collide_with_the_tombstone() {
+        for i in 0..10_000 {
+            assert_ne!(initial_value(i), TOMBSTONE);
+            assert_ne!(request_value(i), TOMBSTONE);
+        }
+    }
+
+    #[test]
+    fn slots_are_a_bijection_grouped_by_shard() {
+        let s = ServiceStore::new(250, 8, 64);
+        assert_eq!(s.keys() % s.shards(), 0);
+        let mut seen = vec![false; s.keys() as usize];
+        for key in 0..s.keys() {
+            let slot = s.slot_of(key);
+            assert!(!seen[slot as usize], "slot {slot} mapped twice");
+            seen[slot as usize] = true;
+            let kps = s.keys() / s.shards();
+            assert_eq!(slot / kps, key % s.shards(), "key stays in its shard");
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn kernels_build_for_all_models() {
+        let s = ServiceStore::new(256, 8, 48);
+        assert_eq!(s.lanes() % 64, 0, "lanes pad to full blocks");
+        for model in ModelKind::ALL {
+            assert!(s.batch_kernel(model).kernel.static_len() > 10);
+            assert!(s.recovery_kernel(model).kernel.static_len() > 10);
+        }
+    }
+}
